@@ -1,0 +1,63 @@
+"""Ablation: when does replication stop paying? (crossover study)
+
+Replicating a stage divides its computation load but multiplies one-port
+communication traffic through the source's output port.  For a
+compute-bound stage throughput keeps improving with replicas; for a
+comm-bound stage the source port saturates and extra replicas are
+wasted.  This ablation sweeps the replica count in both settings and
+locates the crossover — the kind of what-if analysis the paper's exact
+period oracle enables.
+"""
+
+from repro import Application, Instance, Mapping, Platform, compute_period
+
+from .conftest import report
+
+
+def _sweep(work: float, file_size: float, max_replicas: int = 6):
+    rows = []
+    for r in range(1, max_replicas + 1):
+        app = Application(works=[0.5, work, 0.5], file_sizes=[file_size, 1.0])
+        plat = Platform.homogeneous(2 + r + 1, speed=1.0, bandwidth=1.0)
+        mapping = Mapping([(0,), tuple(range(1, 1 + r)), (1 + r,)])
+        inst = Instance(app, plat, mapping)
+        res = compute_period(inst, "overlap")
+        rows.append((r, res.period, res.has_critical_resource))
+    return rows
+
+
+def bench_replication_compute_bound(benchmark):
+    rows = benchmark(_sweep, 12.0, 1.0)
+    print()
+    print("compute-bound stage (w = 12, file = 1):")
+    for r, p, crit in rows:
+        print(f"  replicas {r}: P = {p:7.3f}  {'(saturated)' if crit else ''}")
+    # period keeps dropping until the source port (file=1/bw=1 -> 1/unit)
+    # dominates: crossover where 12/r < 1 -> r > 12 (not reached here)
+    assert all(a[1] > b[1] for a, b in zip(rows, rows[1:])), \
+        "compute-bound: each replica must improve the period"
+    report(
+        benchmark,
+        "Ablation: replication sweep, compute-bound stage",
+        [("monotone improvement", "yes", True),
+         ("P at 1 vs 6 replicas", "12 -> 2",
+          f"{rows[0][1]:.0f} -> {rows[-1][1]:.0f}")],
+    )
+
+
+def bench_replication_comm_bound(benchmark):
+    rows = benchmark(_sweep, 2.0, 3.0)
+    print()
+    print("comm-bound stage (w = 2, file = 3):")
+    for r, p, crit in rows:
+        print(f"  replicas {r}: P = {p:7.3f}  {'(saturated)' if crit else ''}")
+    # the source must push a 3-byte file per data set through its port:
+    # P >= 3 whatever the replication; the crossover is at 2/r <= 3, r >= 1
+    assert all(p >= 3.0 - 1e-9 for _, p, _ in rows)
+    flat_from = next(r for r, p, _ in rows if abs(p - 3.0) < 1e-9)
+    report(
+        benchmark,
+        "Ablation: replication sweep, comm-bound stage",
+        [("floor (source port)", 3.0, min(p for _, p, _ in rows)),
+         ("useless replicas beyond", "r = 1", f"r = {flat_from}")],
+    )

@@ -1,0 +1,80 @@
+"""Figures 11, 13, 14: Example C — the pattern decomposition at scale.
+
+Example C replicates stages on (5, 21, 27, 11) processors: the full TPN
+would need m = 10395 rows, yet Theorem 1 reduces the F1 column to 3
+connected components of 7x9 patterns (55 pattern repetitions each).
+The appendix's worked constants and the sender/receiver component
+memberships are asserted, and the polynomial algorithm is timed on the
+instance the paper uses to motivate it.
+"""
+
+from repro import compute_period
+from repro.experiments import EXAMPLE_C_STRUCTURE, example_c
+from repro.petri import comm_patterns
+from repro.petri.dot import pattern_to_dot
+
+from .conftest import report
+
+
+def bench_fig13_pattern_decomposition(benchmark):
+    inst = example_c()
+    pats = benchmark(comm_patterns, inst, 1)
+    f1 = EXAMPLE_C_STRUCTURE["f1"]
+    assert len(pats) == f1["p"]
+    by_first = {p.senders[0]: p for p in pats}
+    assert set(by_first[5].receivers) == set(EXAMPLE_C_STRUCTURE["p5_receivers"])
+    assert set(by_first[6].receivers) == set(EXAMPLE_C_STRUCTURE["p6_receivers"])
+    report(
+        benchmark,
+        "Figures 11/13 — Example C decomposition constants",
+        [
+            ("m = lcm(5,21,27,11)", 10395, inst.num_paths),
+            ("components p = gcd(21,27)", 3, len(pats)),
+            ("pattern size u x v", "7 x 9", f"{pats[0].u} x {pats[0].v}"),
+            ("patterns per component c", 55,
+             inst.num_paths // pats[0].window),
+            ("P5 communicates with", "P26, P29, ..., P50",
+             sorted(by_first[5].receivers)),
+        ],
+    )
+
+
+def bench_fig14_single_pattern_graph(benchmark):
+    inst = example_c()
+    pat = comm_patterns(inst, 1)[0]
+
+    def build_and_solve():
+        g = pat.to_ratio_graph()
+        from repro.maxplus import max_cycle_ratio
+
+        return g, max_cycle_ratio(g).value
+
+    g, value = benchmark(build_and_solve)
+    assert g.n_nodes == 63
+    dot = pattern_to_dot(pat)
+    assert dot.count("->") == 2 * 63
+    report(
+        benchmark,
+        "Figure 14 — single 7x9 pattern graph G'",
+        [("transitions u*v", 63, g.n_nodes),
+         ("places 2*u*v", 126, g.n_edges),
+         ("critical ratio (homogeneous times)", "-", round(value, 3))],
+    )
+
+
+def bench_example_c_polynomial_period(benchmark):
+    """Theorem 1 on the full 4-stage Example C — the 10395-row net is
+    never built (the paper reports hours for nets of this size)."""
+    inst = example_c(heterogeneous=True, seed=2009)
+    res = benchmark(compute_period, inst, "overlap")
+    assert res.period >= res.mct - 1e-12
+    report(
+        benchmark,
+        "Example C — polynomial period without building the TPN",
+        [
+            ("rows avoided", 10395, res.m),
+            ("period", "-", round(res.period, 4)),
+            ("M_ct", "-", round(res.mct, 4)),
+            ("critical resource", "-", res.has_critical_resource),
+        ],
+    )

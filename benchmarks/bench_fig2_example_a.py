@@ -1,0 +1,47 @@
+"""Section 4.1 / Figure 2: Example A under OVERLAP ONE-PORT.
+
+Paper: "a critical resource is the output port of P0, whose cycle-time
+is equal to the period, 189."  Benchmarks Theorem 1's polynomial
+algorithm on the instance and cross-checks the full-TPN route.
+"""
+
+import pytest
+
+from repro import compute_period, cycle_times
+from repro.algorithms import overlap_period
+from repro.experiments import example_a
+
+from .conftest import report
+
+
+def bench_example_a_overlap_polynomial(benchmark):
+    inst = example_a()
+    bd = benchmark(overlap_period, inst)
+    rep = cycle_times(inst, "overlap")
+    assert bd.period == pytest.approx(189.0)
+    assert rep.mct == pytest.approx(189.0)
+    assert (0, "out") in rep.critical_resources()
+    report(
+        benchmark,
+        "Example A, OVERLAP — period = cycle-time of P0's output port",
+        [
+            ("period P", 189, bd.period),
+            ("M_ct", 189, rep.mct),
+            ("critical resource", "P0 output port",
+             rep.critical_resources()),
+            ("critical column", "F0 transmission",
+             [c.column for c in bd.critical_columns]),
+        ],
+    )
+
+
+def bench_example_a_overlap_full_tpn(benchmark):
+    inst = example_a()
+    res = benchmark(compute_period, inst, "overlap", "tpn")
+    assert res.period == pytest.approx(189.0)
+    report(
+        benchmark,
+        "Example A, OVERLAP — full 42-transition TPN cross-check",
+        [("period P", 189, res.period),
+         ("rows m", 6, res.m)],
+    )

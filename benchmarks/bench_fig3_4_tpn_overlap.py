@@ -1,0 +1,60 @@
+"""Figures 3-4: OVERLAP ONE-PORT TPN construction of Example A.
+
+The paper states the construction is linear in the net size O(mn); this
+benchmark times it and asserts the structural census of Figure 4
+(6 rows x 7 columns, round-robin circuits with one token each).
+"""
+
+from repro.experiments import example_a
+from repro.petri import PlaceKind, build_tpn, validate_tpn
+
+from .conftest import report
+
+
+def bench_fig4_build_overlap_tpn(benchmark):
+    inst = example_a()
+    net = benchmark(build_tpn, inst, "overlap")
+    rep = validate_tpn(net)
+    assert (rep.n_rows, rep.n_columns) == (6, 7)
+    report(
+        benchmark,
+        "Figure 4 — complete OVERLAP TPN of Example A",
+        [
+            ("rows m", 6, rep.n_rows),
+            ("columns 2n-1", 7, rep.n_columns),
+            ("transitions", 42, rep.n_transitions),
+            ("flow places (constraint 1)", 36,
+             rep.places_by_kind[PlaceKind.FLOW]),
+            ("CPU circuits places (constraint 2)", 24,
+             rep.places_by_kind[PlaceKind.RR_COMP]),
+            ("out-port circuit places (constraint 3)", 18,
+             rep.places_by_kind[PlaceKind.RR_OUT]),
+            ("in-port circuit places (constraint 4)", 18,
+             rep.places_by_kind[PlaceKind.RR_IN]),
+            ("tokens (one per circuit)", 19, rep.tokens),
+        ],
+    )
+
+
+def bench_fig4_construction_scales_linearly(benchmark):
+    """Time the O(mn) claim on a larger instance (m = 420 rows)."""
+    from repro import Application, Instance, Mapping, Platform
+
+    counts = (4, 3, 5, 7)  # lcm = 420
+    p = sum(counts)
+    app = Application(works=[1.0] * 4, file_sizes=[1.0] * 3)
+    plat = Platform.homogeneous(p)
+    bounds = [0]
+    for c in counts:
+        bounds.append(bounds[-1] + c)
+    mapping = Mapping([tuple(range(bounds[i], bounds[i + 1]))
+                       for i in range(4)])
+    inst = Instance(app, plat, mapping)
+    net = benchmark(build_tpn, inst, "overlap")
+    assert net.n_rows == 420
+    report(
+        benchmark,
+        "Figure 4 construction at scale (m = 420)",
+        [("transitions", 420 * 7, net.n_transitions),
+         ("places", "O(mn)", net.n_places)],
+    )

@@ -1,0 +1,50 @@
+"""Figure 5: STRICT ONE-PORT TPN of Example A (backward serialization).
+
+Asserts the structure of Figure 5b — same 42 transitions, but the
+overlap circuits are replaced by one receive->compute->send circuit per
+processor — and times construction plus the strict period computation.
+"""
+
+import pytest
+
+from repro import compute_period
+from repro.experiments import example_a
+from repro.petri import PlaceKind, build_tpn, validate_tpn
+
+from .conftest import report
+
+
+def bench_fig5_build_strict_tpn(benchmark):
+    inst = example_a()
+    net = benchmark(build_tpn, inst, "strict")
+    rep = validate_tpn(net)
+    backwards = sum(
+        1
+        for p in net.places
+        if p.kind == PlaceKind.RCS
+        and net.transitions[p.src].column > net.transitions[p.dst].column
+    )
+    report(
+        benchmark,
+        "Figure 5 — complete STRICT TPN of Example A",
+        [
+            ("transitions", 42, rep.n_transitions),
+            ("flow places", 36, rep.places_by_kind[PlaceKind.FLOW]),
+            ("serialization places", 24, rep.places_by_kind[PlaceKind.RCS]),
+            ("tokens (one per processor)", 7, rep.tokens),
+            ("backward places (send -> next receive)", "> 0", backwards),
+        ],
+    )
+    assert backwards > 0
+
+
+def bench_fig5_strict_period(benchmark):
+    res = benchmark(compute_period, example_a(), "strict")
+    assert res.period == pytest.approx(692.0 / 3.0)  # 230.67; paper: 230.7
+    report(
+        benchmark,
+        "Example A, STRICT — period via full-TPN critical cycle",
+        [("period P", 230.7, round(res.period, 2)),
+         ("M_ct", 215.8, round(res.mct, 2)),
+         ("critical resource exists", "no", res.has_critical_resource)],
+    )

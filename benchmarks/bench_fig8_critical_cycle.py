@@ -1,0 +1,51 @@
+"""Figure 8: complex critical cycles of the STRICT TPN (Example A).
+
+The strict model's backward places ("P_u cannot compute instance i of
+S_i before having sent the result of the previous instance") let
+critical cycles weave through several columns and processors.  This
+benchmark extracts the cycle with Howard's policy iteration and checks
+the figure's qualitative claims.
+"""
+
+from repro.algorithms import describe_critical_cycle, tpn_period
+from repro.experiments import example_a
+from repro.petri.dot import tpn_to_dot
+
+from .conftest import report
+
+
+def bench_fig8_extract_critical_cycle(benchmark):
+    sol = benchmark(tpn_period, example_a(), "strict")
+    trans = sol.critical_transitions
+    cols = {t.column for t in trans}
+    kinds = {t.kind for t in trans}
+    procs = {p for t in trans for p in t.procs}
+    print()
+    print(describe_critical_cycle(sol))
+
+    assert len(cols) > 1, "strict critical cycle must span columns"
+    assert kinds == {"comp", "comm"}, "mixes computations and transfers"
+    report(
+        benchmark,
+        "Figure 8 — critical cycle structure (Example A, STRICT)",
+        [
+            ("cycle spans several columns", "yes", sorted(cols)),
+            ("mixes comp and comm", "yes", sorted(kinds)),
+            ("processors involved", "several", sorted(procs)),
+            ("cycle ratio / m = period", 230.7, round(sol.period, 2)),
+        ],
+    )
+
+
+def bench_fig8_dot_export(benchmark):
+    sol = tpn_period(example_a(), "strict")
+    dot = benchmark(
+        tpn_to_dot, sol.net, sol.ratio.cycle_nodes, "Example A strict — Figure 8"
+    )
+    assert "color=red" in dot
+    report(
+        benchmark,
+        "Figure 8 — DOT rendering with highlighted cycle",
+        [("highlighted transitions", len(sol.ratio.cycle_nodes),
+          dot.count("penwidth=2"))],
+    )

@@ -1,0 +1,78 @@
+"""Figures 9-10: communication-column sub-TPNs and their critical cycles.
+
+Figure 9 is the sub-TPN of ``F_1`` in Example A (2 senders x 3
+receivers); Figure 10 the sub-TPN of ``F_0`` in Example B (3 x 4), whose
+critical cycle mixes sender and receiver round-robin circuits — that mix
+is what pushes the period above every resource cycle-time.
+"""
+
+import pytest
+
+from repro.experiments import example_a, example_b
+from repro.maxplus import max_cycle_ratio
+from repro.petri import build_tpn, column_subgraph, comm_patterns
+
+from .conftest import report
+
+
+def bench_fig9_example_a_f1_subtpn(benchmark):
+    inst = example_a()
+    net = build_tpn(inst, "overlap")
+    sub, ids = benchmark(column_subgraph, net, 3)  # F1 column
+    ratio = max_cycle_ratio(sub)
+    pats = comm_patterns(inst, 1)
+    assert ratio.value / net.n_rows == pytest.approx(
+        max(p.contribution() for p in pats)
+    )
+    report(
+        benchmark,
+        "Figure 9 — sub-TPN of F1 (Example A)",
+        [
+            ("transitions", 6, sub.n_nodes),
+            ("senders x receivers", "2 x 3",
+             f"{pats[0].u} x {pats[0].v}"),
+            ("column period contribution", "< 189",
+             round(ratio.value / net.n_rows, 2)),
+        ],
+    )
+
+
+def bench_fig10_example_b_f0_subtpn(benchmark):
+    inst = example_b()
+    net = build_tpn(inst, "overlap")
+    sub, ids = column_subgraph(net, 1)  # F0 column
+    ratio = benchmark(max_cycle_ratio, sub)
+    # the critical cycle uses both sender circuits (right moves) and
+    # receiver circuits (down moves): senders and receivers both vary.
+    trans = [net.transitions[ids[v]] for v in ratio.cycle_nodes]
+    senders = {t.procs[0] for t in trans}
+    receivers = {t.procs[1] for t in trans}
+    assert ratio.value / net.n_rows == pytest.approx(3500.0 / 12.0)
+    assert len(senders) > 1 and len(receivers) > 1
+    report(
+        benchmark,
+        "Figure 10 — sub-TPN of F0 (Example B) and its critical cycle",
+        [
+            ("transitions", 12, sub.n_nodes),
+            ("critical ratio / m", 291.7, round(ratio.value / net.n_rows, 1)),
+            ("cycle mixes sender+receiver circuits", "yes",
+             f"senders {sorted(senders)}, receivers {sorted(receivers)}"),
+        ],
+    )
+
+
+def bench_fig9_pattern_quotient_equivalence(benchmark):
+    """Theorem 1's pattern graph gives the same answer as the full
+    column — timed on Example B's F0 column."""
+    inst = example_b()
+
+    def quotient():
+        return max(p.contribution() for p in comm_patterns(inst, 0))
+
+    value = benchmark(quotient)
+    assert value == pytest.approx(3500.0 / 12.0)
+    report(
+        benchmark,
+        "Pattern quotient == full column (Example B, F0)",
+        [("contribution", 291.7, round(value, 1))],
+    )

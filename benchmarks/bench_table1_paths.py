@@ -1,0 +1,41 @@
+"""Table 1 + Proposition 1: round-robin paths of Example A.
+
+Regenerates the exact path table of the paper's Table 1 and times the
+enumeration (which is linear in ``m * n``).
+"""
+
+from repro import enumerate_paths, format_path_table
+from repro.experiments import example_a
+
+from .conftest import report
+
+PAPER_TABLE1 = [
+    (0, 1, 3, 6),
+    (0, 2, 4, 6),
+    (0, 1, 5, 6),
+    (0, 2, 3, 6),
+    (0, 1, 4, 6),
+    (0, 2, 5, 6),
+    (0, 1, 3, 6),  # data set 6 re-uses path 0
+    (0, 2, 4, 6),  # data set 7 re-uses path 1
+]
+
+
+def bench_table1_path_enumeration(benchmark):
+    inst = example_a()
+    paths = benchmark(enumerate_paths, inst.mapping)
+    measured = [p.processors for p in paths]
+    assert measured == PAPER_TABLE1[:6]
+    report(
+        benchmark,
+        "Table 1 — paths followed by the first input data (Example A)",
+        [
+            ("number of paths m", 6, len(paths)),
+            ("path of data set 0", "P0->P1->P3->P6",
+             "->".join(f"P{u}" for u in measured[0])),
+            ("path of data set 6 == path 0", True,
+             PAPER_TABLE1[6] == measured[0]),
+        ],
+    )
+    print()
+    print(format_path_table(inst.mapping))

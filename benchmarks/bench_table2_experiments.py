@@ -1,0 +1,71 @@
+"""Table 2: the paper's randomized campaign — rarity of no-critical cases.
+
+The paper ran 5152 experiments (2576 per model across 6 parameter
+families) and found **zero** instances without critical resource under
+OVERLAP ONE-PORT, versus a handful (gaps below 3-9%) under STRICT in the
+small-time-range families.
+
+By default this benchmark runs a scaled-down campaign (fast, CI-safe);
+set ``REPRO_TABLE2_SCALE=1`` (or ``REPRO_TABLE2_FULL=1``) for the full
+5152-experiment reproduction (uses all cores, takes minutes).
+"""
+
+import os
+
+from repro.experiments import format_table2, run_table2
+
+from .conftest import report
+
+_SCALE = float(os.environ.get(
+    "REPRO_TABLE2_SCALE", "1.0" if os.environ.get("REPRO_TABLE2_FULL") else "0.02"
+))
+
+
+def bench_table2_campaign(benchmark):
+    rows = benchmark.pedantic(
+        run_table2,
+        kwargs=dict(scale=_SCALE, n_jobs=0),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table2(rows))
+
+    overlap_rows = [r for r in rows if r.model == "overlap"]
+    strict_rows = [r for r in rows if r.model == "strict"]
+    overlap_no_crit = sum(r.no_critical for r in overlap_rows)
+    strict_no_crit = sum(r.no_critical for r in strict_rows)
+    overlap_total = sum(r.total for r in overlap_rows)
+    strict_total = sum(r.total for r in strict_rows)
+    total = sum(r.total for r in rows)
+
+    # Paper shape (see EXPERIMENTS.md for the nuance): no-critical cases
+    # are *very rare* under OVERLAP (the paper sampled none in 2576; a
+    # different replication distribution can surface a handful — Example
+    # B proves they exist) and a small minority with small gaps under
+    # STRICT.
+    assert overlap_no_crit <= max(2, 0.01 * overlap_total), (
+        f"overlap no-critical cases should be very rare (< 1%), found "
+        f"{overlap_no_crit}/{overlap_total}"
+    )
+    if strict_total >= 100:
+        assert strict_no_crit < 0.25 * strict_total, (
+            f"strict no-critical cases should be a small minority, found "
+            f"{strict_no_crit}/{strict_total}"
+        )
+    max_gap = max((r.max_gap for r in rows), default=0.0)
+    assert max_gap <= 0.20, (
+        f"paper reports single-digit-percent gaps, got {max_gap:.2%}"
+    )
+
+    report(
+        benchmark,
+        f"Table 2 — campaign at scale {_SCALE} ({total} experiments)",
+        [
+            ("overlap: no-critical cases", "0 / 2576",
+             f"{overlap_no_crit} / {overlap_total}"),
+            ("strict: no-critical cases", "29 / 2576 (rows 1,3,5)",
+             f"{strict_no_crit} / {strict_total}"),
+            ("max gap", "< 9%", f"{100 * max_gap:.1f}%"),
+        ],
+    )

@@ -1,0 +1,104 @@
+"""Section 5 timing claim: computation time vs duplication factor.
+
+The paper: "The computation times closely depend on the duplication
+factor of each stage: the computation of an example with 10 stages and
+20 processors ranges from 2 to 150 000 seconds."  That blow-up is the
+``m = lcm(m_i)`` of the general (full-TPN) method.  This benchmark
+compares the general solver against Theorem 1's polynomial algorithm on
+a family of instances with growing ``m`` — the polynomial algorithm's
+cost tracks ``sum (m_i m_{i+1})^3`` and stays flat while the TPN size
+explodes.
+"""
+
+import time
+
+import pytest
+
+from repro import Application, Instance, Mapping, Platform, compute_period
+
+from .conftest import report
+
+
+def _instance(counts: tuple[int, ...]) -> Instance:
+    p = sum(counts)
+    app = Application(works=[1.0] * len(counts),
+                      file_sizes=[1.0] * (len(counts) - 1))
+    plat = Platform.homogeneous(p, speed=1.0, bandwidth=0.5)
+    bounds = [0]
+    for c in counts:
+        bounds.append(bounds[-1] + c)
+    return Instance(app, plat, Mapping(
+        [tuple(range(bounds[i], bounds[i + 1])) for i in range(len(counts))]
+    ))
+
+
+#: Replication vectors with exploding lcm but near-constant pattern sizes.
+FAMILY = [
+    (2, 3),            # m = 6
+    (3, 4, 5),         # m = 60
+    (4, 5, 7),         # m = 140
+    (3, 5, 7, 8),      # m = 840
+    (5, 7, 8, 9),      # m = 2520
+    (5, 7, 9, 11, 8),  # m = 27720 — full TPN refused by default budget
+]
+
+
+def bench_theorem1_polynomial_on_largest(benchmark):
+    inst = _instance(FAMILY[-1])
+    res = benchmark(compute_period, inst, "overlap", "polynomial")
+    assert res.m == 27720
+    report(
+        benchmark,
+        "Theorem 1 on m = 27720 (never builds the TPN)",
+        [("m", 27720, res.m), ("period", "-", round(res.period, 4))],
+    )
+
+
+def bench_general_tpn_on_m2520(benchmark):
+    inst = _instance(FAMILY[4])
+    res = benchmark.pedantic(
+        compute_period, args=(inst, "overlap", "tpn"), iterations=1, rounds=1
+    )
+    poly = compute_period(inst, "overlap", "polynomial")
+    assert res.period == pytest.approx(poly.period, rel=1e-9)
+    report(
+        benchmark,
+        "General TPN solver at m = 2520 (22680 transitions)",
+        [("matches polynomial", "yes",
+          f"{res.period:.6g} == {poly.period:.6g}")],
+    )
+
+
+def bench_scaling_sweep(benchmark):
+    """One timed sweep printing the growth table (general vs polynomial)."""
+
+    def sweep():
+        rows = []
+        for counts in FAMILY[:5]:
+            inst = _instance(counts)
+            t0 = time.perf_counter()
+            poly = compute_period(inst, "overlap", "polynomial")
+            t_poly = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            tpn = compute_period(inst, "overlap", "tpn")
+            t_tpn = time.perf_counter() - t0
+            assert tpn.period == pytest.approx(poly.period, rel=1e-9)
+            rows.append((counts, poly.m, t_poly, t_tpn))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=2)
+    print()
+    print(f"{'replication':<18} {'m':>7} {'poly (s)':>10} {'full TPN (s)':>13} {'ratio':>8}")
+    for counts, m, t_poly, t_tpn in rows:
+        print(f"{str(counts):<18} {m:>7} {t_poly:>10.4f} {t_tpn:>13.4f} "
+              f"{t_tpn / max(t_poly, 1e-9):>8.1f}x")
+    report(
+        benchmark,
+        "Section 5 — runtime vs duplication factor",
+        [
+            ("general method growth", "2 s .. 150000 s",
+             f"{rows[-1][3] / max(rows[0][3], 1e-9):.0f}x over the family"),
+            ("polynomial method growth", "polynomial",
+             f"{rows[-1][2] / max(rows[0][2], 1e-9):.0f}x over the family"),
+        ],
+    )

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md) and *asserts* the published facts while
+timing the computation.  ``report()`` prints a paper-vs-measured block
+(visible with ``pytest benchmarks/ --benchmark-only -s``) and attaches it
+to the benchmark's ``extra_info`` so it lands in benchmark JSON exports.
+"""
+
+from __future__ import annotations
+
+
+def report(benchmark, title: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print and record a paper-vs-measured comparison table.
+
+    Parameters
+    ----------
+    benchmark:
+        The pytest-benchmark fixture (or ``None`` outside benchmarks).
+    title:
+        Experiment id, e.g. ``"Figure 6 / Example B"``.
+    rows:
+        ``(quantity, paper_value, measured_value)`` triples.
+    """
+    width = max((len(r[0]) for r in rows), default=10)
+    lines = [f"== {title} ==",
+             f"   {'quantity':<{width}} | paper        | measured"]
+    for name, paper, measured in rows:
+        lines.append(f"   {name:<{width}} | {str(paper):<12} | {measured}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    if benchmark is not None:
+        benchmark.extra_info["report"] = text

@@ -1,0 +1,84 @@
+"""Latency / throughput tradeoff of replication (companion metric study).
+
+The paper maximizes throughput; the works it builds on (Subhlok &
+Vondran 1996, Vydyanathan et al. 2007/2008) study the latency that
+throughput-optimal replication costs.  This example sweeps the injection
+period of a replicated mapping and plots (textually) the tradeoff:
+
+* injecting faster than the period P -> unbounded backlog;
+* injecting at P -> maximal throughput, elevated steady latency;
+* injecting slower -> latency decays to the contention-free path bound.
+
+Run:  python examples/latency_throughput.py
+"""
+
+import numpy as np
+
+from repro import (
+    Application,
+    Instance,
+    Mapping,
+    Platform,
+    compute_period,
+    measure_latency,
+    path_latency_bound,
+)
+
+APP = Application(
+    works=[2.0, 16.0, 2.0],
+    file_sizes=[4.0, 4.0],
+    name="analytics",
+    stage_names=["ingest", "transform", "emit"],
+)
+
+
+#: Heterogeneous replica speeds: round-robin over unequal machines makes
+#: datasets queue behind the slow replica when injection approaches P.
+REPLICA_SPEEDS = [2.5, 1.2, 2.0, 1.5]
+
+
+def instance(replicas: int) -> Instance:
+    speeds = [2.0] + REPLICA_SPEEDS[:replicas] + [2.0]
+    plat = Platform.homogeneous(2 + replicas, speed=2.0, bandwidth=2.0)
+    plat = Platform(speeds, plat.bandwidths, name="analytics-cluster")
+    middle = tuple(range(1, 1 + replicas))
+    return Instance(APP, plat, Mapping([(0,), middle, (1 + replicas,)]))
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    return "#" * min(width, int(round(width * value / scale)))
+
+
+def main() -> None:
+    print("replicating the transform stage: throughput vs latency\n")
+    print(f"{'replicas':>8} {'period P':>10} {'path bound':>11}")
+    for r in (1, 2, 3, 4):
+        inst = instance(r)
+        res = compute_period(inst, "overlap")
+        print(f"{r:>8} {res.period:>10.3f} {path_latency_bound(inst, 0):>11.3f}")
+
+    print("\ninjection-period sweep for 3 replicas:")
+    inst = instance(3)
+    period = compute_period(inst, "overlap").period
+    bound = max(path_latency_bound(inst, j) for j in range(inst.num_paths))
+    print(f"(P = {period:.3f}, worst path bound = {bound:.3f})\n")
+    print(f"{'inject T':>9} {'T/P':>6} {'steady latency':>15}")
+    scale = None
+    for factor in (1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0):
+        T = factor * period
+        rep = measure_latency(inst, "overlap", n_datasets=120,
+                              injection_period=T)
+        lat = rep.steady_latency()
+        scale = scale or lat
+        print(f"{T:>9.3f} {factor:>6.2f} {lat:>15.3f}  {bar(lat, scale)}")
+
+    print("\ninjecting below P (backlog diverges):")
+    rep = measure_latency(inst, "overlap", n_datasets=120,
+                          injection_period=0.8 * period)
+    growth = np.diff(rep.latencies)[-20:].mean()
+    print(f"  T = 0.8 P: latency grows ~{growth:.3f} per data set "
+          f"(expected {period - 0.8 * period:.3f} = P - T)")
+
+
+if __name__ == "__main__":
+    main()

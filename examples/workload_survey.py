@@ -1,0 +1,68 @@
+"""Survey the workload catalog: which pipelines benefit from replication?
+
+Maps each catalog workload (video, audio, SDR, DataCutter, genomics)
+onto the same 12-node cluster three ways — one processor per stage,
+greedy replication, greedy + local search — and compares throughput,
+latency and the critical-resource structure.  A compact demonstration of
+the full API surface on realistic pipeline shapes.
+
+Run:  python examples/workload_survey.py
+"""
+
+import numpy as np
+
+from repro import Instance, Mapping, Platform, compute_period, measure_latency
+from repro.extensions import greedy_mapping
+from repro.workloads import CATALOG
+
+
+def make_cluster(seed: int = 1, n: int = 12) -> Platform:
+    rng = np.random.default_rng(seed)
+    speeds = rng.uniform(2.0, 8.0, n)
+    bw = rng.uniform(20.0, 60.0, (n, n))
+    np.fill_diagonal(bw, 0.0)
+    return Platform(speeds, bw, name="survey-cluster")
+
+
+def main() -> None:
+    plat = make_cluster()
+    print(f"cluster: 12 processors, speeds {np.round(plat.speeds, 1)}\n")
+    header = (f"{'workload':<20} {'1-to-1 P':>9} {'greedy P':>9} "
+              f"{'speedup':>8} {'replication':>18} {'latency':>8}")
+    print(header)
+    print("-" * len(header))
+
+    results = {}
+    for name, spec in sorted(CATALOG.items()):
+        app = spec.application
+        n = app.n_stages
+        # fair 1-to-1 baseline: each stage on one of the fastest nodes
+        fastest = list(np.argsort(-plat.speeds)[:n])
+        base = Instance(app, plat, Mapping([(int(u),) for u in fastest]))
+        base_res = compute_period(base, "overlap")
+
+        search = greedy_mapping(app, plat, "overlap")
+        best = Instance(app, plat, search.mapping)
+        best_res = compute_period(best, "overlap")
+
+        lat = measure_latency(best, "overlap", n_datasets=24,
+                              injection_period=1.05 * best_res.period)
+        speedup = base_res.period / best_res.period
+        results[name] = (speedup, search.mapping.replication_counts)
+        print(
+            f"{name:<20} {base_res.period:>9.3f} {best_res.period:>9.3f} "
+            f"{speedup:>7.2f}x {str(search.mapping.replication_counts):>18} "
+            f"{lat.steady_latency():>8.2f}"
+        )
+
+    most = max(results, key=lambda k: results[k][0])
+    least = min(results, key=lambda k: results[k][0])
+    print(f"\nreplication pays most for {most} "
+          f"({results[most][0]:.2f}x, replication {results[most][1]}) and "
+          f"least for {least} ({results[least][0]:.2f}x) on this cluster — "
+          f"\nthe speedup tracks how dominant the heaviest stage is, the "
+          f"effect the paper's DataCutter references motivated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — throughput of replicated workflows on heterogeneous platforms.
+
+A faithful, self-contained reproduction of
+
+    Anne Benoit, Matthieu Gallet, Bruno Gaujal, Yves Robert,
+    "Computing the throughput of replicated workflows on heterogeneous
+    platforms", LIP RR-2009-08 / ICPP 2009.
+
+Quick start::
+
+    from repro import Application, Platform, Mapping, Instance, compute_period
+
+    inst = Instance(
+        Application(works=[4.0, 8.0, 4.0], file_sizes=[2.0, 2.0]),
+        Platform.homogeneous(5, speed=1.0, bandwidth=1.0),
+        Mapping([(0,), (1, 2), (3,)]),       # middle stage replicated
+    )
+    result = compute_period(inst, "overlap")
+    print(result.summary())
+
+Sub-packages
+------------
+``repro.core``
+    Applications, platforms, replicated mappings, round-robin paths,
+    resource cycle-times, and the :func:`compute_period` entry point.
+``repro.petri``
+    Timed Petri net construction (both one-port models), validation,
+    column reduction / pattern graphs (Theorem 1), DOT export.
+``repro.maxplus``
+    Max-plus algebra and maximum-cycle-ratio solvers (Karp, Lawler,
+    Howard) used to extract critical cycles.
+``repro.simulation``
+    Exact discrete-event simulation, per-resource schedules, Gantt charts.
+``repro.algorithms``
+    Theorem 1 polynomial algorithm, full-TPN solver, period bounds.
+``repro.experiments``
+    Paper examples A/B/C, the random-instance generator and the Table 2
+    campaign harness.
+``repro.extensions``
+    Beyond-paper extras: mapping heuristics and stochastic platforms.
+"""
+
+from .core import (
+    Application,
+    CommModel,
+    CycleTimeReport,
+    Instance,
+    LatencyReport,
+    Mapping,
+    Path,
+    PeriodResult,
+    Platform,
+    ProcessorCycleTime,
+    Stage,
+    compute_period,
+    compute_throughput,
+    cycle_times,
+    enumerate_paths,
+    format_path_table,
+    maximum_cycle_time,
+    measure_latency,
+    path_latency_bound,
+    path_of_dataset,
+)
+from .errors import (
+    DeadlockError,
+    MappingError,
+    ReplicationExplosionError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core models
+    "Application",
+    "Stage",
+    "Platform",
+    "Mapping",
+    "Instance",
+    "CommModel",
+    # paths
+    "Path",
+    "enumerate_paths",
+    "path_of_dataset",
+    "format_path_table",
+    # cycle times & period
+    "CycleTimeReport",
+    "ProcessorCycleTime",
+    "cycle_times",
+    "maximum_cycle_time",
+    "PeriodResult",
+    "compute_period",
+    "compute_throughput",
+    "LatencyReport",
+    "measure_latency",
+    "path_latency_bound",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "MappingError",
+    "DeadlockError",
+    "SolverError",
+    "ReplicationExplosionError",
+    "SimulationError",
+]

@@ -1,0 +1,101 @@
+"""General period computation on the full TPN (both models).
+
+Builds the complete ``m x (2n - 1)`` timed Petri net, reduces it to a
+token graph and extracts the maximum cycle ratio with Howard's policy
+iteration (per strongly connected component).  The per-data-set period is
+``lambda / m`` since the ``m`` last-column transitions each complete one
+data set per ``lambda``.
+
+This is the only exact method known for STRICT ONE-PORT (the paper
+leaves its polynomial-time status open); for OVERLAP it serves as the
+cross-check oracle of Theorem 1's polynomial algorithm.  Cost is
+governed by ``m = lcm(m_i)`` — hence the row budget and
+:class:`~repro.errors.ReplicationExplosionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+from ..core.models import CommModel
+from ..maxplus.cycle_ratio import CycleRatioResult, max_cycle_ratio
+from ..petri.builder import DEFAULT_MAX_ROWS, build_tpn
+from ..petri.net import TimedEventGraph, Transition
+
+__all__ = ["TpnSolution", "tpn_period", "describe_critical_cycle"]
+
+
+@dataclass(frozen=True)
+class TpnSolution:
+    """Result of a full-TPN period computation.
+
+    Attributes
+    ----------
+    period:
+        Per-data-set period ``lambda / m``.
+    ratio:
+        The raw solver result; ``ratio.value`` is ``lambda`` (time for one
+        full round-robin sweep of ``m`` data sets on the critical cycle).
+    net:
+        The constructed net (reusable for simulation / DOT export).
+    """
+
+    period: float
+    ratio: CycleRatioResult
+    net: TimedEventGraph
+
+    @property
+    def critical_transitions(self) -> tuple[Transition, ...]:
+        """Transitions of the extracted critical cycle (Figure 8)."""
+        return tuple(self.net.transitions[t] for t in self.ratio.cycle_nodes)
+
+
+def tpn_period(
+    inst: Instance,
+    model: CommModel | str,
+    max_rows: int | None = DEFAULT_MAX_ROWS,
+    solver: str = "auto",
+) -> TpnSolution:
+    """Compute the period through the full timed Petri net.
+
+    Parameters
+    ----------
+    inst:
+        Problem instance.
+    model:
+        ``"overlap"`` or ``"strict"``.
+    max_rows:
+        Budget on ``m = lcm(m_i)`` (``None`` disables).
+    solver:
+        Cycle-ratio solver passed to
+        :func:`repro.maxplus.cycle_ratio.max_cycle_ratio`.
+
+    Examples
+    --------
+    STRICT ONE-PORT on Example A — the period 230.67 strictly exceeds the
+    largest cycle-time 215.83 (no critical resource):
+
+    >>> from repro.experiments.examples_paper import example_a
+    >>> sol = tpn_period(example_a(), "strict")
+    >>> round(sol.period, 2)
+    230.67
+    """
+    net = build_tpn(inst, model, max_rows=max_rows)
+    ratio = max_cycle_ratio(net.to_ratio_graph(), method=solver)
+    return TpnSolution(period=ratio.value / net.n_rows, ratio=ratio, net=net)
+
+
+def describe_critical_cycle(sol: TpnSolution) -> str:
+    """Readable rendering of the critical cycle (one line per transition).
+
+    The cycle of Figure 8 mixes computations and transmissions of several
+    processors — exactly what this listing shows for any instance.
+    """
+    lines = [
+        f"critical cycle: ratio {sol.ratio.value:g} over {sol.net.n_rows} "
+        f"data sets -> period {sol.period:g}"
+    ]
+    for t in sol.critical_transitions:
+        lines.append(f"  {t.label:<28} duration {t.duration:g}")
+    return "\n".join(lines)

@@ -1,0 +1,344 @@
+"""Command-line interface: ``repro-workflow <subcommand>``.
+
+Subcommands
+-----------
+``period``     compute the exact period / throughput of an instance
+``paths``      print the round-robin path table (Table 1)
+``cycle``      per-resource cycle-times and the ``M_ct`` bound
+``latency``    per-data-set latency (saturated or paced injection)
+``gantt``      simulate and render an ASCII Gantt chart (Figures 7/12)
+``dot``        export the TPN to graphviz DOT (Figures 4/5/8)
+``table2``     run the Table 2 experimental campaign
+``search``     greedy + local-search mapping optimization (extension)
+``example``    dump one of the paper's examples (A/B/C) as JSON
+
+Instances are JSON files in the :meth:`repro.core.instance.Instance.to_dict`
+schema; ``example --out`` produces ready-made ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .algorithms.general_tpn import describe_critical_cycle
+from .core.cycle_time import cycle_times
+from .core.instance import Instance
+from .core.paths import format_path_table
+from .core.throughput import compute_period
+from .experiments.examples_paper import example_a, example_b, example_c
+from .experiments.table2 import format_table2, run_table2
+from .petri.builder import build_tpn
+from .petri.dot import tpn_to_dot
+from .simulation.event_sim import simulate
+from .simulation.gantt import render_gantt, resource_order, utilization_table
+from .simulation.schedule import extract_schedules
+from .simulation.steady_state import measure_period
+from .utils import format_time
+
+__all__ = ["main", "build_parser"]
+
+_EXAMPLES = {"a": example_a, "b": example_b, "c": example_c}
+
+
+def _load_instance(path: str) -> Instance:
+    if path.lower() in _EXAMPLES:
+        return _EXAMPLES[path.lower()]()
+    return Instance.from_json(Path(path))
+
+
+def _cmd_period(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    result = compute_period(inst, args.model, method=args.method,
+                            max_rows=args.max_rows)
+    print(result.summary())
+    if args.breakdown and result.breakdown is not None:
+        print("\nper-column contributions:")
+        for col in result.breakdown.columns:
+            print("  " + col.describe())
+    if args.critical_cycle and result.tpn_solution is not None:
+        print()
+        print(describe_critical_cycle(result.tpn_solution))
+    return 0
+
+
+def _cmd_paths(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    print(format_path_table(inst.mapping, args.count))
+    return 0
+
+
+def _cmd_cycle(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    report = cycle_times(inst, args.model)
+    print(f"{'proc':>5} {'stage':>5} {'C_in':>12} {'C_comp':>12} "
+          f"{'C_out':>12} {'C_exec':>12}")
+    for ct in report.per_processor:
+        print(
+            f"P{ct.proc:<4} S{ct.stage:<4} {format_time(ct.cin):>12} "
+            f"{format_time(ct.ccomp):>12} {format_time(ct.cout):>12} "
+            f"{format_time(ct.cexec(report.model)):>12}"
+        )
+    print(f"\nM_ct = {format_time(report.mct)}  "
+          f"(critical processors: "
+          f"{', '.join('P%d' % p for p in report.critical_processors())})")
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from .core.latency import measure_latency, path_latency_bound
+
+    inst = _load_instance(args.instance)
+    rep = measure_latency(
+        inst,
+        args.model,
+        n_datasets=args.datasets,
+        injection_period=args.inject,
+        max_rows=args.max_rows,
+    )
+    regime = (
+        "saturated (all data sets at t=0)"
+        if args.inject is None
+        else f"paced, one data set every {args.inject:g}"
+    )
+    print(f"regime          : {regime}")
+    print(f"data sets       : {rep.n_datasets}")
+    print(f"mean latency    : {rep.mean:g}")
+    print(f"max latency     : {rep.max:g}")
+    print(f"steady latency  : {rep.steady_latency():g}")
+    bounds = [path_latency_bound(inst, j)
+              for j in range(min(inst.num_paths, rep.n_datasets))]
+    print(f"path bounds     : {', '.join(format_time(b) for b in bounds)}")
+    if args.per_dataset:
+        for j, lat in enumerate(rep.latencies):
+            print(f"  data set {j:>4}: {lat:g}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .extensions.mapping_opt import greedy_mapping, local_search_mapping
+
+    inst = _load_instance(args.instance)
+    app, plat = inst.application, inst.platform
+    greedy = greedy_mapping(app, plat, args.model, max_paths=args.max_rows)
+    print(f"greedy mapping : {[list(s) for s in greedy.mapping.assignments]}")
+    print(f"greedy period  : {greedy.period:g} "
+          f"({greedy.evaluations} evaluations)")
+    if args.refine:
+        ls = local_search_mapping(
+            app, plat, args.model, rng=np.random.default_rng(args.seed),
+            start=greedy.mapping, max_iters=args.iters,
+            max_paths=args.max_rows,
+        )
+        print(f"refined mapping: {[list(s) for s in ls.mapping.assignments]}")
+        print(f"refined period : {ls.period:g} ({ls.evaluations} evaluations)")
+    original = compute_period(inst, args.model, max_rows=args.max_rows)
+    print(f"input mapping  : {original.period:g} (for comparison)")
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    net = build_tpn(inst, args.model, max_rows=args.max_rows)
+    trace = simulate(net, args.firings)
+    est = measure_period(trace)
+    schedules = extract_schedules(trace, args.model)
+    order = resource_order(inst, args.model)
+    # Window: a whole number of TPN periods, past the transient.
+    t_end = float(trace.completion[-1].max())
+    span = est.rate * args.periods
+    t0 = max(0.0, t_end - span) if args.start is None else args.start
+    t1 = t0 + span
+    print(f"measured period: {est.period:g} per data set "
+          f"({est.rate:g} per {net.n_rows}-data-set sweep)\n")
+    print(render_gantt(schedules, t0, t1, width=args.width, resources=order))
+    print()
+    print(utilization_table(schedules, t0, t1, resources=order))
+    if args.svg:
+        from .simulation.svg import render_gantt_svg
+
+        marks = [t0 + i * est.rate for i in range(int(args.periods) + 1)]
+        render_gantt_svg(
+            schedules, t0, t1, resources=order, period_marks=marks,
+            title=f"{inst.application.name} ({args.model})", path=args.svg,
+        )
+        print(f"\nwrote {args.svg}")
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .algorithms.verify import certify_period
+
+    inst = _load_instance(args.instance)
+    cert = certify_period(inst, args.model, max_rows=args.max_rows)
+    print(f"period          : {cert.period:g}")
+    print(f"rows m          : {cert.m}")
+    print(f"primal cycle    : {len(cert.cycle_edges)} places "
+          f"(achieves m*P exactly)")
+    print(f"dual potentials : {len(cert.potentials)} entries "
+          f"(no place violates the bound)")
+    print("certificate verified: the period is provably optimal")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    net = build_tpn(inst, args.model, max_rows=args.max_rows)
+    highlight: tuple[int, ...] = ()
+    if args.critical_cycle:
+        result = compute_period(inst, args.model, method="tpn",
+                                max_rows=args.max_rows)
+        highlight = result.tpn_solution.ratio.cycle_nodes
+    text = tpn_to_dot(net, highlight=highlight,
+                      title=f"{inst.application.name} ({args.model})")
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = run_table2(scale=args.scale, models=tuple(args.models),
+                      n_jobs=args.jobs, root_seed=args.seed)
+    print(format_table2(rows))
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    inst = _EXAMPLES[args.which.lower()]()
+    text = inst.to_json()
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for the test-suite)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-workflow",
+        description="Throughput of replicated workflows on heterogeneous "
+                    "platforms (Benoit, Gallet, Gaujal, Robert — ICPP 2009).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance(p: argparse.ArgumentParser) -> None:
+        p.add_argument("instance",
+                       help="instance JSON path, or a/b/c for paper examples")
+
+    def add_model(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", default="overlap",
+                       choices=["overlap", "strict"],
+                       help="communication model (default overlap)")
+        p.add_argument("--max-rows", type=int, default=20_000,
+                       help="budget on lcm(m_i) for full-TPN methods")
+
+    p = sub.add_parser("period", help="compute the exact period")
+    add_instance(p)
+    add_model(p)
+    p.add_argument("--method", default="auto",
+                   choices=["auto", "polynomial", "tpn", "simulation"])
+    p.add_argument("--breakdown", action="store_true",
+                   help="print per-column contributions (polynomial method)")
+    p.add_argument("--critical-cycle", action="store_true",
+                   help="print the critical cycle (tpn method)")
+    p.set_defaults(func=_cmd_period)
+
+    p = sub.add_parser("paths", help="round-robin path table (Table 1)")
+    add_instance(p)
+    p.add_argument("--count", type=int, default=None,
+                   help="number of data sets to list (default m + 2)")
+    p.set_defaults(func=_cmd_paths)
+
+    p = sub.add_parser("cycle", help="resource cycle-times and M_ct")
+    add_instance(p)
+    add_model(p)
+    p.set_defaults(func=_cmd_cycle)
+
+    p = sub.add_parser("latency", help="per-data-set latency analysis")
+    add_instance(p)
+    add_model(p)
+    p.add_argument("--datasets", type=int, default=60,
+                   help="number of data sets to measure")
+    p.add_argument("--inject", type=float, default=None,
+                   help="injection period T (default: saturated input)")
+    p.add_argument("--per-dataset", action="store_true",
+                   help="print every data set's latency")
+    p.set_defaults(func=_cmd_latency)
+
+    p = sub.add_parser("search", help="mapping optimization heuristics")
+    add_instance(p)
+    add_model(p)
+    p.add_argument("--refine", action="store_true",
+                   help="run local search after the greedy phase")
+    p.add_argument("--iters", type=int, default=60,
+                   help="local-search iteration budget")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("gantt", help="ASCII Gantt chart (Figures 7/12)")
+    add_instance(p)
+    add_model(p)
+    p.add_argument("--firings", type=int, default=64,
+                   help="simulated firings per transition")
+    p.add_argument("--periods", type=float, default=2.0,
+                   help="window length in TPN periods")
+    p.add_argument("--start", type=float, default=None,
+                   help="window start time (default: end of simulation)")
+    p.add_argument("--width", type=int, default=120, help="chart width")
+    p.add_argument("--svg", default=None,
+                   help="also write an SVG rendering to this path")
+    p.set_defaults(func=_cmd_gantt)
+
+    p = sub.add_parser("certify",
+                       help="compute the period with an optimality proof")
+    add_instance(p)
+    add_model(p)
+    p.set_defaults(func=_cmd_certify)
+
+    p = sub.add_parser("dot", help="export the TPN to graphviz DOT")
+    add_instance(p)
+    add_model(p)
+    p.add_argument("--critical-cycle", action="store_true",
+                   help="highlight the critical cycle (Figure 8)")
+    p.add_argument("--out", default=None, help="output path (default stdout)")
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("table2", help="run the Table 2 campaign")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="fraction of the paper's per-row counts (default 0.1; "
+                        "1.0 = full 5152 experiments)")
+    p.add_argument("--models", nargs="+", default=["overlap", "strict"],
+                   choices=["overlap", "strict"])
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (0 = all cores, 1 = serial)")
+    p.add_argument("--seed", type=int, default=20090302)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("example", help="dump a paper example as JSON")
+    p.add_argument("which", choices=["a", "b", "c", "A", "B", "C"])
+    p.add_argument("--out", default=None, help="output path (default stdout)")
+    p.set_defaults(func=_cmd_example)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except Exception as exc:  # surfaced as clean CLI errors
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Core domain models: application, platform, mapping, cycle-times, API."""
+
+from .application import Application, Stage
+from .cycle_time import (
+    CycleTimeReport,
+    ProcessorCycleTime,
+    cycle_times,
+    maximum_cycle_time,
+)
+from .instance import Instance
+from .latency import LatencyReport, measure_latency, path_latency_bound
+from .mapping import Mapping
+from .models import CommModel
+from .paths import Path, enumerate_paths, format_path_table, path_of_dataset
+from .platform import Platform
+from .throughput import PeriodResult, compute_period, compute_throughput
+
+__all__ = [
+    "Application",
+    "Stage",
+    "Platform",
+    "Mapping",
+    "Instance",
+    "CommModel",
+    "Path",
+    "enumerate_paths",
+    "path_of_dataset",
+    "format_path_table",
+    "CycleTimeReport",
+    "ProcessorCycleTime",
+    "cycle_times",
+    "maximum_cycle_time",
+    "PeriodResult",
+    "compute_period",
+    "compute_throughput",
+    "LatencyReport",
+    "measure_latency",
+    "path_latency_bound",
+]

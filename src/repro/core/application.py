@@ -1,0 +1,171 @@
+"""Application model: a linear pipeline of stages (Section 2, Figure 1).
+
+A workflow is a chain ``S_0 → S_1 → ... → S_{n-1}``.  Stage ``S_k`` costs
+``w_k`` FLOP and produces an output file ``F_k`` of ``delta_k`` bytes which
+is the input of ``S_{k+1}``.  ``S_0`` reads no input file and ``S_{n-1}``
+writes no output file; all sizes are independent of the data set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import ValidationError
+from ..utils import check_non_negative
+
+__all__ = ["Stage", "Application"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage.
+
+    Parameters
+    ----------
+    work:
+        Computation cost ``w_k`` in FLOP.  Must be finite and >= 0 (zero
+        models a pure forwarding stage).
+    name:
+        Optional human-readable label; defaults to ``S{k}`` when the stage
+        is placed inside an :class:`Application`.
+    """
+
+    work: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_non_negative("work", [self.work])
+
+
+@dataclass(frozen=True)
+class Application:
+    """A linear-chain streaming application.
+
+    Parameters
+    ----------
+    works:
+        Sequence of ``n`` stage costs ``w_0 ... w_{n-1}`` (FLOP).
+    file_sizes:
+        Sequence of ``n - 1`` inter-stage file sizes
+        ``delta_0 ... delta_{n-2}`` (bytes); ``delta_i`` is the size of the
+        file ``F_i`` sent from ``S_i`` to ``S_{i+1}``.
+    name:
+        Optional label used in reports.
+
+    Examples
+    --------
+    The 4-stage pipeline of Figure 1:
+
+    >>> app = Application(works=[1.0, 2.0, 3.0, 1.0], file_sizes=[10, 20, 30])
+    >>> app.n_stages
+    4
+    >>> app.work(2)
+    3.0
+    >>> app.file_size(0)
+    10.0
+    """
+
+    works: tuple[float, ...]
+    file_sizes: tuple[float, ...]
+    name: str = "pipeline"
+    stage_names: tuple[str, ...] = field(default=())
+
+    def __init__(
+        self,
+        works: Sequence[float],
+        file_sizes: Sequence[float],
+        name: str = "pipeline",
+        stage_names: Sequence[str] | None = None,
+    ) -> None:
+        works_t = tuple(float(w) for w in works)
+        sizes_t = tuple(float(d) for d in file_sizes)
+        if len(works_t) < 1:
+            raise ValidationError("an application needs at least one stage")
+        if len(sizes_t) != len(works_t) - 1:
+            raise ValidationError(
+                f"expected {len(works_t) - 1} file sizes for {len(works_t)} "
+                f"stages, got {len(sizes_t)}"
+            )
+        try:
+            check_non_negative("works", works_t)
+            check_non_negative("file_sizes", sizes_t)
+        except ValueError as exc:  # normalize to the library hierarchy
+            raise ValidationError(str(exc)) from exc
+        if stage_names is None:
+            names_t = tuple(f"S{k}" for k in range(len(works_t)))
+        else:
+            names_t = tuple(str(s) for s in stage_names)
+            if len(names_t) != len(works_t):
+                raise ValidationError(
+                    f"expected {len(works_t)} stage names, got {len(names_t)}"
+                )
+        object.__setattr__(self, "works", works_t)
+        object.__setattr__(self, "file_sizes", sizes_t)
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "stage_names", names_t)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """Number of stages ``n``."""
+        return len(self.works)
+
+    @property
+    def n_files(self) -> int:
+        """Number of inter-stage files, ``n - 1``."""
+        return len(self.file_sizes)
+
+    def work(self, k: int) -> float:
+        """Computation cost ``w_k`` of stage ``S_k`` (FLOP)."""
+        return self.works[self._check_stage(k)]
+
+    def file_size(self, i: int) -> float:
+        """Size ``delta_i`` of file ``F_i`` shipped from ``S_i`` to ``S_{i+1}``."""
+        if not 0 <= i < self.n_files:
+            raise IndexError(f"file index {i} out of range [0, {self.n_files})")
+        return self.file_sizes[i]
+
+    def stage_name(self, k: int) -> str:
+        """Label of stage ``S_k``."""
+        return self.stage_names[self._check_stage(k)]
+
+    def stages(self) -> Iterator[Stage]:
+        """Iterate over :class:`Stage` views of the pipeline."""
+        for k, w in enumerate(self.works):
+            yield Stage(work=w, name=self.stage_names[k])
+
+    def _check_stage(self, k: int) -> int:
+        if not 0 <= k < self.n_stages:
+            raise IndexError(f"stage index {k} out of range [0, {self.n_stages})")
+        return k
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (see :mod:`repro.core.serialization`)."""
+        return {
+            "name": self.name,
+            "works": list(self.works),
+            "file_sizes": list(self.file_sizes),
+            "stage_names": list(self.stage_names),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Application":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            works=data["works"],
+            file_sizes=data["file_sizes"],
+            name=data.get("name", "pipeline"),
+            stage_names=data.get("stage_names"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Application(name={self.name!r}, n_stages={self.n_stages}, "
+            f"works={list(self.works)}, file_sizes={list(self.file_sizes)})"
+        )

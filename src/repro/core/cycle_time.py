@@ -1,0 +1,203 @@
+"""Resource cycle-times and the lower bound ``M_ct`` (Section 2).
+
+Every hardware resource — a processor's CPU, its incoming port and its
+outgoing port — is busy a fixed amount of time *per data set entering the
+system* once the round-robin pattern is accounted for:
+
+* CPU of ``P_u`` running ``S_i``: busy ``w_i / Pi_u`` for one data set out
+  of every ``m_i``, i.e. ``C_comp(u) = w_i / (Pi_u * m_i)`` per data set.
+* Output port of ``P_u``: over one window of ``L = lcm(m_i, m_{i+1})``
+  consecutive data sets, ``P_u`` ships exactly one file to each of its
+  ``m_{i+1}/gcd`` receivers, hence
+  ``C_out(u) = (sum of those transfer times) / L``.
+* Input port, symmetrically over ``lcm(m_{i-1}, m_i)``.
+
+The per-processor cycle-time aggregates the three figures:
+
+* OVERLAP ONE-PORT: ``C_exec = max(C_in, C_comp, C_out)`` — the three
+  activities proceed concurrently, the busiest one is the bottleneck;
+* STRICT ONE-PORT: ``C_exec = C_in + C_comp + C_out`` — they serialize.
+
+``M_ct = max_u C_exec(u)`` is a **lower bound** on the period: the system
+cannot go faster than its busiest resource.  The paper's central
+observation is that with replication the bound may be strict — the optimal
+period can exceed ``M_ct``, leaving every resource partly idle
+(Examples A-strict and B, Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils import lcm_all
+from .instance import Instance
+from .models import CommModel
+
+__all__ = [
+    "ProcessorCycleTime",
+    "CycleTimeReport",
+    "cycle_times",
+    "maximum_cycle_time",
+]
+
+#: Tolerance used to decide whether two time values are "equal" when
+#: looking for critical resources (relative to the larger value).
+REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ProcessorCycleTime:
+    """Cycle-time decomposition of one processor.
+
+    All values are busy times *per data set entering the system*.
+
+    Attributes
+    ----------
+    proc:
+        Processor index.
+    stage:
+        The stage this processor executes.
+    cin:
+        Input-port busy time ``C_in`` (0 for processors of ``S_0``).
+    ccomp:
+        CPU busy time ``C_comp``.
+    cout:
+        Output-port busy time ``C_out`` (0 for processors of ``S_{n-1}``).
+    """
+
+    proc: int
+    stage: int
+    cin: float
+    ccomp: float
+    cout: float
+
+    def cexec(self, model: CommModel) -> float:
+        """Aggregate cycle-time under the given communication model."""
+        if CommModel.parse(model).overlap:
+            return max(self.cin, self.ccomp, self.cout)
+        return self.cin + self.ccomp + self.cout
+
+    def port_values(self) -> dict[str, float]:
+        """The three fine-grained resource values keyed by kind."""
+        return {"in": self.cin, "comp": self.ccomp, "out": self.cout}
+
+
+@dataclass(frozen=True)
+class CycleTimeReport:
+    """All processor cycle-times of an instance plus the bound ``M_ct``.
+
+    Attributes
+    ----------
+    model:
+        Communication model used for aggregation.
+    per_processor:
+        One :class:`ProcessorCycleTime` per *used* processor, in
+        stage-then-replica order.
+    mct:
+        The maximum cycle-time ``M_ct`` — a lower bound on the period.
+    """
+
+    model: CommModel
+    per_processor: tuple[ProcessorCycleTime, ...]
+    mct: float
+
+    def critical_processors(self) -> tuple[int, ...]:
+        """Processors whose cycle-time attains ``M_ct``."""
+        tol = REL_TOL * max(self.mct, 1.0)
+        return tuple(
+            ct.proc
+            for ct in self.per_processor
+            if abs(ct.cexec(self.model) - self.mct) <= tol
+        )
+
+    def critical_resources(self) -> tuple[tuple[int, str], ...]:
+        """Fine-grained ``(processor, kind)`` resources attaining ``M_ct``.
+
+        Under OVERLAP ONE-PORT the bottleneck is a specific port or CPU
+        (the paper points at "the output port of P0" in Example A); under
+        STRICT ONE-PORT the whole processor is the resource, reported with
+        kind ``"proc"``.
+        """
+        tol = REL_TOL * max(self.mct, 1.0)
+        out: list[tuple[int, str]] = []
+        for ct in self.per_processor:
+            if self.model.overlap:
+                for kind, value in ct.port_values().items():
+                    if abs(value - self.mct) <= tol:
+                        out.append((ct.proc, kind))
+            elif abs(ct.cexec(self.model) - self.mct) <= tol:
+                out.append((ct.proc, "proc"))
+        return tuple(out)
+
+    def for_processor(self, proc: int) -> ProcessorCycleTime:
+        """Cycle-time entry of one processor."""
+        for ct in self.per_processor:
+            if ct.proc == proc:
+                return ct
+        raise KeyError(f"processor P{proc} is not used by the mapping")
+
+
+def _processor_cycle_time(inst: Instance, stage: int, replica: int) -> ProcessorCycleTime:
+    """Cycle-time decomposition for replica ``replica`` of ``stage``."""
+    mapping = inst.mapping
+    procs = mapping.processors_of(stage)
+    u = procs[replica]
+    m_i = len(procs)
+
+    ccomp = inst.comp_time(stage, u) / m_i
+
+    cin = 0.0
+    if stage > 0:
+        senders = mapping.processors_of(stage - 1)
+        window = lcm_all([len(senders), m_i])
+        total = sum(
+            inst.comm_time(stage - 1, senders[j % len(senders)], u)
+            for j in range(replica, window, m_i)
+        )
+        cin = total / window
+
+    cout = 0.0
+    if stage < inst.n_stages - 1:
+        receivers = mapping.processors_of(stage + 1)
+        window = lcm_all([m_i, len(receivers)])
+        total = sum(
+            inst.comm_time(stage, u, receivers[j % len(receivers)])
+            for j in range(replica, window, m_i)
+        )
+        cout = total / window
+
+    return ProcessorCycleTime(proc=u, stage=stage, cin=cin, ccomp=ccomp, cout=cout)
+
+
+def cycle_times(inst: Instance, model: CommModel | str) -> CycleTimeReport:
+    """Compute every resource cycle-time and the bound ``M_ct``.
+
+    Examples
+    --------
+    A non-replicated two-stage chain: the period equals the critical
+    resource cycle-time (here the communication link is the bottleneck
+    under OVERLAP, and the serial sum under STRICT):
+
+    >>> from repro import Application, Platform, Mapping, Instance
+    >>> inst = Instance(
+    ...     Application(works=[2.0, 3.0], file_sizes=[4.0]),
+    ...     Platform.homogeneous(2, speed=1.0, bandwidth=0.5),
+    ...     Mapping([(0,), (1,)]),
+    ... )
+    >>> cycle_times(inst, "overlap").mct
+    8.0
+    >>> cycle_times(inst, "strict").mct
+    11.0
+    """
+    model = CommModel.parse(model)
+    entries: list[ProcessorCycleTime] = []
+    for stage in range(inst.n_stages):
+        for replica in range(inst.mapping.replication(stage)):
+            entries.append(_processor_cycle_time(inst, stage, replica))
+    mct = max(ct.cexec(model) for ct in entries)
+    return CycleTimeReport(model=model, per_processor=tuple(entries), mct=mct)
+
+
+def maximum_cycle_time(inst: Instance, model: CommModel | str) -> float:
+    """Shortcut for ``cycle_times(inst, model).mct``."""
+    return cycle_times(inst, model).mct

@@ -1,0 +1,94 @@
+"""Round-robin path enumeration (Proposition 1, Table 1).
+
+With stage ``S_i`` replicated on ``m_i`` processors served round-robin,
+data set ``j`` follows the path
+``(P_{0, j mod m_0}, ..., P_{n-1, j mod m_{n-1}})``.
+Proposition 1: the number of **distinct** paths is
+``m = lcm(m_0, ..., m_{n-1})`` and data set ``j`` takes the same path as
+data set ``j mod m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapping import Mapping
+
+__all__ = ["Path", "enumerate_paths", "path_of_dataset", "format_path_table"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """One of the ``m`` round-robin paths.
+
+    Attributes
+    ----------
+    index:
+        Path number ``j`` in ``[0, m)``; data sets ``j, j + m, j + 2m, ...``
+        follow this path.
+    processors:
+        The processor of each stage, ``(P_{0, j mod m_0}, ...)``.
+    """
+
+    index: int
+    processors: tuple[int, ...]
+
+    def __str__(self) -> str:
+        route = " -> ".join(f"P{u}" for u in self.processors)
+        return f"path {self.index}: {route}"
+
+
+def path_of_dataset(mapping: Mapping, dataset: int) -> Path:
+    """Path followed by a given data set (round-robin rule)."""
+    m = mapping.num_paths
+    j = int(dataset)
+    return Path(
+        index=j % m,
+        processors=tuple(
+            mapping.processor_for(stage, j) for stage in range(mapping.n_stages)
+        ),
+    )
+
+
+def enumerate_paths(mapping: Mapping) -> list[Path]:
+    """All ``m = lcm(m_i)`` distinct paths, in data-set order.
+
+    Examples
+    --------
+    Example A of the paper (Figure 2 / Table 1): ``S_0`` on ``P_0``,
+    ``S_1`` on ``P_1, P_2``, ``S_2`` on ``P_3, P_4, P_5``, ``S_3`` on ``P_6``:
+
+    >>> mp = Mapping([(0,), (1, 2), (3, 4, 5), (6,)])
+    >>> for path in enumerate_paths(mp):
+    ...     print(path)
+    path 0: P0 -> P1 -> P3 -> P6
+    path 1: P0 -> P2 -> P4 -> P6
+    path 2: P0 -> P1 -> P5 -> P6
+    path 3: P0 -> P2 -> P3 -> P6
+    path 4: P0 -> P1 -> P4 -> P6
+    path 5: P0 -> P2 -> P5 -> P6
+    """
+    return [path_of_dataset(mapping, j) for j in range(mapping.num_paths)]
+
+
+def format_path_table(mapping: Mapping, n_datasets: int | None = None) -> str:
+    """Render the paper's Table 1: paths followed by the first data sets.
+
+    Parameters
+    ----------
+    mapping:
+        The replicated mapping.
+    n_datasets:
+        How many data sets to list; defaults to ``m + 2`` so the wrap-around
+        (data set ``m`` re-using path 0) is visible, exactly like Table 1
+        lists 8 rows for ``m = 6``.
+    """
+    m = mapping.num_paths
+    if n_datasets is None:
+        n_datasets = m + 2
+    lines = ["Input data | Path in the system", "-----------+-------------------"]
+    for j in range(n_datasets):
+        path = path_of_dataset(mapping, j)
+        route = " -> ".join(f"P{u}" for u in path.processors)
+        lines.append(f"{j:>10} | {route}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with one ``except`` clause, while
+the more specific subclasses keep individual failure modes distinguishable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "MappingError",
+    "DeadlockError",
+    "SolverError",
+    "ReplicationExplosionError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An application, platform or mapping failed structural validation.
+
+    Also a :class:`ValueError` so it integrates with generic input-checking
+    code that only knows about the standard hierarchy.
+    """
+
+
+class MappingError(ValidationError):
+    """A mapping violates the paper's rules.
+
+    The two rules from Section 2 of the paper are (1) a processor executes
+    at most one stage and (2) every stage is mapped on at least one
+    processor.  Index-out-of-range processors are reported here as well.
+    """
+
+
+class DeadlockError(ReproError):
+    """A timed Petri net contains a token-free cycle.
+
+    A cycle whose places hold no token can never fire; the event graph is
+    not live and no steady-state period exists.  The TPNs built by
+    :mod:`repro.petri.builder` are live by construction, so this error
+    signals either a hand-built net or a library bug caught by validation.
+    """
+
+
+class SolverError(ReproError):
+    """A cycle-ratio solver failed to converge or was fed an empty graph."""
+
+
+class ReplicationExplosionError(ReproError):
+    """The full TPN would exceed the configured size budget.
+
+    The number of TPN rows is ``m = lcm(m_0, ..., m_{n-1})`` which grows
+    multiplicatively with co-prime replication counts (Example C of the
+    paper reaches ``m = 10395``).  Methods that need the *full* net (the
+    STRICT ONE-PORT general solver, the simulator) refuse to build nets
+    beyond the budget instead of silently consuming all memory.  The
+    OVERLAP ONE-PORT polynomial algorithm (Theorem 1) never raises this.
+    """
+
+    def __init__(self, m: int, limit: int) -> None:
+        super().__init__(
+            f"the TPN would have m = lcm(m_i) = {m} rows, exceeding the "
+            f"limit of {limit}; raise `max_rows` explicitly if you really "
+            f"want to build a net this large"
+        )
+        #: Number of rows the net would have had.
+        self.m = m
+        #: The limit that was exceeded.
+        self.limit = limit
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was given inconsistent arguments."""

@@ -1,0 +1,47 @@
+"""Experimental harness: paper examples, random sweeps, Table 2."""
+
+from .examples_paper import (
+    EXAMPLE_A_EXPECTED,
+    EXAMPLE_B_EXPECTED,
+    EXAMPLE_C_STRUCTURE,
+    example_a,
+    example_b,
+    example_c,
+)
+from .generator import (
+    TABLE2_CONFIGS,
+    ExperimentConfig,
+    instance_from_config,
+    random_instance,
+    random_replication,
+)
+from .analysis import FamilySummary, feature_report, gap_histogram, summarize
+from .io import records_from_csv, records_to_csv
+from .runner import ExperimentRecord, run_family, run_single
+from .table2 import Table2Row, format_table2, run_table2
+
+__all__ = [
+    "example_a",
+    "example_b",
+    "example_c",
+    "EXAMPLE_A_EXPECTED",
+    "EXAMPLE_B_EXPECTED",
+    "EXAMPLE_C_STRUCTURE",
+    "ExperimentConfig",
+    "TABLE2_CONFIGS",
+    "random_instance",
+    "random_replication",
+    "instance_from_config",
+    "ExperimentRecord",
+    "run_single",
+    "run_family",
+    "Table2Row",
+    "run_table2",
+    "format_table2",
+    "records_to_csv",
+    "records_from_csv",
+    "FamilySummary",
+    "summarize",
+    "gap_histogram",
+    "feature_report",
+]

@@ -1,0 +1,205 @@
+"""The paper's running examples A, B and C as exact instances.
+
+All three instances use unit stage works and unit file sizes, so that
+processor speeds and link bandwidths are simply the reciprocals of the
+paper's per-resource *times* (see :meth:`Platform.from_comm_times`).
+
+**Example A** (Figure 2) — ``S_0`` on ``P_0``, ``S_1`` replicated on
+``P_1, P_2``, ``S_2`` on ``P_3, P_4, P_5``, ``S_3`` on ``P_6``.
+The figure's numeric labels are partly garbled in the available source
+text, so the durations below were *reconstructed* by constraint search
+(`tools/reconstruct_example_a.py`) against every number the paper states:
+
+* OVERLAP: period 189, attained by the output port of ``P_0``
+  (``(186 + 192)/2``) with every other resource strictly below;
+* STRICT: ``M_ct = 215.83`` (processor ``P_2``), period ``230.67``
+  — no critical resource (Figure 7);
+* Figure 9's sub-TPN row sums for ``F_1`` ({57, 68, 77} from one sender,
+  {13, 157, 165} from the other).
+
+**Example B** (Figure 6) — ``S_0`` on 3 processors, ``S_1`` on 4; all
+computation times 100, communication times 100 or 1000 (twelve 100-labels
+and seven 1000-labels as in the figure), arranged so that
+``M_ct = 3100/12 = 258.33`` (output port of ``P_2``) while the period is
+``3500/12 = 291.67`` — the paper's flagship "no critical resource"
+OVERLAP instance.
+
+**Example C** (Figure 11) — stages replicated on 5, 21, 27 and 11
+processors; used for its *structure* (``m = 10395``; file ``F_1``
+decomposes into ``p = 3`` components of ``7 x 9`` patterns repeated 55
+times, Figures 13/14).  The paper gives no durations, so they default to
+homogeneous unit times (a seeded heterogeneous variant is available).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.application import Application
+from ..core.instance import Instance
+from ..core.mapping import Mapping
+from ..core.platform import Platform
+
+__all__ = [
+    "example_a",
+    "example_b",
+    "example_c",
+    "EXAMPLE_A_EXPECTED",
+    "EXAMPLE_B_EXPECTED",
+    "EXAMPLE_C_STRUCTURE",
+]
+
+# ----------------------------------------------------------------------
+# Example A
+# ----------------------------------------------------------------------
+
+#: Published values for Example A (paper Sections 4.1-4.2).
+EXAMPLE_A_EXPECTED = {
+    "m": 6,
+    "overlap_period": 189.0,
+    "overlap_mct": 189.0,
+    "strict_mct": 215.8,  # paper rounds 1294.999... /6; see EXPERIMENTS.md
+    "strict_period": 230.7,
+}
+
+#: Reconstructed computation times (P0..P6) for Example A.
+#: Filled by tools/reconstruct_example_a.py — see module docstring.
+_EXAMPLE_A_COMP = {0: 22, 1: 104, 2: 128, 3: 73, 4: 146, 5: 147, 6: 23}
+
+#: Reconstructed communication times (sender, receiver) -> time.
+_EXAMPLE_A_COMM = {
+    (0, 1): 186,
+    (0, 2): 192,
+    (1, 3): 57,
+    (1, 4): 68,
+    (1, 5): 77,
+    (2, 3): 157,
+    (2, 4): 165,
+    (2, 5): 13,
+    (3, 6): 126,
+    (4, 6): 67,
+    (5, 6): 73,
+}
+
+
+def _platform_from_times(
+    n_procs: int, comp: dict[int, float], comm: dict[tuple[int, int], float], name: str
+) -> Platform:
+    """Platform whose unit-work/unit-file times match the given tables."""
+    comp_times = np.ones(n_procs)
+    for u, t in comp.items():
+        comp_times[u] = t
+    comm_times = np.ones((n_procs, n_procs))
+    np.fill_diagonal(comm_times, 0.0)
+    for (u, v), t in comm.items():
+        comm_times[u, v] = t
+    return Platform.from_comm_times(comp_times, comm_times, name=name)
+
+
+def example_a() -> Instance:
+    """Example A (Figure 2): 4 stages on 7 processors, ``m = 6`` paths.
+
+    >>> from repro import compute_period
+    >>> compute_period(example_a(), "overlap").period
+    189.0
+    """
+    app = Application(
+        works=[1.0] * 4, file_sizes=[1.0] * 3, name="example-A"
+    )
+    plat = _platform_from_times(7, _EXAMPLE_A_COMP, _EXAMPLE_A_COMM, "example-A")
+    mapping = Mapping([(0,), (1, 2), (3, 4, 5), (6,)])
+    return Instance(app, plat, mapping)
+
+
+# ----------------------------------------------------------------------
+# Example B
+# ----------------------------------------------------------------------
+
+#: Published values for Example B (Section 4.1, Figure 6).
+EXAMPLE_B_EXPECTED = {
+    "m": 12,
+    "overlap_period": 3500.0 / 12.0,  # 291.67 in the paper
+    "overlap_mct": 3100.0 / 12.0,  # 258.3 in the paper
+}
+
+#: Communication times sender x receiver; rows P0..P2, columns P3..P6.
+#: Seven links at 1000 and five at 100 (twelve 100-labels in Figure 6
+#: counting the seven computations), arranged so the critical cycle is a
+#: "staircase" mixing sender and receiver round-robin circuits with ratio
+#: 7000/2 while the busiest single resource (P2's output port) only
+#: reaches 3100.  Note the round-robin pairing: data set ``j`` goes
+#: ``P_{j mod 3} -> P_{3 + (j mod 4)}``, so the pattern-graph columns
+#: visit receivers in the order P3, P6, P5, P4 (step ``3 mod 4``); the
+#: all-1000 staircase below is aligned with *that* order.
+_EXAMPLE_B_COMM = np.array(
+    [
+        [1000.0, 100.0, 100.0, 1000.0],
+        [100.0, 100.0, 1000.0, 1000.0],
+        [1000.0, 1000.0, 1000.0, 100.0],
+    ]
+)
+
+
+def example_b() -> Instance:
+    """Example B (Figure 6): the OVERLAP mapping without critical resource.
+
+    >>> from repro import compute_period
+    >>> res = compute_period(example_b(), "overlap")
+    >>> round(res.period, 2), round(res.mct, 2), res.has_critical_resource
+    (291.67, 258.33, False)
+    """
+    app = Application(works=[1.0, 1.0], file_sizes=[1.0], name="example-B")
+    comp = {u: 100.0 for u in range(7)}
+    comm = {
+        (s, 3 + r): float(_EXAMPLE_B_COMM[s, r]) for s in range(3) for r in range(4)
+    }
+    plat = _platform_from_times(7, comp, comm, "example-B")
+    mapping = Mapping([(0, 1, 2), (3, 4, 5, 6)])
+    return Instance(app, plat, mapping)
+
+
+# ----------------------------------------------------------------------
+# Example C
+# ----------------------------------------------------------------------
+
+#: Structural facts of Example C (Figures 11, 13, 14 and Appendix A).
+EXAMPLE_C_STRUCTURE = {
+    "replication": (5, 21, 27, 11),
+    "m": 10395,
+    "f1": {"p": 3, "u": 7, "v": 9, "window": 189, "c": 55},
+    # "P5 only communicates with P26, P29, P32, ..., P50"
+    "p5_receivers": tuple(range(26, 51, 3)),
+    # "P6 only communicates with P27, P30, P33, ..., P51"
+    "p6_receivers": tuple(range(27, 52, 3)),
+}
+
+
+def example_c(heterogeneous: bool = False, seed: int = 2009) -> Instance:
+    """Example C (Figure 11): replication (5, 21, 27, 11) on 64 processors.
+
+    The paper uses this instance to illustrate the pattern decomposition
+    (no durations are given).  With ``heterogeneous=True`` processor and
+    link times are drawn uniformly from [5, 15] with the given seed.
+
+    >>> inst = example_c()
+    >>> inst.num_paths
+    10395
+    >>> inst.mapping.comm_structure(1)   # (p, u, v, lcm) for file F1
+    (3, 7, 9, 189)
+    """
+    counts = EXAMPLE_C_STRUCTURE["replication"]
+    n_procs = sum(counts)  # 64
+    app = Application(works=[1.0] * 4, file_sizes=[1.0] * 3, name="example-C")
+    if heterogeneous:
+        rng = np.random.default_rng(seed)
+        comp_times = rng.uniform(5.0, 15.0, n_procs)
+        comm_times = rng.uniform(5.0, 15.0, (n_procs, n_procs))
+        np.fill_diagonal(comm_times, 0.0)
+        plat = Platform.from_comm_times(comp_times, comm_times, name="example-C")
+    else:
+        plat = Platform.homogeneous(n_procs, name="example-C")
+    bounds = np.cumsum((0,) + counts)
+    mapping = Mapping(
+        [tuple(range(bounds[i], bounds[i + 1])) for i in range(len(counts))]
+    )
+    return Instance(app, plat, mapping)

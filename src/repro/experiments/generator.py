@@ -1,0 +1,194 @@
+"""Random instance generation for the paper's experimental campaign.
+
+Section 5 / Table 2: applications of 2-20 stages mapped on 7-30
+processors, with computation and communication times drawn uniformly
+from per-row ranges, and per-stage replication factors drawn uniformly
+among the feasible values (every stage keeps at least one processor and
+processors are never shared between stages).
+
+Times are drawn directly — unit works and unit file sizes with speed
+``1/time`` and bandwidth ``1/time`` (see
+:meth:`repro.core.platform.Platform.from_comm_times`), matching the
+paper's parameterization of experiments by time ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.application import Application
+from ..core.instance import Instance
+from ..core.mapping import Mapping
+from ..core.platform import Platform
+from ..utils import lcm_all
+
+__all__ = [
+    "ExperimentConfig",
+    "TABLE2_CONFIGS",
+    "random_replication",
+    "random_instance",
+    "instance_from_config",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One row family of Table 2.
+
+    Attributes
+    ----------
+    name:
+        Row label used in reports.
+    sizes:
+        Candidate ``(n_stages, n_processors)`` pairs; one is drawn
+        uniformly per instance (the paper merges e.g. (10,20) and (10,30)
+        into a single row).
+    comp_range:
+        Uniform range of computation times, or ``None`` for the fixed
+        unit computation time of the small-pipeline rows.
+    comm_range:
+        Uniform range of communication times.
+    count:
+        Number of experiments of this family **per model** in the paper.
+    """
+
+    name: str
+    sizes: tuple[tuple[int, int], ...]
+    comp_range: tuple[float, float] | None
+    comm_range: tuple[float, float]
+    count: int
+
+
+#: The six experiment families of Table 2 (run once per model: 2 x 2576
+#: = 5152 experiments in the paper).
+TABLE2_CONFIGS: tuple[ExperimentConfig, ...] = (
+    ExperimentConfig("(10,20)+(10,30) comp 5-15 comm 5-15",
+                     ((10, 20), (10, 30)), (5.0, 15.0), (5.0, 15.0), 220),
+    ExperimentConfig("(10,20)+(10,30) comp 10-1000 comm 10-1000",
+                     ((10, 20), (10, 30)), (10.0, 1000.0), (10.0, 1000.0), 220),
+    ExperimentConfig("(20,30) comp 5-15 comm 5-15",
+                     ((20, 30),), (5.0, 15.0), (5.0, 15.0), 68),
+    ExperimentConfig("(20,30) comp 10-1000 comm 10-1000",
+                     ((20, 30),), (10.0, 1000.0), (10.0, 1000.0), 68),
+    ExperimentConfig("(2,7)+(3,7) comp 1 comm 5-10",
+                     ((2, 7), (3, 7)), None, (5.0, 10.0), 1000),
+    ExperimentConfig("(2,7)+(3,7) comp 1 comm 10-50",
+                     ((2, 7), (3, 7)), None, (10.0, 50.0), 1000),
+)
+
+
+def random_replication(
+    n_stages: int,
+    n_procs: int,
+    rng: np.random.Generator,
+    max_paths: int | None = None,
+    max_tries: int = 1000,
+    method: str = "balls",
+) -> tuple[int, ...]:
+    """Draw per-stage replication counts ``(m_0, ..., m_{n-1})``.
+
+    Every stage gets at least one processor and the total never exceeds
+    the platform size.  The paper does not specify its replication
+    distribution ("randomly chosen uniformly"), so two readings are
+    offered:
+
+    * ``"balls"`` (default) — every spare processor joins a uniformly
+      random stage independently (balls into bins).  Low-variance,
+      binomial-ish counts; this is the distribution used for the Table 2
+      reproduction.
+    * ``"greedy-spare"`` — stages, in shuffled order, grab a uniform
+      share of the remaining spares.  Heavy-tailed: single stages often
+      absorb most of the platform, which (interestingly) *increases* the
+      rate of no-critical-resource mappings — see EXPERIMENTS.md.
+
+    Parameters
+    ----------
+    max_paths:
+        Optional rejection bound on ``m = lcm(m_i)``; draws are repeated
+        until the bound holds (used to keep full-TPN methods tractable).
+    """
+    if n_procs < n_stages:
+        raise ValueError(
+            f"need at least one processor per stage: {n_stages} stages, "
+            f"{n_procs} processors"
+        )
+    if method not in ("balls", "greedy-spare"):
+        raise ValueError(f"unknown replication draw method {method!r}")
+    for _ in range(max_tries):
+        counts = np.ones(n_stages, dtype=np.int64)
+        spare = n_procs - n_stages
+        if method == "balls":
+            if spare > 0:
+                bins = rng.integers(0, n_stages, spare)
+                np.add.at(counts, bins, 1)
+        else:
+            order = rng.permutation(n_stages)
+            for stage in order:
+                if spare <= 0:
+                    break
+                extra = int(rng.integers(0, spare + 1))
+                counts[stage] += extra
+                spare -= extra
+        result = tuple(int(c) for c in counts)
+        if max_paths is None or lcm_all(result) <= max_paths:
+            return result
+    raise RuntimeError(
+        f"could not draw replication counts with lcm <= {max_paths} in "
+        f"{max_tries} tries"
+    )
+
+
+def random_instance(
+    n_stages: int,
+    n_procs: int,
+    comp_range: tuple[float, float] | None,
+    comm_range: tuple[float, float],
+    rng: np.random.Generator,
+    max_paths: int | None = None,
+    name: str = "random",
+) -> Instance:
+    """Draw one random instance with the given time ranges.
+
+    Replication counts come from :func:`random_replication`; the stages'
+    processors are a random permutation of the platform sliced into
+    consecutive groups (round-robin order is the drawn order).
+    """
+    counts = random_replication(n_stages, n_procs, rng, max_paths=max_paths)
+    perm = rng.permutation(n_procs)
+    bounds = np.cumsum((0,) + counts)
+    assignments = [
+        tuple(int(p) for p in perm[bounds[i] : bounds[i + 1]])
+        for i in range(n_stages)
+    ]
+
+    if comp_range is None:
+        comp_times = np.ones(n_procs)
+    else:
+        comp_times = rng.uniform(*comp_range, n_procs)
+    comm_times = rng.uniform(*comm_range, (n_procs, n_procs))
+    np.fill_diagonal(comm_times, 0.0)
+
+    app = Application(works=[1.0] * n_stages, file_sizes=[1.0] * (n_stages - 1),
+                      name=name)
+    plat = Platform.from_comm_times(comp_times, comm_times, name=name)
+    return Instance(app, plat, Mapping(assignments, n_processors=n_procs))
+
+
+def instance_from_config(
+    config: ExperimentConfig,
+    rng: np.random.Generator,
+    max_paths: int | None = None,
+) -> Instance:
+    """Draw one instance of an experiment family (random size pair)."""
+    n_stages, n_procs = config.sizes[int(rng.integers(0, len(config.sizes)))]
+    return random_instance(
+        n_stages,
+        n_procs,
+        config.comp_range,
+        config.comm_range,
+        rng,
+        max_paths=max_paths,
+        name=config.name,
+    )

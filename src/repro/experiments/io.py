@@ -1,0 +1,90 @@
+"""CSV import/export of experiment records.
+
+The Table 2 campaign can take minutes at full scale; persisting records
+lets analyses (gap histograms, per-family breakdowns) run without
+re-sweeping.  The format is plain CSV with a header, one row per
+experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from .runner import ExperimentRecord
+
+__all__ = ["records_to_csv", "records_from_csv"]
+
+_COLUMNS = [
+    "config_name",
+    "model",
+    "seed",
+    "n_stages",
+    "n_procs",
+    "replication",
+    "m",
+    "period",
+    "mct",
+    "critical",
+    "gap",
+]
+
+
+def records_to_csv(
+    records: Iterable[ExperimentRecord], path: str | Path | None = None
+) -> str:
+    """Serialize records to CSV text; also writes ``path`` when given."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(_COLUMNS)
+    for r in records:
+        writer.writerow([
+            r.config_name,
+            r.model,
+            r.seed,
+            r.n_stages,
+            r.n_procs,
+            " ".join(str(c) for c in r.replication),
+            r.m,
+            repr(r.period),
+            repr(r.mct),
+            int(r.critical),
+            repr(r.gap),
+        ])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def records_from_csv(source: str | Path) -> list[ExperimentRecord]:
+    """Load records from CSV text or a file path (inverse of export)."""
+    if isinstance(source, Path):
+        text = source.read_text()
+    else:
+        text = str(source)
+        if "\n" not in text and text.endswith(".csv"):
+            text = Path(text).read_text()
+    reader = csv.DictReader(io.StringIO(text))
+    out: list[ExperimentRecord] = []
+    for row in reader:
+        out.append(
+            ExperimentRecord(
+                config_name=row["config_name"],
+                model=row["model"],
+                seed=int(row["seed"]),
+                n_stages=int(row["n_stages"]),
+                n_procs=int(row["n_procs"]),
+                replication=tuple(
+                    int(c) for c in row["replication"].split()
+                ),
+                m=int(row["m"]),
+                period=float(row["period"]),
+                mct=float(row["mct"]),
+                critical=bool(int(row["critical"])),
+                gap=float(row["gap"]),
+            )
+        )
+    return out

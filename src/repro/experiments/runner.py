@@ -1,0 +1,138 @@
+"""Experiment runner: sweep random instances, in series or in parallel.
+
+Each experiment draws an instance from a Table 2 family, computes the
+exact period and the cycle-time bound ``M_ct`` under one communication
+model, and records whether the bound is attained ("critical resource").
+
+Reproducibility and parallelism: every experiment owns a child of the
+root :class:`numpy.random.SeedSequence`, so results are bit-identical
+whatever the worker count.  The sweep is embarrassingly parallel and
+scales across cores with :class:`concurrent.futures.ProcessPoolExecutor`
+(workers re-import the library; tasks are pure functions of their seed).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.bounds import classify_critical_resource
+from ..core.models import CommModel
+from ..core.throughput import compute_period
+from .generator import ExperimentConfig, instance_from_config
+
+__all__ = ["ExperimentRecord", "run_family", "run_single"]
+
+#: Replication draws are rejected above this ``lcm(m_i)`` so the STRICT
+#: model (full TPN) stays tractable; Table 2's size families stay well
+#: below it most of the time (see DESIGN.md section 7).
+DEFAULT_MAX_PATHS = 3000
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """Outcome of one random experiment.
+
+    Attributes
+    ----------
+    config_name:
+        The Table 2 family.
+    model:
+        Communication model value ("overlap"/"strict").
+    seed:
+        Entropy of the experiment's seed sequence (reproducibility key).
+    n_stages, n_procs:
+        Drawn size pair.
+    replication:
+        Drawn per-stage replication counts.
+    m:
+        ``lcm(m_i)``.
+    period, mct:
+        Exact period and cycle-time bound.
+    critical:
+        ``True`` when ``period == mct`` (a critical resource exists).
+    gap:
+        Relative gap ``(P - M_ct) / M_ct``.
+    """
+
+    config_name: str
+    model: str
+    seed: int
+    n_stages: int
+    n_procs: int
+    replication: tuple[int, ...]
+    m: int
+    period: float
+    mct: float
+    critical: bool
+    gap: float
+
+
+def run_single(
+    config: ExperimentConfig,
+    model: CommModel | str,
+    seed_entropy: int,
+    max_paths: int = DEFAULT_MAX_PATHS,
+) -> ExperimentRecord:
+    """Run one experiment (pure function of its seed — safe to fork out)."""
+    model = CommModel.parse(model)
+    rng = np.random.default_rng(np.random.SeedSequence(seed_entropy))
+    inst = instance_from_config(config, rng, max_paths=max_paths)
+    result = compute_period(inst, model, max_rows=max_paths + 1)
+    verdict = classify_critical_resource(inst, model, result.period)
+    return ExperimentRecord(
+        config_name=config.name,
+        model=model.value,
+        seed=seed_entropy,
+        n_stages=inst.n_stages,
+        n_procs=inst.platform.n_processors,
+        replication=inst.replication_counts,
+        m=inst.num_paths,
+        period=result.period,
+        mct=verdict.mct,
+        critical=verdict.has_critical_resource,
+        gap=verdict.relative_gap,
+    )
+
+
+def _run_single_args(args: tuple) -> ExperimentRecord:
+    """Module-level trampoline for process pools (picklable)."""
+    return run_single(*args)
+
+
+def run_family(
+    config: ExperimentConfig,
+    model: CommModel | str,
+    count: int | None = None,
+    root_seed: int = 20090302,
+    n_jobs: int | None = None,
+    max_paths: int = DEFAULT_MAX_PATHS,
+) -> list[ExperimentRecord]:
+    """Run ``count`` experiments of one family under one model.
+
+    Parameters
+    ----------
+    count:
+        Number of experiments; defaults to the family's paper count.
+    root_seed:
+        Root entropy; per-experiment seeds are spawned from it so the
+        sweep is deterministic for any ``n_jobs``.
+    n_jobs:
+        Worker processes; ``None``/1 runs serially, 0 uses all cores.
+    """
+    model = CommModel.parse(model)
+    if count is None:
+        count = config.count
+    ss = np.random.SeedSequence([root_seed, hash(config.name) & 0x7FFFFFFF,
+                                 0 if model.overlap else 1])
+    seeds = [int(child.generate_state(1)[0]) for child in ss.spawn(count)]
+    tasks = [(config, model, s, max_paths) for s in seeds]
+
+    if n_jobs is None or n_jobs == 1 or count < 4:
+        return [run_single(*t) for t in tasks]
+    workers = os.cpu_count() if n_jobs == 0 else n_jobs
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_single_args, tasks, chunksize=8))

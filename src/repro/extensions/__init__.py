@@ -1,0 +1,26 @@
+"""Beyond-paper extensions.
+
+The paper computes the period of a *given* mapping and points at two
+neighboring problems: finding good mappings (NP-hard, [3] of the paper)
+and dynamic platforms whose speeds are random variables (its stated
+future work).  This package ships practical baselines for both, built on
+the exact period oracle of :mod:`repro.core.throughput`.
+"""
+
+from .dynamic import DynamicPlatformModel, ThroughputDistribution, simulate_dynamic
+from .mapping_opt import (
+    MappingSearchResult,
+    greedy_mapping,
+    local_search_mapping,
+    random_mapping,
+)
+
+__all__ = [
+    "greedy_mapping",
+    "local_search_mapping",
+    "random_mapping",
+    "MappingSearchResult",
+    "DynamicPlatformModel",
+    "ThroughputDistribution",
+    "simulate_dynamic",
+]

@@ -1,0 +1,135 @@
+"""Dynamic platforms (extension — the paper's stated future work).
+
+Section 6 closes with: *"This paper was focused on static platforms,
+opening the way to future work on finding good schedules on dynamic
+platforms, whose speeds and bandwidths are modeled by random variables."*
+
+This module provides that experimental substrate: processor speeds and
+link bandwidths fluctuate across *epochs* (multiplicative noise around
+the nominal platform), and the achieved throughput is measured per epoch
+with the exact static solver — a quasi-static approximation appropriate
+when epochs are long relative to the period.  Monte-Carlo aggregation
+yields the throughput distribution of a mapping under platform
+variability, enabling robustness comparisons between mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.models import CommModel
+from ..core.platform import Platform
+from ..core.throughput import compute_period
+
+__all__ = ["DynamicPlatformModel", "ThroughputDistribution", "simulate_dynamic"]
+
+
+@dataclass(frozen=True)
+class DynamicPlatformModel:
+    """Multiplicative-noise model of a fluctuating platform.
+
+    Each epoch draws independent factors for every processor speed and
+    link bandwidth:
+
+    * ``"uniform"`` — factor ~ U[1 - spread, 1 + spread];
+    * ``"lognormal"`` — factor = exp(N(0, sigma)) with
+      ``sigma = spread`` (heavier right tail, never non-positive).
+
+    Attributes
+    ----------
+    speed_spread, bandwidth_spread:
+        Variability amplitudes (0 disables the corresponding noise).
+    law:
+        ``"uniform"`` or ``"lognormal"``.
+    """
+
+    speed_spread: float = 0.2
+    bandwidth_spread: float = 0.2
+    law: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.law not in ("uniform", "lognormal"):
+            raise ValueError(f"unknown law {self.law!r}")
+        if not (0 <= self.speed_spread < 1 and 0 <= self.bandwidth_spread < 1):
+            if self.law == "uniform":
+                raise ValueError("uniform spreads must be in [0, 1)")
+
+    def _factors(self, shape, spread: float, rng: np.random.Generator) -> np.ndarray:
+        if spread == 0:
+            return np.ones(shape)
+        if self.law == "uniform":
+            return rng.uniform(1.0 - spread, 1.0 + spread, shape)
+        return np.exp(rng.normal(0.0, spread, shape))
+
+    def perturb(self, plat: Platform, rng: np.random.Generator) -> Platform:
+        """One epoch's platform: nominal values times fresh noise."""
+        speeds = plat.speeds * self._factors(plat.n_processors, self.speed_spread, rng)
+        bw = plat.bandwidths * self._factors(plat.bandwidths.shape,
+                                             self.bandwidth_spread, rng)
+        # keep the (ignored) diagonal well-formed
+        bw = bw.copy()
+        np.fill_diagonal(bw, 0.0)
+        return Platform(speeds, bw, name=f"{plat.name}-epoch")
+
+
+@dataclass(frozen=True)
+class ThroughputDistribution:
+    """Monte-Carlo throughput statistics of a mapping on a dynamic platform.
+
+    Attributes
+    ----------
+    periods:
+        Per-epoch exact periods.
+    nominal_period:
+        Period on the unperturbed platform.
+    """
+
+    periods: np.ndarray
+    nominal_period: float
+
+    @property
+    def mean_period(self) -> float:
+        """Average per-epoch period."""
+        return float(self.periods.mean())
+
+    @property
+    def mean_throughput(self) -> float:
+        """Average per-epoch throughput (data sets / time)."""
+        return float((1.0 / self.periods).mean())
+
+    def quantile(self, q: float) -> float:
+        """Period quantile (e.g. ``q=0.95`` for tail degradation)."""
+        return float(np.quantile(self.periods, q))
+
+    @property
+    def degradation(self) -> float:
+        """``mean_period / nominal_period - 1`` — robustness figure."""
+        return self.mean_period / self.nominal_period - 1.0
+
+
+def simulate_dynamic(
+    inst: Instance,
+    model: CommModel | str,
+    dynamics: DynamicPlatformModel,
+    n_epochs: int = 100,
+    seed: int = 0,
+    max_rows: int = 20_000,
+) -> ThroughputDistribution:
+    """Monte-Carlo throughput of a mapping under platform fluctuation.
+
+    Each epoch perturbs the platform, recomputes the *exact* period for
+    the same mapping, and records it.  Deterministic given ``seed``.
+    """
+    model = CommModel.parse(model)
+    rng = np.random.default_rng(seed)
+    nominal = compute_period(inst, model, max_rows=max_rows).period
+    periods = np.empty(n_epochs)
+    for e in range(n_epochs):
+        plat = dynamics.perturb(inst.platform, rng)
+        epoch_inst = Instance(inst.application, plat, inst.mapping)
+        periods[e] = compute_period(epoch_inst, model, max_rows=max_rows).period
+    periods.setflags(write=False)
+    return ThroughputDistribution(periods=periods, nominal_period=nominal)

@@ -1,0 +1,223 @@
+"""Mapping search heuristics (extension — the NP-hard problem of [3]).
+
+Given an application and a platform, *choose* the replicated mapping that
+minimizes the period.  The decision problem is NP-hard even without
+replication (Benoit & Robert, JPDC 2008, reference [3] of the paper), so
+this module offers baselines rather than exact optimization:
+
+* :func:`random_mapping` — uniform random replication/assignment
+  (the generator used for Table 2);
+* :func:`greedy_mapping` — allocate processors one at a time to the stage
+  whose current contribution to the period is worst;
+* :func:`local_search_mapping` — hill-climbing over swap/move/reorder
+  neighborhoods, scored by the exact period oracle.
+
+All heuristics treat :func:`repro.core.throughput.compute_period` as a
+black-box objective, demonstrating the intended downstream use of the
+library's exact evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.application import Application
+from ..core.instance import Instance
+from ..core.mapping import Mapping
+from ..core.models import CommModel
+from ..core.platform import Platform
+from ..core.throughput import compute_period
+from ..errors import ValidationError
+from ..experiments.generator import random_replication
+
+__all__ = [
+    "MappingSearchResult",
+    "random_mapping",
+    "greedy_mapping",
+    "local_search_mapping",
+]
+
+
+@dataclass(frozen=True)
+class MappingSearchResult:
+    """Outcome of a mapping search.
+
+    Attributes
+    ----------
+    mapping:
+        Best mapping found.
+    period:
+        Its exact period.
+    evaluations:
+        Number of period-oracle calls spent.
+    trace:
+        Periods of successive accepted solutions (monotone for the
+        hill-climbers; useful for convergence plots).
+    """
+
+    mapping: Mapping
+    period: float
+    evaluations: int
+    trace: tuple[float, ...]
+
+
+def _evaluate(
+    app: Application, plat: Platform, mapping: Mapping, model: CommModel, max_paths: int
+) -> float:
+    if mapping.num_paths > max_paths:
+        return float("inf")
+    inst = Instance(app, plat, mapping)
+    return compute_period(inst, model, max_rows=max_paths + 1).period
+
+
+def random_mapping(
+    app: Application,
+    plat: Platform,
+    rng: np.random.Generator,
+    max_paths: int = 3000,
+) -> Mapping:
+    """Uniform random replicated mapping (at least one replica per stage)."""
+    n, p = app.n_stages, plat.n_processors
+    counts = random_replication(n, p, rng, max_paths=max_paths)
+    perm = rng.permutation(p)
+    bounds = np.cumsum((0,) + counts)
+    return Mapping(
+        [tuple(int(x) for x in perm[bounds[i]: bounds[i + 1]]) for i in range(n)],
+        n_processors=p,
+    )
+
+
+def greedy_mapping(
+    app: Application,
+    plat: Platform,
+    model: CommModel | str = "overlap",
+    max_paths: int = 3000,
+) -> MappingSearchResult:
+    """Greedy constructive heuristic.
+
+    Starts from the period-minimizing one-to-one mapping of each stage to
+    the fastest unused processor, then repeatedly grants one extra replica
+    to the stage whose computation column currently dominates the period,
+    choosing the fastest remaining processor — stopping when no grant
+    improves the exact period (or processors run out).
+    """
+    model = CommModel.parse(model)
+    n, p = app.n_stages, plat.n_processors
+    if p < n:
+        raise ValidationError("need at least one processor per stage")
+    # Fastest processors first; seed assignment round-robins the best n.
+    speed_order = list(np.argsort(-plat.speeds, kind="stable"))
+    assign: list[list[int]] = [[int(speed_order[i])] for i in range(n)]
+    free = [int(u) for u in speed_order[n:]]
+
+    evaluations = 0
+
+    def period_of(a: list[list[int]]) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return _evaluate(app, plat, Mapping([tuple(s) for s in a]), model, max_paths)
+
+    best = period_of(assign)
+    trace = [best]
+    while free:
+        candidate_best: tuple[float, int] | None = None
+        u = free[0]
+        for stage in range(n):
+            trial = [list(s) for s in assign]
+            trial[stage].append(u)
+            val = period_of(trial)
+            if candidate_best is None or val < candidate_best[0]:
+                candidate_best = (val, stage)
+        if candidate_best is None or candidate_best[0] >= best:
+            break
+        best = candidate_best[0]
+        assign[candidate_best[1]].append(u)
+        free.pop(0)
+        trace.append(best)
+    return MappingSearchResult(
+        mapping=Mapping([tuple(s) for s in assign]),
+        period=best,
+        evaluations=evaluations,
+        trace=tuple(trace),
+    )
+
+
+def local_search_mapping(
+    app: Application,
+    plat: Platform,
+    model: CommModel | str = "overlap",
+    rng: np.random.Generator | None = None,
+    start: Mapping | None = None,
+    max_iters: int = 200,
+    max_paths: int = 3000,
+) -> MappingSearchResult:
+    """First-improvement hill climbing over mapping neighborhoods.
+
+    Moves: (a) swap two processors between stages, (b) move a spare or
+    replicated processor to another stage, (c) rotate a stage's replica
+    order (changes round-robin phase, which matters for comm pairing).
+    """
+    model = CommModel.parse(model)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    mapping = start if start is not None else random_mapping(app, plat, rng, max_paths)
+
+    evaluations = 0
+
+    def period_of(m: Mapping) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return _evaluate(app, plat, m, model, max_paths)
+
+    best = period_of(mapping)
+    trace = [best]
+    n = app.n_stages
+    for _ in range(max_iters):
+        improved = False
+        assign = [list(s) for s in mapping.assignments]
+        moves: list[list[list[int]]] = []
+        # (a) swaps
+        for i in range(n):
+            for j in range(i + 1, n):
+                for a in range(len(assign[i])):
+                    for b in range(len(assign[j])):
+                        trial = [list(s) for s in assign]
+                        trial[i][a], trial[j][b] = trial[j][b], trial[i][a]
+                        moves.append(trial)
+        # (b) moves of a replica (only from stages with >= 2 replicas)
+        for i in range(n):
+            if len(assign[i]) < 2:
+                continue
+            for a in range(len(assign[i])):
+                for j in range(n):
+                    if j == i:
+                        continue
+                    trial = [list(s) for s in assign]
+                    proc = trial[i].pop(a)
+                    trial[j].append(proc)
+                    moves.append(trial)
+        # (c) rotations
+        for i in range(n):
+            if len(assign[i]) >= 2:
+                trial = [list(s) for s in assign]
+                trial[i] = trial[i][1:] + trial[i][:1]
+                moves.append(trial)
+
+        order = rng.permutation(len(moves))
+        for k in order:
+            trial = moves[int(k)]
+            try:
+                m2 = Mapping([tuple(s) for s in trial], n_processors=plat.n_processors)
+            except ValidationError:
+                continue
+            val = period_of(m2)
+            if val < best * (1 - 1e-12):
+                mapping, best = m2, val
+                trace.append(best)
+                improved = True
+                break
+        if not improved:
+            break
+    return MappingSearchResult(mapping=mapping, period=best,
+                               evaluations=evaluations, trace=tuple(trace))

@@ -1,0 +1,52 @@
+"""Max-plus algebra and maximum-cycle-ratio solvers."""
+
+from .algebra import (
+    NEG_INF,
+    matrix_to_graph,
+    mp_eigenvalue,
+    mp_eye,
+    mp_matmul,
+    mp_matvec,
+    mp_pow,
+    mp_star,
+    mp_zeros,
+)
+from .cycle_ratio import CycleRatioResult, max_cycle_ratio
+from .graph import Edge, RatioGraph
+from .howard import HowardResult, max_cycle_ratio_howard
+from .karp import max_cycle_mean, max_cycle_mean_scc
+from .lawler import has_positive_cycle, max_cycle_ratio_lawler
+from .spectral import (
+    CriticalGraph,
+    critical_graph,
+    cyclicity,
+    mp_eigenvector,
+    potentials,
+)
+
+__all__ = [
+    "RatioGraph",
+    "Edge",
+    "CycleRatioResult",
+    "max_cycle_ratio",
+    "HowardResult",
+    "max_cycle_ratio_howard",
+    "max_cycle_mean",
+    "max_cycle_mean_scc",
+    "max_cycle_ratio_lawler",
+    "has_positive_cycle",
+    "CriticalGraph",
+    "critical_graph",
+    "cyclicity",
+    "mp_eigenvector",
+    "potentials",
+    "NEG_INF",
+    "mp_zeros",
+    "mp_eye",
+    "mp_matmul",
+    "mp_matvec",
+    "mp_pow",
+    "mp_star",
+    "matrix_to_graph",
+    "mp_eigenvalue",
+]

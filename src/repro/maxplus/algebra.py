@@ -1,0 +1,134 @@
+"""(max, +) algebra on numpy matrices.
+
+The (max, +) semiring replaces ``+`` by ``max`` and ``x`` by ``+``; its
+zero is ``-inf`` and its unit is ``0``.  Timed event graphs are *linear*
+in this algebra (Baccelli et al., "Synchronization and Linearity"), which
+is the theoretical backbone of Section 4 of the paper: steady-state
+periods are max-plus eigenvalues, i.e. maximum cycle means.
+
+These helpers power :mod:`repro.maxplus.recurrence` (matrix form of a TPN)
+and serve as an independently-testable substrate: associativity,
+distributivity and the eigenvalue/cycle-mean correspondence are all
+exercised by the property-based test-suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SolverError
+from .graph import RatioGraph
+
+__all__ = [
+    "NEG_INF",
+    "mp_zeros",
+    "mp_eye",
+    "mp_matmul",
+    "mp_matvec",
+    "mp_pow",
+    "mp_star",
+    "matrix_to_graph",
+    "mp_eigenvalue",
+]
+
+#: The (max, +) zero element.
+NEG_INF = -np.inf
+
+
+def mp_zeros(shape: tuple[int, int] | int) -> np.ndarray:
+    """Max-plus zero matrix (all entries ``-inf``)."""
+    return np.full(shape, NEG_INF)
+
+
+def mp_eye(n: int) -> np.ndarray:
+    """Max-plus identity: ``0`` on the diagonal, ``-inf`` elsewhere."""
+    eye = mp_zeros((n, n))
+    np.fill_diagonal(eye, 0.0)
+    return eye
+
+
+def mp_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Max-plus matrix product ``(a ⊗ b)[i, j] = max_k a[i, k] + b[k, j]``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} ⊗ {b.shape}")
+    # Broadcasting (i, k, j); -inf + -inf stays -inf thanks to errstate.
+    with np.errstate(invalid="ignore"):
+        out = (a[:, :, None] + b[None, :, :]).max(axis=1)
+    return out
+
+
+def mp_matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Max-plus matrix-vector product ``max_k a[i, k] + x[k]``."""
+    a = np.asarray(a, dtype=float)
+    x = np.asarray(x, dtype=float)
+    with np.errstate(invalid="ignore"):
+        return (a + x[None, :]).max(axis=1)
+
+
+def mp_pow(a: np.ndarray, k: int) -> np.ndarray:
+    """Max-plus matrix power ``a^{⊗k}`` by binary exponentiation."""
+    n = a.shape[0]
+    if k < 0:
+        raise ValueError("negative max-plus powers are undefined")
+    result = mp_eye(n)
+    base = np.asarray(a, dtype=float)
+    while k:
+        if k & 1:
+            result = mp_matmul(result, base)
+        base = mp_matmul(base, base)
+        k >>= 1
+    return result
+
+
+def mp_star(a: np.ndarray, max_iter: int | None = None) -> np.ndarray:
+    """Kleene star ``a* = I ⊕ a ⊕ a² ⊕ ...``.
+
+    Converges iff every cycle of ``a`` has non-positive weight; for the
+    TPN usage the support of ``a`` is **acyclic** (the 0-token subgraph)
+    so ``a*`` is reached after at most ``n`` squarings.  Divergence is
+    detected (entry growth past ``n`` terms) and reported.
+    """
+    n = a.shape[0]
+    acc = np.maximum(mp_eye(n), np.asarray(a, dtype=float))
+    limit = max_iter if max_iter is not None else max(1, n).bit_length() + 1
+    for _ in range(limit):
+        nxt = np.maximum(mp_eye(n), mp_matmul(acc, acc))
+        if np.array_equal(nxt, acc):
+            return acc
+        acc = nxt
+    raise SolverError(
+        "max-plus star did not converge: the matrix has a positive-weight "
+        "cycle (the 0-token subgraph of a TPN must be acyclic)"
+    )
+
+
+def matrix_to_graph(a: np.ndarray) -> RatioGraph:
+    """View a max-plus matrix as a unit-token graph.
+
+    Entry ``a[i, j] > -inf`` becomes the edge ``j -> i`` (column feeds
+    row, matching the dater convention ``x(k) = A ⊗ x(k-1)``) with weight
+    ``a[i, j]`` and one token.
+    """
+    a = np.asarray(a, dtype=float)
+    n = a.shape[0]
+    edges = [
+        (int(j), int(i), float(a[i, j]), 1)
+        for i in range(n)
+        for j in range(n)
+        if np.isfinite(a[i, j])
+    ]
+    return RatioGraph(n, edges)
+
+
+def mp_eigenvalue(a: np.ndarray) -> float:
+    """Max-plus eigenvalue of an irreducible matrix.
+
+    Equals the maximum cycle mean of the associated graph — computed here
+    with Karp's algorithm, giving a solver-independent oracle for the
+    period of small TPNs in matrix form.
+    """
+    from .karp import max_cycle_mean
+
+    return max_cycle_mean(matrix_to_graph(a))

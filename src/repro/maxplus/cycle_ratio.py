@@ -1,0 +1,91 @@
+"""Unified entry point for maximum cycle ratio computations.
+
+Dispatches between the three solvers of this package and packages the
+result uniformly.  ``method="auto"`` (default) runs Howard's policy
+iteration — exact value plus an explicit critical cycle — and falls back
+to Lawler's binary search if policy iteration fails to converge on a
+pathological weight scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SolverError
+from .graph import RatioGraph
+from .howard import max_cycle_ratio_howard
+from .karp import max_cycle_mean
+from .lawler import max_cycle_ratio_lawler
+
+__all__ = ["CycleRatioResult", "max_cycle_ratio"]
+
+
+@dataclass(frozen=True)
+class CycleRatioResult:
+    """Result of a maximum cycle ratio computation.
+
+    Attributes
+    ----------
+    value:
+        ``lambda* = max_C sum(w)/sum(t)``.
+    cycle_nodes, cycle_edges:
+        One critical cycle when the solver produces it (Howard); empty
+        tuples otherwise.
+    method:
+        Which solver produced the value.
+    """
+
+    value: float
+    cycle_nodes: tuple[int, ...]
+    cycle_edges: tuple[int, ...]
+    method: str
+
+    @property
+    def has_cycle(self) -> bool:
+        """Whether an explicit critical cycle is attached."""
+        return len(self.cycle_edges) > 0
+
+
+def max_cycle_ratio(graph: RatioGraph, method: str = "auto") -> CycleRatioResult:
+    """Maximum cycle ratio of a token graph.
+
+    Parameters
+    ----------
+    graph:
+        The weighted token graph (see :class:`~repro.maxplus.graph.RatioGraph`).
+    method:
+        ``"auto"`` — Howard with Lawler fallback (default);
+        ``"howard"`` — policy iteration only;
+        ``"lawler"`` — binary search only (no cycle extraction);
+        ``"karp"`` — Karp's cycle mean; **requires every edge to carry
+        exactly one token** and raises otherwise.
+
+    Examples
+    --------
+    >>> g = RatioGraph(2, [(0, 1, 3.0, 1), (1, 0, 5.0, 1), (0, 0, 7.0, 1)])
+    >>> max_cycle_ratio(g).value
+    7.0
+    """
+    if method not in ("auto", "howard", "lawler", "karp"):
+        raise ValueError(f"unknown method {method!r}")
+
+    if method == "karp":
+        if graph.n_edges == 0 or not np.all(graph.tokens == 1):
+            raise SolverError(
+                "Karp's algorithm computes the cycle *mean*: every edge "
+                "must carry exactly one token"
+            )
+        return CycleRatioResult(max_cycle_mean(graph), (), (), "karp")
+
+    if method == "lawler":
+        return CycleRatioResult(max_cycle_ratio_lawler(graph), (), (), "lawler")
+
+    try:
+        res = max_cycle_ratio_howard(graph)
+        return CycleRatioResult(res.value, res.cycle_nodes, res.cycle_edges, "howard")
+    except SolverError:
+        if method == "howard":
+            raise
+        return CycleRatioResult(max_cycle_ratio_lawler(graph), (), (), "lawler")

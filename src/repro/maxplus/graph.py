@@ -1,0 +1,281 @@
+"""Weighted token graphs — the cycle-ratio problem's data structure.
+
+A :class:`RatioGraph` is a directed multigraph whose edge ``e`` carries a
+real *weight* ``w(e)`` (total firing duration in TPN applications) and an
+integer *token count* ``t(e) >= 0``.  The **maximum cycle ratio** is::
+
+    lambda* = max over cycles C of  (sum of w over C) / (sum of t over C)
+
+For timed event graphs this is exactly the steady-state inter-firing time
+of the transitions on a critical cycle (Baccelli, Cohen, Olsder, Quadrat,
+"Synchronization and Linearity", 1992), the quantity Section 4 of the paper
+extracts from its timed Petri nets.
+
+The class stores edges in flat arrays (struct-of-arrays layout) so the
+solvers can iterate with numpy-friendly access patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import DeadlockError, ValidationError
+
+__all__ = ["Edge", "RatioGraph"]
+
+
+class Edge:
+    """Read-only view of one edge of a :class:`RatioGraph`."""
+
+    __slots__ = ("index", "src", "dst", "weight", "tokens")
+
+    def __init__(self, index: int, src: int, dst: int, weight: float, tokens: int):
+        self.index = index
+        self.src = src
+        self.dst = dst
+        self.weight = weight
+        self.tokens = tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Edge(#{self.index} {self.src}->{self.dst} "
+            f"w={self.weight} t={self.tokens})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return (self.index, self.src, self.dst, self.weight, self.tokens) == (
+            other.index,
+            other.src,
+            other.dst,
+            other.weight,
+            other.tokens,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.src, self.dst, self.weight, self.tokens))
+
+
+class RatioGraph:
+    """Directed multigraph with edge weights and token counts.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes, indexed ``0 .. n_nodes - 1``.
+    edges:
+        Iterable of ``(src, dst, weight, tokens)`` tuples.  Parallel edges
+        and self-loops are allowed (self-loops model round-robin circuits
+        of non-replicated resources).
+    """
+
+    __slots__ = ("n_nodes", "src", "dst", "weight", "tokens", "_out_adj", "_in_adj")
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Iterable[tuple[int, int, float, int]] = (),
+    ) -> None:
+        if n_nodes < 0:
+            raise ValidationError("n_nodes must be >= 0")
+        self.n_nodes = int(n_nodes)
+        srcs: list[int] = []
+        dsts: list[int] = []
+        weights: list[float] = []
+        tokens: list[int] = []
+        for s, d, w, t in edges:
+            s, d, t = int(s), int(d), int(t)
+            if not (0 <= s < self.n_nodes and 0 <= d < self.n_nodes):
+                raise ValidationError(
+                    f"edge ({s}, {d}) out of range for {self.n_nodes} nodes"
+                )
+            if t < 0:
+                raise ValidationError(f"edge ({s}, {d}) has negative tokens {t}")
+            w = float(w)
+            if not np.isfinite(w):
+                raise ValidationError(f"edge ({s}, {d}) has non-finite weight {w}")
+            srcs.append(s)
+            dsts.append(d)
+            weights.append(w)
+            tokens.append(t)
+        self.src = np.asarray(srcs, dtype=np.int64)
+        self.dst = np.asarray(dsts, dtype=np.int64)
+        self.weight = np.asarray(weights, dtype=float)
+        self.tokens = np.asarray(tokens, dtype=np.int64)
+        self._out_adj: list[list[int]] | None = None
+        self._in_adj: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return int(self.src.size)
+
+    def edge(self, i: int) -> Edge:
+        """Edge ``i`` as a lightweight view object."""
+        return Edge(i, int(self.src[i]), int(self.dst[i]), float(self.weight[i]), int(self.tokens[i]))
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        for i in range(self.n_edges):
+            yield self.edge(i)
+
+    def out_edges(self, node: int) -> list[int]:
+        """Indices of edges leaving ``node``."""
+        return self._out_adjacency()[node]
+
+    def in_edges(self, node: int) -> list[int]:
+        """Indices of edges entering ``node``."""
+        if self._in_adj is None:
+            adj: list[list[int]] = [[] for _ in range(self.n_nodes)]
+            for i in range(self.n_edges):
+                adj[int(self.dst[i])].append(i)
+            self._in_adj = adj
+        return self._in_adj[node]
+
+    def _out_adjacency(self) -> list[list[int]]:
+        if self._out_adj is None:
+            adj: list[list[int]] = [[] for _ in range(self.n_nodes)]
+            for i in range(self.n_edges):
+                adj[int(self.src[i])].append(i)
+            self._out_adj = adj
+        return self._out_adj
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def strongly_connected_components(self) -> list[list[int]]:
+        """Strongly connected components (iterative Tarjan).
+
+        Returned in reverse topological order (Tarjan's natural output);
+        singleton components without self-loops contain no cycles.
+        """
+        n = self.n_nodes
+        adj = self._out_adjacency()
+        index = np.full(n, -1, dtype=np.int64)
+        low = np.zeros(n, dtype=np.int64)
+        on_stack = np.zeros(n, dtype=bool)
+        stack: list[int] = []
+        components: list[list[int]] = []
+        counter = 0
+
+        for root in range(n):
+            if index[root] != -1:
+                continue
+            # Explicit DFS stack of (node, iterator position over out-edges).
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                node, ei = work[-1]
+                if ei == 0:
+                    index[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                advanced = False
+                out = adj[node]
+                while ei < len(out):
+                    nxt = int(self.dst[out[ei]])
+                    ei += 1
+                    if index[nxt] == -1:
+                        work[-1] = (node, ei)
+                        work.append((nxt, 0))
+                        advanced = True
+                        break
+                    if on_stack[nxt]:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if low[node] == index[node]:
+                    comp: list[int] = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        comp.append(w)
+                        if w == node:
+                            break
+                    components.append(comp)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return components
+
+    def token_free_topological_order(self) -> list[int]:
+        """Topological order of nodes in the 0-token edge subgraph.
+
+        Raises
+        ------
+        DeadlockError
+            If the 0-token subgraph contains a cycle — such a cycle has
+            ratio ``+inf`` (it can never fire in the TPN reading).
+        """
+        n = self.n_nodes
+        indeg = np.zeros(n, dtype=np.int64)
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for i in range(self.n_edges):
+            if self.tokens[i] == 0:
+                s, d = int(self.src[i]), int(self.dst[i])
+                if s == d:
+                    raise DeadlockError(
+                        f"node {s} has a token-free self-loop; the graph is not live"
+                    )
+                adj[s].append(d)
+                indeg[d] += 1
+        order = [int(v) for v in np.flatnonzero(indeg == 0)]
+        head = 0
+        while head < len(order):
+            v = order[head]
+            head += 1
+            for w in adj[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    order.append(w)
+        if len(order) != n:
+            raise DeadlockError(
+                "the 0-token subgraph contains a cycle; the graph is not live "
+                "(some cycle carries no token)"
+            )
+        return order
+
+    def is_live(self) -> bool:
+        """``True`` when every cycle carries at least one token."""
+        try:
+            self.token_free_topological_order()
+        except DeadlockError:
+            return False
+        return True
+
+    def subgraph(self, nodes: Sequence[int]) -> tuple["RatioGraph", list[int], list[int]]:
+        """Induced subgraph on ``nodes``.
+
+        Returns ``(sub, node_map, edge_map)`` where ``node_map[i]`` is the
+        original index of sub-node ``i`` and ``edge_map[j]`` the original
+        index of sub-edge ``j``.
+        """
+        node_list = [int(v) for v in nodes]
+        remap = {v: i for i, v in enumerate(node_list)}
+        edge_map: list[int] = []
+        edges: list[tuple[int, int, float, int]] = []
+        for i in range(self.n_edges):
+            s, d = int(self.src[i]), int(self.dst[i])
+            if s in remap and d in remap:
+                edges.append((remap[s], remap[d], float(self.weight[i]), int(self.tokens[i])))
+                edge_map.append(i)
+        return RatioGraph(len(node_list), edges), node_list, edge_map
+
+    def cycle_ratio_of(self, edge_indices: Sequence[int]) -> float:
+        """Exact ratio ``sum(w)/sum(t)`` of a given cycle (list of edges)."""
+        idx = np.asarray(list(edge_indices), dtype=np.int64)
+        total_w = float(self.weight[idx].sum())
+        total_t = int(self.tokens[idx].sum())
+        if total_t == 0:
+            raise DeadlockError("cycle carries no token; its ratio is infinite")
+        return total_w / total_t
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RatioGraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

@@ -1,0 +1,95 @@
+"""Karp's algorithm for the maximum cycle *mean*.
+
+Karp (1978): for a strongly connected digraph with ``n`` nodes and edge
+weights ``w``, the maximum cycle mean (average weight per **edge**) is::
+
+    lambda* = max_v min_{0 <= k < n, D_k(v) > -inf} (D_n(v) - D_k(v)) / (n - k)
+
+where ``D_k(v)`` is the maximum weight of a walk of exactly ``k`` edges
+from an arbitrary root to ``v``.
+
+In TPN terms this solves the cycle-*ratio* problem only when every place
+holds exactly one token (then tokens == edges along any cycle).  The
+library uses it for max-plus matrix eigenvalues
+(:mod:`repro.maxplus.recurrence`) and as an independent oracle in tests;
+general nets go through Lawler's or Howard's algorithm.
+
+The inner recurrence is vectorized: one ``np.maximum.at`` scatter per walk
+length, i.e. ``O(n * e)`` with numpy constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SolverError
+from .graph import RatioGraph
+
+__all__ = ["max_cycle_mean", "max_cycle_mean_scc"]
+
+_NEG_INF = -np.inf
+
+
+def max_cycle_mean_scc(graph: RatioGraph) -> float:
+    """Maximum cycle mean of one strongly connected graph.
+
+    The graph must be strongly connected and contain at least one edge;
+    use :func:`max_cycle_mean` for arbitrary graphs.
+    """
+    n = graph.n_nodes
+    if n == 0 or graph.n_edges == 0:
+        raise SolverError("max_cycle_mean_scc needs a non-empty graph")
+
+    src, dst, w = graph.src, graph.dst, graph.weight
+    # D[k, v] = best walk of exactly k edges from node 0 to v.
+    D = np.full((n + 1, n), _NEG_INF)
+    D[0, 0] = 0.0
+    for k in range(n):
+        nxt = np.full(n, _NEG_INF)
+        cand = D[k, src] + w
+        np.maximum.at(nxt, dst, cand)
+        D[k + 1] = nxt
+
+    finite_n = np.isfinite(D[n])
+    if not np.any(finite_n):
+        raise SolverError(
+            "no walk of length n exists from the root; graph is not "
+            "strongly connected"
+        )
+    best = _NEG_INF
+    ks = np.arange(n)
+    for v in np.flatnonzero(finite_n):
+        dkv = D[:n, v]
+        finite_k = np.isfinite(dkv)
+        ratios = (D[n, v] - dkv[finite_k]) / (n - ks[finite_k])
+        best = max(best, float(ratios.min()))
+    return best
+
+
+def max_cycle_mean(graph: RatioGraph) -> float:
+    """Maximum cycle mean over all cycles of an arbitrary digraph.
+
+    Decomposes into strongly connected components and applies Karp per
+    component.  Raises :class:`~repro.errors.SolverError` when the graph is
+    acyclic (no cycle exists, the mean is undefined).
+    """
+    best = _NEG_INF
+    found = False
+    for comp in graph.strongly_connected_components():
+        if len(comp) == 1:
+            v = comp[0]
+            loops = [
+                i for i in graph.out_edges(v) if int(graph.dst[i]) == v
+            ]
+            if loops:
+                found = True
+                best = max(best, float(graph.weight[loops].max()))
+            continue
+        sub, _, _ = graph.subgraph(comp)
+        if sub.n_edges == 0:
+            continue
+        found = True
+        best = max(best, max_cycle_mean_scc(sub))
+    if not found:
+        raise SolverError("graph is acyclic: no cycle mean exists")
+    return best

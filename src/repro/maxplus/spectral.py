@@ -1,0 +1,252 @@
+"""Spectral theory of token graphs: critical graph, potentials, cyclicity.
+
+Beyond the critical *value* ``lambda*`` (the period), max-plus spectral
+theory describes the steady-state *structure*:
+
+* **potentials** ``h`` — a vector with
+  ``h(src) + w(e) - lambda * t(e) <= h(dst)`` for every edge; they exist
+  exactly when no cycle beats ``lambda`` and are the max-plus analogue of
+  dual variables;
+* the **critical graph** — the union of all cycles attaining
+  ``lambda*``; its edges are the *tight* ones
+  (``h(src) + w - lambda t = h(dst)``).  Resources on critical cycles are
+  the ones that pace the system (Figure 8 draws one such cycle; this
+  module finds them all);
+* the **cyclicity** — the gcd of token counts over critical cycles (per
+  critical component, lcm across components): after the transient, daters
+  satisfy ``x(k + q) = x(k) + q * lambda`` with ``q`` the cyclicity.  The
+  oscillating per-row rates observed in Example B's simulation are a
+  cyclicity-2 effect;
+* the **eigenvector** of an irreducible max-plus matrix — steady-state
+  firing offsets: ``A ⊗ v = lambda + v``.
+
+Everything here is validated against the discrete-event simulator in the
+test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SolverError
+from .algebra import mp_matvec
+from .graph import RatioGraph
+from .howard import max_cycle_ratio_howard
+
+__all__ = [
+    "potentials",
+    "CriticalGraph",
+    "critical_graph",
+    "cyclicity",
+    "mp_eigenvector",
+]
+
+
+def potentials(graph: RatioGraph, lam: float, tol: float = 1e-9) -> np.ndarray:
+    """Longest-path potentials under reduced weights ``w - lam * t``.
+
+    Computed by Bellman-Ford from a virtual super-source connected to all
+    nodes with weight 0; finite because no cycle has positive reduced
+    weight when ``lam >= lambda*``.
+
+    Raises
+    ------
+    SolverError
+        If ``lam`` is below the maximum cycle ratio (a positive reduced
+        cycle exists and longest paths diverge).
+    """
+    n = graph.n_nodes
+    if n == 0:
+        return np.zeros(0)
+    src, dst = graph.src, graph.dst
+    rw = graph.weight - lam * graph.tokens
+    scale = max(1.0, float(np.abs(graph.weight).max()) if graph.n_edges else 1.0)
+    h = np.zeros(n)
+    for _ in range(n):
+        cand = np.full(n, -np.inf)
+        np.maximum.at(cand, dst, h[src] + rw)
+        new_h = np.maximum(h, cand)
+        if np.allclose(new_h, h, rtol=0.0, atol=tol * scale * 1e-3):
+            return new_h
+        h = new_h
+    # one more round: any further improvement proves a positive cycle
+    cand = np.full(n, -np.inf)
+    np.maximum.at(cand, dst, h[src] + rw)
+    if np.any(cand > h + tol * scale):
+        raise SolverError(
+            f"lam = {lam} is below the maximum cycle ratio; potentials "
+            f"do not exist"
+        )
+    return np.maximum(h, cand)
+
+
+@dataclass(frozen=True)
+class CriticalGraph:
+    """The union of all cycles attaining the maximum cycle ratio.
+
+    Attributes
+    ----------
+    value:
+        The critical ratio ``lambda*``.
+    edges:
+        Indices (into the source graph) of critical edges.
+    nodes:
+        Nodes lying on at least one critical cycle.
+    components:
+        Critical strongly connected components (each contains at least
+        one critical cycle), as tuples of node indices.
+    """
+
+    value: float
+    edges: tuple[int, ...]
+    nodes: tuple[int, ...]
+    components: tuple[tuple[int, ...], ...]
+
+
+def critical_graph(graph: RatioGraph, tol: float = 1e-9) -> CriticalGraph:
+    """Compute the critical graph of a live token graph.
+
+    Tight edges (zero reduced slack under optimal potentials) are pruned
+    to those lying inside strongly connected components of the tight
+    subgraph — exactly the edges on critical cycles.
+    """
+    res = max_cycle_ratio_howard(graph)
+    lam = res.value
+    h = potentials(graph, lam)
+    scale = max(1.0, float(np.abs(graph.weight).max()))
+    slack = h[graph.src] + (graph.weight - lam * graph.tokens) - h[graph.dst]
+    tight = np.flatnonzero(slack >= -tol * scale)
+
+    # SCCs of the tight subgraph.
+    tight_graph = RatioGraph(
+        graph.n_nodes,
+        [
+            (int(graph.src[e]), int(graph.dst[e]), float(graph.weight[e]),
+             int(graph.tokens[e]))
+            for e in tight
+        ],
+    )
+    comp_of = {}
+    comps = []
+    for comp in tight_graph.strongly_connected_components():
+        has_cycle = len(comp) > 1 or any(
+            int(tight_graph.dst[i]) == comp[0]
+            for i in tight_graph.out_edges(comp[0])
+        )
+        if has_cycle:
+            comps.append(tuple(sorted(comp)))
+            for v in comp:
+                comp_of[v] = len(comps) - 1
+
+    crit_edges = tuple(
+        int(e)
+        for e in tight
+        if int(graph.src[e]) in comp_of
+        and comp_of[int(graph.src[e])] == comp_of.get(int(graph.dst[e]), -1)
+    )
+    crit_nodes = tuple(sorted(comp_of))
+    return CriticalGraph(
+        value=lam, edges=crit_edges, nodes=crit_nodes,
+        components=tuple(sorted(comps)),
+    )
+
+
+def cyclicity(graph: RatioGraph, crit: CriticalGraph | None = None) -> int:
+    """Cyclicity of the critical graph.
+
+    Per critical component: the gcd of token counts over its cycles
+    (computed via a token-distance spanning tree — every edge closes a
+    cycle of token value ``d(src) + t(e) - d(dst)``); overall the lcm
+    across components.  After the transient, the dater sequence satisfies
+    ``x(k + cyclicity) = x(k) + cyclicity * lambda`` exactly.
+    """
+    if crit is None:
+        crit = critical_graph(graph)
+    overall = 1
+    edge_set = set(crit.edges)
+    for comp in crit.components:
+        comp_set = set(comp)
+        # token-distance from an arbitrary root via BFS on critical edges
+        root = comp[0]
+        dist: dict[int, int] = {root: 0}
+        frontier = [root]
+        adj: dict[int, list[tuple[int, int]]] = {v: [] for v in comp}
+        for e in crit.edges:
+            s, d = int(graph.src[e]), int(graph.dst[e])
+            if s in comp_set and d in comp_set:
+                adj[s].append((d, int(graph.tokens[e])))
+        while frontier:
+            v = frontier.pop()
+            for w, t in adj[v]:
+                if w not in dist:
+                    dist[w] = dist[v] + t
+                    frontier.append(w)
+        g = 0
+        for e in crit.edges:
+            s, d = int(graph.src[e]), int(graph.dst[e])
+            if s in comp_set and d in comp_set and e in edge_set:
+                g = math.gcd(g, dist[s] + int(graph.tokens[e]) - dist[d])
+        overall = math.lcm(overall, max(g, 1))
+    return overall
+
+
+def mp_eigenvector(a: np.ndarray, tol: float = 1e-9) -> tuple[float, np.ndarray]:
+    """Eigenpair of an irreducible max-plus matrix: ``A ⊗ v = lam + v``.
+
+    Classic construction (Baccelli et al., Thm 3.23): normalize
+    ``A_lam = A - lam``; for any node ``j`` on a critical cycle, the
+    ``j``-th column of the Kleene star ``A_lam*`` is an eigenvector
+    (naive power iteration oscillates with the cyclicity, so the star
+    construction is the right tool).  The eigenvalue comes from Karp's
+    algorithm.
+
+    Returns
+    -------
+    (lam, v):
+        The eigenvalue and an eigenvector normalized to ``v[0] = 0``.
+
+    Raises
+    ------
+    SolverError
+        When the matrix is reducible (no finite eigenvector exists in
+        general) — detected via strong connectivity of the support graph.
+    """
+    from .algebra import matrix_to_graph, mp_matmul, mp_star
+
+    a = np.asarray(a, dtype=float)
+    n = a.shape[0]
+    graph = matrix_to_graph(a)
+    crit = critical_graph(graph)
+    lam = crit.value
+
+    a_lam = a - lam  # -inf entries stay -inf
+    # Star converges: all cycles of a_lam have non-positive weight; the
+    # zero-weight (critical) cycles make mp_star's fixpoint test fragile,
+    # so square a bounded number of times (covers all paths < 2n).
+    eye = np.where(np.eye(n, dtype=bool), 0.0, -np.inf)
+    star = np.maximum(a_lam, eye)
+    steps = max(1, int(np.ceil(np.log2(max(n, 2)))) + 1)
+    for _ in range(steps):
+        star = np.maximum(star, mp_matmul(star, star))
+    # The ⊕-combination of the star columns of all critical nodes is the
+    # most general eigenvector candidate; it is finite iff every node is
+    # reachable from some critical node (true for irreducible matrices,
+    # and for the TPN matrices where sources fold into downstream SCCs).
+    with np.errstate(invalid="ignore"):
+        v = star[:, list(crit.nodes)].max(axis=1)
+    if not np.all(np.isfinite(v)):
+        raise SolverError(
+            "no finite eigenvector: some node is unreachable from every "
+            "critical node (reducible matrix with slow upstream class)"
+        )
+    check = mp_matvec(a, v)
+    if not np.allclose(check, lam + v, rtol=0.0,
+                       atol=max(tol, 1e-9) * max(1.0, abs(lam))):
+        raise SolverError(
+            "star construction failed the eigen-equation check (reducible "
+            "matrix whose upstream classes run faster than lambda)"
+        )
+    return lam, v - v[0]

@@ -1,0 +1,45 @@
+"""Timed Petri net models of replicated workflow mappings."""
+
+from .builder import DEFAULT_MAX_ROWS, build_tpn
+from .marking import (
+    FiringEvent,
+    TokenGameTrace,
+    circuit_invariants,
+    play_token_game,
+    verify_invariant_during_game,
+)
+from .net import Place, PlaceKind, TimedEventGraph, Transition
+from .reduction import (
+    CommPattern,
+    CompColumn,
+    column_subgraph,
+    comm_patterns,
+    computation_column,
+)
+from .serialization import tpn_from_dict, tpn_from_json, tpn_to_dict, tpn_to_json
+from .validate import TpnReport, validate_tpn
+
+__all__ = [
+    "TimedEventGraph",
+    "Transition",
+    "Place",
+    "PlaceKind",
+    "build_tpn",
+    "DEFAULT_MAX_ROWS",
+    "validate_tpn",
+    "TpnReport",
+    "CommPattern",
+    "CompColumn",
+    "comm_patterns",
+    "computation_column",
+    "column_subgraph",
+    "play_token_game",
+    "TokenGameTrace",
+    "FiringEvent",
+    "circuit_invariants",
+    "verify_invariant_during_game",
+    "tpn_to_dict",
+    "tpn_from_dict",
+    "tpn_to_json",
+    "tpn_from_json",
+]

@@ -1,0 +1,147 @@
+"""TPN construction for both communication models (Sections 3.2 and 3.3).
+
+The construction is ``O(m n)`` in the size of the produced net, with
+``m = lcm(m_0, ..., m_{n-1})`` rows and ``2n - 1`` columns:
+
+* **row places** (both models, Figure 3a): within row ``j``,
+  ``T^j_{2i} -> T^j_{2i+1} -> T^j_{2i+2}`` — a file cannot be sent before
+  it is computed, a stage cannot start before its input file arrives;
+* **OVERLAP ONE-PORT** (Figures 3b-3d): for every resource (CPU, output
+  port, input port) a round-robin circuit chains, in increasing row
+  order, all transitions of the column where that resource appears; the
+  wrap-around place carries the single token — a resource serves one data
+  set at a time and in round-robin order;
+* **STRICT ONE-PORT** (Figure 5a): one circuit per *processor* chaining
+  ``send(row j_l) -> receive(row j_{l+1})`` — the next reception starts
+  only after the current receive/compute/send sequence completed.  For
+  first (resp. last) stage processors the circuit enters at the
+  computation (resp. exits at the computation).
+
+Since ``m`` can grow multiplicatively (Example C: ``m = 10395``), the
+builder enforces a configurable row budget and raises
+:class:`~repro.errors.ReplicationExplosionError` beyond it.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.models import CommModel
+from ..errors import ReplicationExplosionError
+from .net import PlaceKind, TimedEventGraph
+
+__all__ = ["build_tpn", "DEFAULT_MAX_ROWS"]
+
+#: Default budget on the number of TPN rows (``m = lcm(m_i)``).
+DEFAULT_MAX_ROWS = 20_000
+
+
+def build_tpn(
+    inst: Instance,
+    model: CommModel | str,
+    max_rows: int | None = DEFAULT_MAX_ROWS,
+) -> TimedEventGraph:
+    """Build the timed Petri net of a mapped instance.
+
+    Parameters
+    ----------
+    inst:
+        The validated problem instance.
+    model:
+        Communication model (``"overlap"`` or ``"strict"``).
+    max_rows:
+        Budget on ``m = lcm(m_i)``; ``None`` disables the check.
+
+    Returns
+    -------
+    TimedEventGraph
+        The net, with ``meta`` recording the model and dimensions.
+
+    Examples
+    --------
+    Example A of the paper yields a 6-row, 7-column net:
+
+    >>> from repro.experiments.examples_paper import example_a
+    >>> net = build_tpn(example_a(), "overlap")
+    >>> (net.n_rows, net.n_columns, net.n_transitions)
+    (6, 7, 42)
+    """
+    model = CommModel.parse(model)
+    mapping = inst.mapping
+    n = inst.n_stages
+    m = mapping.num_paths
+    if max_rows is not None and m > max_rows:
+        raise ReplicationExplosionError(m, max_rows)
+
+    n_cols = 2 * n - 1
+    net = TimedEventGraph(n_rows=m, n_columns=n_cols)
+    net.meta.update(
+        model=model.value,
+        n_stages=n,
+        m=m,
+        replication=mapping.replication_counts,
+    )
+
+    # ------------------------------------------------------------------
+    # transitions, row-major
+    # ------------------------------------------------------------------
+    for j in range(m):
+        for c in range(n_cols):
+            i = c // 2
+            if c % 2 == 0:
+                u = mapping.processor_for(i, j)
+                net.add_transition(
+                    j, c, inst.comp_time(i, u), "comp", i, (u,)
+                )
+            else:
+                u = mapping.processor_for(i, j)
+                v = mapping.processor_for(i + 1, j)
+                net.add_transition(
+                    j, c, inst.comm_time(i, u, v), "comm", i, (u, v)
+                )
+
+    tid = lambda row, col: row * n_cols + col  # noqa: E731 - local shorthand
+
+    # ------------------------------------------------------------------
+    # constraint 1: row-internal flow places (both models)
+    # ------------------------------------------------------------------
+    for j in range(m):
+        for c in range(n_cols - 1):
+            net.add_place(tid(j, c), tid(j, c + 1), 0, PlaceKind.FLOW)
+
+    def circuit(rows: list[int], col_out: int, col_in: int, kind: str, resource: str) -> None:
+        """Round-robin circuit: (rows[l], col_out) -> (rows[l+1], col_in).
+
+        The wrap-around place (last row back to the first) carries the
+        single token: the resource is initially free.
+        """
+        k = len(rows)
+        for idx in range(k):
+            src_row = rows[idx]
+            dst_row = rows[(idx + 1) % k]
+            tokens = 1 if idx == k - 1 else 0
+            net.add_place(tid(src_row, col_out), tid(dst_row, col_in), tokens, kind, resource)
+
+    # ------------------------------------------------------------------
+    # round-robin circuits
+    # ------------------------------------------------------------------
+    for i in range(n):
+        procs = mapping.processors_of(i)
+        m_i = len(procs)
+        for r, u in enumerate(procs):
+            rows = list(range(r, m, m_i))
+            if model.overlap:
+                # constraint 2: CPU round-robin
+                circuit(rows, 2 * i, 2 * i, PlaceKind.RR_COMP, f"P{u}:comp")
+                # constraint 3: output-port round-robin
+                if i < n - 1:
+                    circuit(rows, 2 * i + 1, 2 * i + 1, PlaceKind.RR_OUT, f"P{u}:out")
+                # constraint 4: input-port round-robin
+                if i > 0:
+                    circuit(rows, 2 * i - 1, 2 * i - 1, PlaceKind.RR_IN, f"P{u}:in")
+            else:
+                # strict: one receive->compute->send serialization circuit.
+                col_first = 2 * i - 1 if i > 0 else 2 * i
+                col_last = 2 * i + 1 if i < n - 1 else 2 * i
+                circuit(rows, col_last, col_first, PlaceKind.RCS, f"P{u}")
+
+    return net

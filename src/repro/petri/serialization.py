@@ -1,0 +1,98 @@
+"""TPN interchange: dict / JSON round-trips.
+
+Lets nets be saved, diffed and reloaded — useful for regression-pinning
+a constructed net (the test-suite pins Example A's structure) and for
+feeding external Petri-net tooling from the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ValidationError
+from .net import TimedEventGraph
+
+__all__ = ["tpn_to_dict", "tpn_from_dict", "tpn_to_json", "tpn_from_json"]
+
+_FORMAT = "repro-tpn-v1"
+
+
+def tpn_to_dict(net: TimedEventGraph) -> dict:
+    """Plain-data representation of a net (format ``repro-tpn-v1``)."""
+    return {
+        "format": _FORMAT,
+        "n_rows": net.n_rows,
+        "n_columns": net.n_columns,
+        "meta": dict(net.meta),
+        "transitions": [
+            {
+                "row": t.row,
+                "column": t.column,
+                "duration": t.duration,
+                "kind": t.kind,
+                "stage_or_file": t.stage_or_file,
+                "procs": list(t.procs),
+            }
+            for t in net.transitions
+        ],
+        "places": [
+            {
+                "src": p.src,
+                "dst": p.dst,
+                "tokens": p.tokens,
+                "kind": p.kind,
+                "resource": p.resource,
+            }
+            for p in net.places
+        ],
+    }
+
+
+def tpn_from_dict(data: dict) -> TimedEventGraph:
+    """Inverse of :func:`tpn_to_dict` (validates the format tag)."""
+    if data.get("format") != _FORMAT:
+        raise ValidationError(
+            f"unknown TPN format {data.get('format')!r}; expected {_FORMAT!r}"
+        )
+    net = TimedEventGraph(n_rows=int(data["n_rows"]),
+                          n_columns=int(data["n_columns"]))
+    net.meta.update(data.get("meta", {}))
+    for t in data["transitions"]:
+        net.add_transition(
+            int(t["row"]), int(t["column"]), float(t["duration"]),
+            str(t["kind"]), int(t["stage_or_file"]),
+            tuple(int(u) for u in t["procs"]),
+        )
+    for p in data["places"]:
+        net.add_place(
+            int(p["src"]), int(p["dst"]), int(p["tokens"]),
+            str(p["kind"]), str(p.get("resource", "")),
+        )
+    return net
+
+
+def tpn_to_json(net: TimedEventGraph, path: str | Path | None = None,
+                indent: int = 2) -> str:
+    """Serialize to JSON; also writes ``path`` when given."""
+    # meta may contain tuples; normalize for JSON
+    data = tpn_to_dict(net)
+    data["meta"] = {
+        k: (list(v) if isinstance(v, tuple) else v)
+        for k, v in data["meta"].items()
+    }
+    text = json.dumps(data, indent=indent)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def tpn_from_json(source: str | Path) -> TimedEventGraph:
+    """Load a net from a JSON string or file path."""
+    if isinstance(source, Path):
+        text = source.read_text()
+    else:
+        text = str(source)
+        if "\n" not in text and text.endswith(".json"):
+            text = Path(text).read_text()
+    return tpn_from_dict(json.loads(text))

@@ -1,0 +1,146 @@
+"""Structural validation of workflow TPNs.
+
+These checks encode the invariants Section 3 of the paper states about
+its construction; the test-suite runs them on randomly generated
+instances.  :func:`validate_tpn` returns a :class:`TpnReport` and raises
+on violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeadlockError, ValidationError
+from .net import PlaceKind, TimedEventGraph
+
+__all__ = ["TpnReport", "validate_tpn"]
+
+
+@dataclass(frozen=True)
+class TpnReport:
+    """Summary statistics of a validated net.
+
+    Attributes
+    ----------
+    n_rows, n_columns, n_transitions, n_places:
+        Net dimensions (``n_transitions = n_rows * n_columns``).
+    tokens:
+        Total initial marking — equals the number of round-robin circuits.
+    places_by_kind:
+        Count of places per constraint class.
+    """
+
+    n_rows: int
+    n_columns: int
+    n_transitions: int
+    n_places: int
+    tokens: int
+    places_by_kind: dict[str, int]
+
+
+def validate_tpn(net: TimedEventGraph) -> TpnReport:
+    """Check all structural invariants of a built workflow TPN.
+
+    Verified properties:
+
+    * the transition matrix is dense: ``m`` rows by ``2n - 1`` columns,
+      transitions indexed row-major, alternating comp/comm kinds;
+    * flow places: one per consecutive column pair per row, zero tokens;
+    * every round-robin circuit place stays within the column span allowed
+      by its kind and carries a token only on its wrap-around arc;
+    * each circuit holds exactly **one** token in total;
+    * liveness: the 0-token subgraph is acyclic (every cycle of the net
+      carries at least one token);
+    * durations are non-negative.
+
+    Raises
+    ------
+    ValidationError
+        On any structural violation.
+    DeadlockError
+        When a token-free cycle exists.
+    """
+    m, n_cols = net.n_rows, net.n_columns
+    if net.n_transitions != m * n_cols:
+        raise ValidationError(
+            f"expected {m * n_cols} transitions ({m} rows x {n_cols} "
+            f"columns), found {net.n_transitions}"
+        )
+
+    # -- transitions -----------------------------------------------------
+    for t in net.transitions:
+        if t.index != t.row * n_cols + t.column:
+            raise ValidationError(f"transition {t.index} has inconsistent position")
+        expected_kind = "comp" if t.column % 2 == 0 else "comm"
+        if t.kind != expected_kind:
+            raise ValidationError(
+                f"transition at column {t.column} should be {expected_kind}, "
+                f"found {t.kind}"
+            )
+        if t.duration < 0:
+            raise ValidationError(f"transition {t.index} has negative duration")
+        if t.kind == "comm" and len(t.procs) != 2:
+            raise ValidationError(f"transmission {t.index} needs (src, dst) procs")
+        if t.kind == "comp" and len(t.procs) != 1:
+            raise ValidationError(f"computation {t.index} needs a single proc")
+
+    # -- places ------------------------------------------------------------
+    by_kind: dict[str, int] = {k: 0 for k in PlaceKind.ALL}
+    circuit_tokens: dict[str, int] = {}
+    circuit_sizes: dict[str, int] = {}
+    for p in net.places:
+        by_kind[p.kind] += 1
+        src_t, dst_t = net.transitions[p.src], net.transitions[p.dst]
+        if p.kind == PlaceKind.FLOW:
+            if p.tokens != 0:
+                raise ValidationError(f"flow place {p.index} carries tokens")
+            if src_t.row != dst_t.row or dst_t.column != src_t.column + 1:
+                raise ValidationError(
+                    f"flow place {p.index} must link consecutive columns of "
+                    f"one row"
+                )
+        else:
+            if not p.resource:
+                raise ValidationError(f"circuit place {p.index} lacks a resource tag")
+            key = f"{p.kind}:{p.resource}"
+            circuit_tokens[key] = circuit_tokens.get(key, 0) + p.tokens
+            circuit_sizes[key] = circuit_sizes.get(key, 0) + 1
+            if p.kind in (PlaceKind.RR_COMP, PlaceKind.RR_OUT, PlaceKind.RR_IN):
+                if src_t.column != dst_t.column:
+                    raise ValidationError(
+                        f"round-robin place {p.index} must stay in one column"
+                    )
+            elif p.kind == PlaceKind.RCS:
+                # send (or last op) of one row to receive (or first op) of
+                # the next row of the same processor.
+                if src_t.column < dst_t.column:
+                    raise ValidationError(
+                        f"strict serialization place {p.index} must point "
+                        f"backwards (or within) the processor's column span"
+                    )
+
+    # -- one token per circuit ---------------------------------------------
+    for key, tok in circuit_tokens.items():
+        if tok != 1:
+            raise ValidationError(f"circuit {key} carries {tok} tokens, expected 1")
+
+    # -- flow place count ----------------------------------------------------
+    expected_flow = m * (n_cols - 1)
+    if by_kind[PlaceKind.FLOW] != expected_flow:
+        raise ValidationError(
+            f"expected {expected_flow} flow places, found {by_kind[PlaceKind.FLOW]}"
+        )
+
+    # -- liveness -------------------------------------------------------------
+    graph = net.to_ratio_graph()
+    if not graph.is_live():
+        raise DeadlockError("the net contains a token-free cycle")
+
+    return TpnReport(
+        n_rows=m,
+        n_columns=n_cols,
+        n_transitions=net.n_transitions,
+        n_places=net.n_places,
+        tokens=net.total_tokens(),
+        places_by_kind={k: v for k, v in by_kind.items() if v},
+    )

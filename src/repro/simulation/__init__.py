@@ -1,0 +1,25 @@
+"""Discrete-event simulation, schedules and Gantt rendering."""
+
+from .event_sim import SimulationTrace, simulate
+from .gantt import render_gantt, resource_order, utilization_table
+from .schedule import BusyInterval, ResourceSchedule, extract_schedules
+from .steady_state import PeriodEstimate, estimate_period, measure_period
+from .svg import render_gantt_svg
+from .transient import TransientReport, analyze_transient
+
+__all__ = [
+    "simulate",
+    "SimulationTrace",
+    "estimate_period",
+    "measure_period",
+    "PeriodEstimate",
+    "extract_schedules",
+    "ResourceSchedule",
+    "BusyInterval",
+    "render_gantt",
+    "resource_order",
+    "utilization_table",
+    "render_gantt_svg",
+    "analyze_transient",
+    "TransientReport",
+]

@@ -1,0 +1,134 @@
+"""ASCII Gantt charts of simulated schedules (Figures 7 and 12).
+
+Renders per-resource busy intervals over a time window as fixed-width
+text.  The resource ordering mirrors the paper's figures: for each
+processor in pipeline order — input port, CPU, output port (OVERLAP
+model) or the single processor row (STRICT model).
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.models import CommModel
+from .schedule import ResourceSchedule
+
+__all__ = ["resource_order", "render_gantt", "utilization_table"]
+
+
+def resource_order(inst: Instance, model: CommModel | str) -> list[str]:
+    """Resource display order matching Figure 7's row layout.
+
+    Processors appear in stage-then-replica order; under OVERLAP each
+    contributes its input port, CPU and output port (when they exist).
+    """
+    model = CommModel.parse(model)
+    n = inst.n_stages
+    order: list[str] = []
+    for stage in range(n):
+        for u in inst.mapping.processors_of(stage):
+            if not model.overlap:
+                order.append(f"P{u}")
+                continue
+            if stage > 0:
+                order.append(f"P{u}:in")
+            order.append(f"P{u}:comp")
+            if stage < n - 1:
+                order.append(f"P{u}:out")
+    return order
+
+
+def render_gantt(
+    schedules: dict[str, ResourceSchedule],
+    t0: float,
+    t1: float,
+    width: int = 100,
+    resources: list[str] | None = None,
+) -> str:
+    """Render schedules over ``[t0, t1]`` as an ASCII chart.
+
+    Each resource becomes one line; busy spans are drawn as ``#`` blocks
+    with the interval label (``S1 (4)``, ``F0 (2)``, ...) embedded when it
+    fits.  Idle time is drawn as ``.`` — the visual signature of the
+    paper's "all resources have idle times" examples.
+
+    Parameters
+    ----------
+    schedules:
+        Output of :func:`repro.simulation.schedule.extract_schedules`.
+    t0, t1:
+        Time window (e.g. one or two periods into the steady state).
+    width:
+        Chart width in characters.
+    resources:
+        Display order; defaults to sorted schedule keys (use
+        :func:`resource_order` for the paper's layout).
+    """
+    if t1 <= t0:
+        raise ValueError("gantt window must have positive length")
+    if resources is None:
+        resources = sorted(schedules)
+    name_w = max((len(r) for r in resources), default=4) + 1
+    scale = width / (t1 - t0)
+
+    def col(t: float) -> int:
+        return min(width, max(0, int(round((t - t0) * scale))))
+
+    lines = [
+        f"{'time':<{name_w}}|{_ruler(t0, t1, width)}|",
+    ]
+    for res in resources:
+        row = ["."] * width
+        sched = schedules.get(res)
+        if sched is not None:
+            for iv in sched.intervals:
+                if iv.end <= t0 or iv.start >= t1:
+                    continue
+                a, b = col(iv.start), col(iv.end)
+                if b <= a:
+                    b = min(width, a + 1)
+                for x in range(a, b):
+                    row[x] = "#"
+                label = iv.label
+                if b - a >= len(label) + 2:
+                    start_at = a + ((b - a) - len(label)) // 2
+                    for i, ch in enumerate(label):
+                        row[start_at + i] = ch
+        lines.append(f"{res:<{name_w}}|{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def _ruler(t0: float, t1: float, width: int) -> str:
+    """A sparse time ruler with ~5 tick labels."""
+    row = [" "] * width
+    n_ticks = 5
+    for i in range(n_ticks + 1):
+        t = t0 + (t1 - t0) * i / n_ticks
+        label = f"{t:.6g}"
+        pos = min(width - len(label), int(round(width * i / n_ticks)))
+        for j, ch in enumerate(label):
+            if 0 <= pos + j < width and row[pos + j] == " ":
+                row[pos + j] = ch
+    return "".join(row)
+
+
+def utilization_table(
+    schedules: dict[str, ResourceSchedule],
+    t0: float,
+    t1: float,
+    resources: list[str] | None = None,
+) -> str:
+    """Tabulate busy fraction per resource over a window.
+
+    A row with utilization < 1 is a resource with idle time; the paper's
+    Examples A-strict and B show **every** row below 1.
+    """
+    if resources is None:
+        resources = sorted(schedules)
+    name_w = max((len(r) for r in resources), default=4) + 1
+    lines = [f"{'resource':<{name_w}} busy%   busy-time (window {t0:g}..{t1:g})"]
+    for res in resources:
+        sched = schedules.get(res)
+        busy = sched.busy_time(t0, t1) if sched else 0.0
+        frac = busy / (t1 - t0)
+        lines.append(f"{res:<{name_w}} {100 * frac:6.2f}  {busy:g}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Standalone SVG rendering of schedules (publication-quality Figure 7/12).
+
+No external dependency — the SVG is assembled as text.  Each resource
+gets a horizontal lane; busy intervals become colored rectangles labeled
+with the data set they serve (computations and transmissions in
+different hues), with a time axis and optional period separators like
+the dashed lines delimiting "Period 0 / 1 / 2" in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from .schedule import ResourceSchedule
+
+__all__ = ["render_gantt_svg"]
+
+_COMP_FILL = "#4e79a7"
+_COMM_FILL = "#f28e2b"
+_LANE_BG = "#f4f4f4"
+
+
+def render_gantt_svg(
+    schedules: dict[str, ResourceSchedule],
+    t0: float,
+    t1: float,
+    resources: list[str] | None = None,
+    width: int = 1200,
+    lane_height: int = 26,
+    period_marks: list[float] | None = None,
+    title: str = "",
+    path: str | Path | None = None,
+) -> str:
+    """Render schedules over ``[t0, t1]`` as an SVG document.
+
+    Parameters
+    ----------
+    schedules:
+        Output of :func:`repro.simulation.schedule.extract_schedules`.
+    t0, t1:
+        Time window.
+    resources:
+        Lane order (defaults to sorted keys).
+    width, lane_height:
+        Pixel geometry.
+    period_marks:
+        Time stamps where dashed vertical period separators are drawn.
+    title:
+        Optional chart title.
+    path:
+        When given, the SVG text is also written to this file.
+    """
+    if t1 <= t0:
+        raise ValueError("svg window must have positive length")
+    if resources is None:
+        resources = sorted(schedules)
+    label_w = 90
+    chart_w = width - label_w - 10
+    top = 40 if title else 24
+    height = top + lane_height * len(resources) + 30
+    sx = chart_w / (t1 - t0)
+
+    def x(t: float) -> float:
+        return label_w + (t - t0) * sx
+
+    out: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="Helvetica, sans-serif" '
+        f'font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        out.append(
+            f'<text x="{width / 2:.1f}" y="18" text-anchor="middle" '
+            f'font-size="14">{html.escape(title)}</text>'
+        )
+
+    # lanes
+    for i, res in enumerate(resources):
+        y = top + i * lane_height
+        out.append(
+            f'<rect x="{label_w}" y="{y}" width="{chart_w}" '
+            f'height="{lane_height - 4}" fill="{_LANE_BG}"/>'
+        )
+        out.append(
+            f'<text x="{label_w - 6}" y="{y + lane_height / 2 + 2:.1f}" '
+            f'text-anchor="end">{html.escape(res)}</text>'
+        )
+        sched = schedules.get(res)
+        if sched is None:
+            continue
+        for iv in sched.intervals:
+            if iv.end <= t0 or iv.start >= t1:
+                continue
+            a, b = max(iv.start, t0), min(iv.end, t1)
+            fill = _COMM_FILL if iv.label.startswith("F") else _COMP_FILL
+            w = max(1.0, (b - a) * sx)
+            out.append(
+                f'<rect x="{x(a):.2f}" y="{y + 1}" width="{w:.2f}" '
+                f'height="{lane_height - 6}" fill="{fill}" '
+                f'stroke="white" stroke-width="0.5">'
+                f"<title>{html.escape(iv.label)}: "
+                f"[{iv.start:g}, {iv.end:g}]</title></rect>"
+            )
+            if w > 7 * len(iv.label):
+                out.append(
+                    f'<text x="{x(a) + w / 2:.2f}" '
+                    f'y="{y + lane_height / 2 + 2:.1f}" fill="white" '
+                    f'text-anchor="middle" font-size="9">'
+                    f"{html.escape(iv.label)}</text>"
+                )
+
+    # period separators
+    for mark in period_marks or []:
+        if t0 <= mark <= t1:
+            out.append(
+                f'<line x1="{x(mark):.2f}" y1="{top - 4}" '
+                f'x2="{x(mark):.2f}" y2="{height - 28}" stroke="#888" '
+                f'stroke-dasharray="5,4"/>'
+            )
+
+    # time axis
+    axis_y = top + lane_height * len(resources) + 4
+    out.append(
+        f'<line x1="{label_w}" y1="{axis_y}" x2="{label_w + chart_w}" '
+        f'y2="{axis_y}" stroke="black"/>'
+    )
+    for i in range(6):
+        t = t0 + (t1 - t0) * i / 5
+        out.append(
+            f'<line x1="{x(t):.2f}" y1="{axis_y}" x2="{x(t):.2f}" '
+            f'y2="{axis_y + 4}" stroke="black"/>'
+        )
+        out.append(
+            f'<text x="{x(t):.2f}" y="{axis_y + 16}" '
+            f'text-anchor="middle">{t:.6g}</text>'
+        )
+    out.append("</svg>")
+    text = "\n".join(out)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,80 @@
+"""Small shared helpers: integer lattice math and validation utilities."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "lcm_all",
+    "gcd_all",
+    "check_positive",
+    "check_non_negative",
+    "check_finite",
+    "format_time",
+]
+
+
+def lcm_all(values: Iterable[int]) -> int:
+    """Least common multiple of an iterable of positive integers.
+
+    This is the ``m`` of Proposition 1: the number of distinct round-robin
+    paths of a replicated mapping is ``lcm(m_0, ..., m_{n-1})``.
+
+    >>> lcm_all([1, 2, 3, 1])
+    6
+    >>> lcm_all([5, 21, 27, 11])   # Example C of the paper
+    10395
+    """
+    result = 1
+    for v in values:
+        v = int(v)
+        if v <= 0:
+            raise ValueError(f"lcm is only defined for positive integers, got {v}")
+        result = math.lcm(result, v)
+    return result
+
+
+def gcd_all(values: Iterable[int]) -> int:
+    """Greatest common divisor of an iterable of positive integers."""
+    result = 0
+    for v in values:
+        v = int(v)
+        if v <= 0:
+            raise ValueError(f"gcd is only defined for positive integers, got {v}")
+        result = math.gcd(result, v)
+    return result
+
+
+def check_positive(name: str, values: Sequence[float]) -> None:
+    """Raise :class:`ValueError` unless every entry is finite and ``> 0``."""
+    for i, v in enumerate(values):
+        if not math.isfinite(v) or v <= 0:
+            raise ValueError(f"{name}[{i}] must be finite and positive, got {v!r}")
+
+
+def check_non_negative(name: str, values: Sequence[float]) -> None:
+    """Raise :class:`ValueError` unless every entry is finite and ``>= 0``."""
+    for i, v in enumerate(values):
+        if not math.isfinite(v) or v < 0:
+            raise ValueError(f"{name}[{i}] must be finite and non-negative, got {v!r}")
+
+
+def check_finite(name: str, value: float) -> float:
+    """Raise :class:`ValueError` unless ``value`` is a finite float."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def format_time(t: float, digits: int = 6) -> str:
+    """Human-friendly rendering of a time value.
+
+    Integers print without a decimal point (``189`` not ``189.0``) which
+    keeps tables aligned with the paper's own notation.
+    """
+    r = round(t)
+    if abs(t - r) < 10 ** (-digits):
+        return str(int(r))
+    return f"{t:.{digits}g}"

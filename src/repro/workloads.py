@@ -1,0 +1,207 @@
+"""Catalog of realistic streaming-workflow definitions.
+
+The paper motivates replicated workflows with "video and audio encoding
+and decoding, DSP applications" and the DataCutter scientific-filtering
+middleware.  This module provides ready-made, documented pipeline
+definitions in those families — the workload side of the benchmark
+harness and examples — plus a parametric synthetic generator for
+stress shapes (compute-heavy, comm-heavy, bursty).
+
+Costs are order-of-magnitude realistic (FLOP per item, bytes per item)
+but deliberately simple; they exist to exercise the scheduling math, not
+to model codecs bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.application import Application
+
+__all__ = [
+    "WorkloadSpec",
+    "CATALOG",
+    "get_workload",
+    "video_transcode",
+    "audio_pipeline",
+    "sdr_receiver",
+    "datacutter_filter_chain",
+    "genomics_pipeline",
+    "synthetic",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload with provenance notes.
+
+    Attributes
+    ----------
+    name:
+        Catalog key.
+    application:
+        The pipeline definition.
+    description:
+        What the stages model and where the cost shape comes from.
+    """
+
+    name: str
+    application: Application
+    description: str
+
+
+def video_transcode() -> Application:
+    """Live video transcoding: demux, decode, scale, encode, mux.
+
+    Shape: encode dominates compute (motion search), decoded frames
+    dominate traffic (raw YUV between decode and encode stages).
+    Units: GFLOP and MB per group-of-pictures.
+    """
+    return Application(
+        works=[0.4, 6.0, 2.5, 14.0, 0.5],
+        file_sizes=[8.0, 48.0, 24.0, 4.0],
+        name="video-transcode",
+        stage_names=["demux", "decode", "scale", "encode", "mux"],
+    )
+
+
+def audio_pipeline() -> Application:
+    """Audio mastering chain: decode, resample, effects, encode.
+
+    Audio frames are small; compute is modest and balanced — a pipeline
+    where communication almost never bottlenecks (contrast with video).
+    """
+    return Application(
+        works=[0.2, 0.8, 1.5, 1.2],
+        file_sizes=[0.4, 1.6, 1.6],
+        name="audio-pipeline",
+        stage_names=["decode", "resample", "effects", "encode"],
+    )
+
+
+def sdr_receiver() -> Application:
+    """Software-defined-radio receive chain (the paper's DSP family).
+
+    Channelize is FFT-heavy; raw IQ samples in front are the big files,
+    decoded bits at the end are tiny — a strongly front-loaded traffic
+    shape.
+    """
+    return Application(
+        works=[0.5, 7.0, 3.0, 9.0, 0.3],
+        file_sizes=[32.0, 8.0, 4.0, 0.2],
+        name="sdr-receiver",
+        stage_names=["capture", "channelize", "demod", "decode", "sink"],
+    )
+
+
+def datacutter_filter_chain() -> Application:
+    """Scientific dataset filtering (the DataCutter family [4, 10]).
+
+    Archive chunks are read, decompressed, clipped to a region of
+    interest, resampled and aggregated; data *shrinks* along the chain,
+    making later stages cheap to feed — the classic case where
+    replicating the early filters pays off.
+    """
+    return Application(
+        works=[1.0, 5.0, 4.0, 6.0, 2.0, 1.0],
+        file_sizes=[64.0, 48.0, 16.0, 8.0, 2.0],
+        name="datacutter-chain",
+        stage_names=["read", "decompress", "clip", "resample",
+                     "aggregate", "write"],
+    )
+
+
+def genomics_pipeline() -> Application:
+    """Read-alignment style pipeline: trim, align, sort, call, report.
+
+    Alignment dominates everything — the single-heavy-stage shape where
+    throughput scales almost linearly with that stage's replication
+    until the input splitter's port saturates.
+    """
+    return Application(
+        works=[1.0, 40.0, 6.0, 10.0, 0.5],
+        file_sizes=[12.0, 14.0, 10.0, 1.0],
+        name="genomics-pipeline",
+        stage_names=["trim", "align", "sort", "call", "report"],
+    )
+
+
+def synthetic(
+    n_stages: int,
+    shape: str = "balanced",
+    scale: float = 10.0,
+    seed: int = 0,
+) -> Application:
+    """Parametric synthetic pipeline.
+
+    Parameters
+    ----------
+    n_stages:
+        Chain length (>= 1).
+    shape:
+        ``"balanced"`` — all stages and files comparable;
+        ``"compute-heavy"`` — one dominant stage in the middle;
+        ``"comm-heavy"`` — large files, light compute;
+        ``"shrinking"`` — files decay geometrically along the chain
+        (the DataCutter shape);
+        ``"random"`` — log-uniform works and sizes.
+    scale:
+        Typical magnitude of works/sizes.
+    seed:
+        RNG seed for the ``"random"`` shape.
+    """
+    if n_stages < 1:
+        raise ValueError("n_stages must be >= 1")
+    n_files = n_stages - 1
+    if shape == "balanced":
+        works = [scale] * n_stages
+        sizes = [scale] * n_files
+    elif shape == "compute-heavy":
+        works = [scale * 0.2] * n_stages
+        works[n_stages // 2] = scale * 5.0
+        sizes = [scale * 0.2] * n_files
+    elif shape == "comm-heavy":
+        works = [scale * 0.2] * n_stages
+        sizes = [scale * 5.0] * n_files
+    elif shape == "shrinking":
+        works = [scale] * n_stages
+        sizes = [scale * (0.5 ** i) for i in range(n_files)]
+    elif shape == "random":
+        rng = np.random.default_rng(seed)
+        works = list(scale * np.exp(rng.uniform(-1.5, 1.5, n_stages)))
+        sizes = list(scale * np.exp(rng.uniform(-1.5, 1.5, n_files)))
+    else:
+        raise ValueError(f"unknown shape {shape!r}")
+    return Application(works=works, file_sizes=sizes,
+                       name=f"synthetic-{shape}-{n_stages}")
+
+
+#: The named catalog (used by examples and benchmarks).
+CATALOG: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec("video-transcode", video_transcode(),
+                     "live transcoding; encode-heavy, raw-frame traffic"),
+        WorkloadSpec("audio-pipeline", audio_pipeline(),
+                     "audio mastering; small frames, balanced compute"),
+        WorkloadSpec("sdr-receiver", sdr_receiver(),
+                     "software radio; front-loaded traffic, FFT compute"),
+        WorkloadSpec("datacutter-chain", datacutter_filter_chain(),
+                     "scientific filtering; shrinking data volumes"),
+        WorkloadSpec("genomics-pipeline", genomics_pipeline(),
+                     "read alignment; one dominant stage"),
+    ]
+}
+
+
+def get_workload(name: str) -> Application:
+    """Look up a catalog workload by name (raises ``KeyError`` with the
+    available names otherwise)."""
+    try:
+        return CATALOG[name].application
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(CATALOG)}"
+        ) from None

@@ -1,0 +1,120 @@
+"""Tests for the algorithms package (Theorem 1, general TPN, bounds)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import ValidationError, compute_period
+from repro.algorithms import (
+    classify_critical_resource,
+    describe_critical_cycle,
+    overlap_period,
+    period_lower_bound,
+    tpn_period,
+)
+from repro.experiments import example_a, example_b
+
+from .conftest import small_instances
+
+
+class TestOverlapBreakdown:
+    def test_columns_cover_net(self):
+        bd = overlap_period(example_a())
+        assert [c.column for c in bd.columns] == list(range(7))
+        assert [c.kind for c in bd.columns] == [
+            "comp", "comm", "comp", "comm", "comp", "comm", "comp"
+        ]
+
+    def test_period_is_max_contribution(self):
+        bd = overlap_period(example_a())
+        assert bd.period == max(c.value for c in bd.columns)
+
+    def test_describe_lines(self):
+        bd = overlap_period(example_a())
+        assert "S0 computation" in bd.columns[0].describe()
+        assert "F0 transmission" in bd.columns[1].describe()
+
+    @given(small_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_contributions_bound_cycle_times(self, inst):
+        """Each resource's overlap cycle-time is dominated by its column."""
+        from repro import cycle_times
+
+        bd = overlap_period(inst)
+        rep = cycle_times(inst, "overlap")
+        for ct in rep.per_processor:
+            assert bd.period >= ct.cexec(rep.model) - 1e-9
+
+
+class TestTpnSolution:
+    def test_critical_cycle_ratio_consistency(self):
+        sol = tpn_period(example_b(), "overlap")
+        g = sol.net.to_ratio_graph()
+        assert g.cycle_ratio_of(sol.ratio.cycle_edges) == pytest.approx(
+            sol.ratio.value
+        )
+        assert sol.period == pytest.approx(sol.ratio.value / sol.net.n_rows)
+
+    def test_describe_critical_cycle(self):
+        sol = tpn_period(example_a(), "strict")
+        text = describe_critical_cycle(sol)
+        assert "critical cycle" in text
+        assert "duration" in text
+        # at least two transitions in a strict cycle
+        assert len(text.splitlines()) >= 3
+
+    def test_critical_transitions_belong_to_net(self):
+        sol = tpn_period(example_a(), "strict")
+        for t in sol.critical_transitions:
+            assert sol.net.transitions[t.index] is t
+
+
+class TestBounds:
+    def test_lower_bound_matches_cycle_times(self):
+        from repro import maximum_cycle_time
+
+        assert period_lower_bound(example_a(), "overlap") == maximum_cycle_time(
+            example_a(), "overlap"
+        )
+
+    def test_classification_tight(self):
+        v = classify_critical_resource(example_a(), "overlap", 189.0)
+        assert v.has_critical_resource
+        assert v.relative_gap == pytest.approx(0.0)
+        assert (0, "out") in v.critical_resources
+
+    def test_classification_gap(self):
+        v = classify_critical_resource(example_b(), "overlap", 3500.0 / 12)
+        assert not v.has_critical_resource
+        assert v.relative_gap == pytest.approx(400.0 / 3100.0)
+        assert v.critical_resources == ()
+
+
+class TestComputePeriodApi:
+    def test_polynomial_rejected_for_strict(self):
+        with pytest.raises(ValidationError):
+            compute_period(example_a(), "strict", method="polynomial")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError):
+            compute_period(example_a(), "overlap", method="magic")
+
+    def test_simulation_method(self):
+        res = compute_period(example_a(), "overlap", method="simulation")
+        assert res.period == pytest.approx(189.0, rel=1e-6)
+        assert res.method == "simulation"
+
+    def test_auto_dispatch(self):
+        assert compute_period(example_a(), "overlap").method == "polynomial"
+        assert compute_period(example_a(), "strict").method == "tpn"
+
+    def test_summary_text(self):
+        res = compute_period(example_b(), "overlap")
+        s = res.summary()
+        assert "NO — every resource idles" in s
+        assert "291.667" in s
+        res = compute_period(example_a(), "overlap")
+        assert "yes (P = Mct)" in res.summary()
+
+    def test_throughput_inverse(self):
+        res = compute_period(example_a(), "overlap")
+        assert res.throughput == pytest.approx(1.0 / 189.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the application model."""
+
+import pytest
+
+from repro import Application, ValidationError
+from repro.core.application import Stage
+
+
+class TestConstruction:
+    def test_figure1_pipeline(self):
+        app = Application(works=[1, 2, 3, 1], file_sizes=[10, 20, 30])
+        assert app.n_stages == 4
+        assert app.n_files == 3
+        assert app.work(2) == 3.0
+        assert app.file_size(1) == 20.0
+
+    def test_single_stage_needs_no_files(self):
+        app = Application(works=[5.0], file_sizes=[])
+        assert app.n_stages == 1
+        assert app.n_files == 0
+
+    def test_mismatched_file_count_rejected(self):
+        with pytest.raises(ValidationError):
+            Application(works=[1, 2], file_sizes=[1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Application(works=[], file_sizes=[])
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValidationError):
+            Application(works=[-1.0], file_sizes=[])
+
+    def test_zero_work_allowed(self):
+        # a pure forwarding stage is legal
+        assert Application(works=[0.0, 1.0], file_sizes=[1.0]).work(0) == 0.0
+
+    def test_nan_size_rejected(self):
+        with pytest.raises(ValidationError):
+            Application(works=[1, 1], file_sizes=[float("nan")])
+
+    def test_default_stage_names(self):
+        app = Application(works=[1, 1], file_sizes=[1])
+        assert app.stage_name(0) == "S0"
+        assert app.stage_name(1) == "S1"
+
+    def test_custom_stage_names(self):
+        app = Application(works=[1, 1], file_sizes=[1],
+                          stage_names=["decode", "encode"])
+        assert [s.name for s in app.stages()] == ["decode", "encode"]
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(ValidationError):
+            Application(works=[1, 1], file_sizes=[1], stage_names=["x"])
+
+
+class TestAccessBounds:
+    def test_stage_out_of_range(self):
+        app = Application(works=[1, 1], file_sizes=[1])
+        with pytest.raises(IndexError):
+            app.work(2)
+        with pytest.raises(IndexError):
+            app.work(-1)
+
+    def test_file_out_of_range(self):
+        app = Application(works=[1, 1], file_sizes=[1])
+        with pytest.raises(IndexError):
+            app.file_size(1)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        app = Application(works=[1, 2], file_sizes=[3], name="x",
+                          stage_names=["a", "b"])
+        clone = Application.from_dict(app.to_dict())
+        assert clone == app
+
+    def test_dict_contents(self):
+        d = Application(works=[1, 2], file_sizes=[3]).to_dict()
+        assert d["works"] == [1.0, 2.0]
+        assert d["file_sizes"] == [3.0]
+
+
+class TestStage:
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(work=-1.0)
+
+    def test_fields(self):
+        s = Stage(work=2.5, name="filter")
+        assert s.work == 2.5 and s.name == "filter"

@@ -1,0 +1,121 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPeriod:
+    def test_example_a_overlap(self, capsys):
+        assert main(["period", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "period P           : 189" in out
+        assert "yes (P = Mct)" in out
+
+    def test_example_b_breakdown(self, capsys):
+        assert main(["period", "b", "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "per-column contributions:" in out
+        assert "F0 transmission" in out
+
+    def test_strict_critical_cycle(self, capsys):
+        assert main(["period", "a", "--model", "strict", "--critical-cycle"]) == 0
+        out = capsys.readouterr().out
+        assert "critical cycle" in out
+
+    def test_json_instance(self, tmp_path, capsys):
+        from repro.experiments import example_b
+
+        path = tmp_path / "b.json"
+        example_b().to_json(path)
+        assert main(["period", str(path)]) == 0
+        assert "291.667" in capsys.readouterr().out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["period", "/nonexistent/file.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_paths(self, capsys):
+        assert main(["paths", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "P0 -> P1 -> P3 -> P6" in out
+
+    def test_cycle(self, capsys):
+        assert main(["cycle", "a", "--model", "strict"]) == 0
+        out = capsys.readouterr().out
+        assert "M_ct = 215.833" in out
+        assert "P2" in out
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "a", "--model", "strict", "--firings", "24",
+                     "--width", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "measured period" in out
+        assert "resource" in out  # utilization table
+
+    def test_dot_stdout(self, capsys):
+        assert main(["dot", "a"]) == 0
+        assert "digraph tpn" in capsys.readouterr().out
+
+    def test_dot_file_with_cycle(self, tmp_path, capsys):
+        out_file = tmp_path / "net.dot"
+        assert main(["dot", "a", "--model", "strict", "--critical-cycle",
+                     "--out", str(out_file)]) == 0
+        assert "color=red" in out_file.read_text()
+
+    def test_example_dump_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "a.json"
+        assert main(["example", "a", "--out", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert data["mapping"]["assignments"] == [[0], [1, 2], [3, 4, 5], [6]]
+
+    def test_example_stdout(self, capsys):
+        assert main(["example", "b"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["platform"]["speeds"]) == 7
+
+    def test_latency_saturated(self, capsys):
+        assert main(["latency", "a", "--datasets", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "saturated" in out
+        assert "mean latency" in out
+
+    def test_latency_paced_per_dataset(self, capsys):
+        assert main(["latency", "a", "--datasets", "6", "--inject", "5000",
+                     "--per-dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "paced, one data set every 5000" in out
+        assert "data set    0" in out
+
+    def test_search(self, capsys):
+        assert main(["search", "b", "--refine", "--iters", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy period" in out
+        assert "refined period" in out
+        assert "input mapping" in out
+
+    def test_table2_tiny(self, capsys):
+        assert main(["table2", "--scale", "0.002", "--models", "overlap",
+                     "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "With overlap:" in out
+
+    def test_certify(self, capsys):
+        assert main(["certify", "b"]) == 0
+        out = capsys.readouterr().out
+        assert "provably optimal" in out
+        assert "291.667" in out
+
+    def test_gantt_svg(self, tmp_path, capsys):
+        svg_path = tmp_path / "a.svg"
+        assert main(["gantt", "a", "--model", "strict", "--firings", "16",
+                     "--svg", str(svg_path)]) == 0
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

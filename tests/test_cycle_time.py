@@ -1,0 +1,106 @@
+"""Tests for resource cycle-times and the M_ct bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import CommModel, cycle_times, maximum_cycle_time
+from repro.experiments import example_a, example_b
+
+from .conftest import make_instance, small_instances
+
+
+class TestNonReplicatedChain:
+    def test_overlap_is_max(self, two_stage_chain):
+        rep = cycle_times(two_stage_chain, "overlap")
+        p0 = rep.for_processor(0)
+        assert p0.cin == 0.0
+        assert p0.ccomp == 2.0
+        assert p0.cout == 4.0
+        assert p0.cexec(CommModel.OVERLAP_ONE_PORT) == 4.0
+        p1 = rep.for_processor(1)
+        assert (p1.cin, p1.ccomp, p1.cout) == (4.0, 3.0, 0.0)
+        assert rep.mct == 4.0
+
+    def test_strict_is_sum(self, two_stage_chain):
+        rep = cycle_times(two_stage_chain, "strict")
+        assert rep.for_processor(0).cexec(rep.model) == 6.0
+        assert rep.for_processor(1).cexec(rep.model) == 7.0
+        assert rep.mct == 7.0
+
+    def test_critical_processors(self, two_stage_chain):
+        rep = cycle_times(two_stage_chain, "strict")
+        assert rep.critical_processors() == (1,)
+        assert rep.critical_resources() == ((1, "proc"),)
+
+    def test_missing_processor_raises(self, two_stage_chain):
+        rep = cycle_times(two_stage_chain, "overlap")
+        with pytest.raises(KeyError):
+            rep.for_processor(5)
+
+
+class TestReplicationScaling:
+    def test_computation_split_by_replication(self, replicated_middle):
+        rep = cycle_times(replicated_middle, "overlap")
+        # middle stage comp time 8 replicated on 2 procs -> 4 per data set
+        assert rep.for_processor(1).ccomp == pytest.approx(4.0)
+        assert rep.for_processor(2).ccomp == pytest.approx(4.0)
+        # source comp time 3, unreplicated
+        assert rep.for_processor(0).ccomp == pytest.approx(3.0)
+
+    def test_ports_split_by_windows(self, replicated_middle):
+        rep = cycle_times(replicated_middle, "overlap")
+        # P0 sends every data set (comm time 5): C_out = 5
+        assert rep.for_processor(0).cout == pytest.approx(5.0)
+        # each middle replica receives every 2nd data set: C_in = 5/2
+        assert rep.for_processor(1).cin == pytest.approx(2.5)
+        # sink receives every data set: C_in = 5
+        assert rep.for_processor(3).cin == pytest.approx(5.0)
+
+
+class TestPaperValues:
+    def test_example_a_overlap_mct_is_189(self):
+        rep = cycle_times(example_a(), "overlap")
+        assert rep.mct == pytest.approx(189.0)
+        # critical resource is the *output port* of P0
+        assert (0, "out") in rep.critical_resources()
+
+    def test_example_a_strict_mct(self):
+        rep = cycle_times(example_a(), "strict")
+        assert rep.mct == pytest.approx(1295.0 / 6.0)  # 215.83, paper: 215.8
+        assert rep.critical_processors() == (2,)
+
+    def test_example_b_mct(self):
+        rep = cycle_times(example_b(), "overlap")
+        assert rep.mct == pytest.approx(3100.0 / 12.0)  # paper: 258.3
+        assert (2, "out") in rep.critical_resources()
+
+
+class TestProperties:
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_strict_dominates_overlap(self, inst):
+        """C_exec^strict = sum >= max = C_exec^overlap, hence Mct too."""
+        assert (
+            maximum_cycle_time(inst, "strict")
+            >= maximum_cycle_time(inst, "overlap") - 1e-12
+        )
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_busy_time_conservation(self, inst):
+        """Sum over a stage's replicas of C_comp = stage time average."""
+        rep = cycle_times(inst, "overlap")
+        for stage in range(inst.n_stages):
+            procs = inst.mapping.processors_of(stage)
+            total = sum(rep.for_processor(u).ccomp for u in procs)
+            expected = sum(inst.comp_time(stage, u) for u in procs) / len(procs)
+            assert total == pytest.approx(expected)
+
+    def test_endpoint_ports_are_zero(self):
+        comm = np.full((2, 2), 7.0)
+        np.fill_diagonal(comm, 0.0)
+        inst = make_instance([1, 1], [1.0, 1.0], comm)
+        rep = cycle_times(inst, "overlap")
+        assert rep.for_processor(0).cin == 0.0  # S0 receives nothing
+        assert rep.for_processor(1).cout == 0.0  # S_{n-1} sends nothing

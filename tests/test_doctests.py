@@ -1,0 +1,47 @@
+"""Run every docstring example shipped in the library.
+
+Documentation that executes is documentation that stays true; this
+module collects the doctests of all public modules so a drifting example
+fails the suite.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro.core.application",
+    "repro.core.platform",
+    "repro.core.mapping",
+    "repro.core.instance",
+    "repro.core.paths",
+    "repro.core.cycle_time",
+    "repro.core.throughput",
+    "repro.core.latency",
+    "repro.maxplus.cycle_ratio",
+    "repro.petri.builder",
+    "repro.petri.reduction",
+    "repro.algorithms.overlap_poly",
+    "repro.algorithms.general_tpn",
+    "repro.experiments.examples_paper",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False,
+                             optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert result.failed == 0, f"{result.failed} doctest(s) failed in {module_name}"
+
+
+def test_doctests_actually_exist():
+    """Guard against silently running zero examples."""
+    total = 0
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        finder = doctest.DocTestFinder()
+        total += sum(len(t.examples) for t in finder.find(module))
+    assert total >= 25

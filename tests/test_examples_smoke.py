@@ -1,0 +1,66 @@
+"""Smoke tests: every shipped example script runs to completion.
+
+The faster scripts run on every test invocation; the two Monte-Carlo
+heavy ones are skipped unless ``REPRO_RUN_SLOW_EXAMPLES=1``.
+"""
+
+import os
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "paper_examples.py",
+    "video_transcoding.py",
+    "latency_throughput.py",
+]
+SLOW = [
+    "mapping_search.py",
+    "dynamic_platform.py",
+    "workload_survey.py",
+]
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name, capsys):
+    out = _run(name, capsys)
+    assert len(out) > 100  # produced a real report
+
+
+@pytest.mark.parametrize("name", SLOW)
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW_EXAMPLES"),
+    reason="set REPRO_RUN_SLOW_EXAMPLES=1 to run the Monte-Carlo examples",
+)
+def test_slow_examples_run(name, capsys):
+    out = _run(name, capsys)
+    assert len(out) > 100
+
+
+def test_quickstart_shows_both_models(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "OVERLAP ONE-PORT" in out
+    assert "STRICT ONE-PORT" in out
+    assert "round-robin paths" in out
+
+
+def test_paper_examples_reproduce_headline_numbers(capsys):
+    out = _run("paper_examples.py", capsys)
+    assert "P = 189 (paper: 189)" in out
+    assert "291.7 (paper: 291.7)" in out
+    assert "230.7 (paper: 230.7)" in out
+
+
+def test_examples_dir_is_complete():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(FAST) | set(SLOW)

@@ -1,0 +1,35 @@
+"""Tests for experiment record CSV round-trips."""
+
+import pytest
+
+from repro.experiments import TABLE2_CONFIGS, run_family
+from repro.experiments.io import records_from_csv, records_to_csv
+
+
+@pytest.fixture(scope="module")
+def records():
+    return run_family(TABLE2_CONFIGS[4], "strict", count=5, n_jobs=1)
+
+
+class TestCsvRoundtrip:
+    def test_exact_roundtrip(self, records):
+        clone = records_from_csv(records_to_csv(records))
+        assert clone == records
+
+    def test_float_precision_preserved(self, records):
+        clone = records_from_csv(records_to_csv(records))
+        for a, b in zip(records, clone):
+            assert a.period == b.period  # bit-exact via repr()
+            assert a.gap == b.gap
+
+    def test_file_roundtrip(self, records, tmp_path):
+        path = tmp_path / "records.csv"
+        records_to_csv(records, path)
+        assert records_from_csv(path) == records
+
+    def test_header_present(self, records):
+        text = records_to_csv(records)
+        assert text.splitlines()[0].startswith("config_name,model,seed")
+
+    def test_empty_records(self):
+        assert records_from_csv(records_to_csv([])) == []

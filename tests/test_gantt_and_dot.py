@@ -1,0 +1,101 @@
+"""Tests for Gantt rendering and DOT export (Figures 4/5/7/8/12/14)."""
+
+import pytest
+
+from repro import compute_period
+from repro.experiments import example_a, example_b
+from repro.petri import build_tpn, comm_patterns
+from repro.petri.dot import pattern_to_dot, tpn_to_dot
+from repro.simulation import (
+    extract_schedules,
+    measure_period,
+    render_gantt,
+    resource_order,
+    simulate,
+    utilization_table,
+)
+
+
+class TestResourceOrder:
+    def test_overlap_order_matches_figure7_layout(self):
+        order = resource_order(example_a(), "overlap")
+        # P0 computes S0: no input port; then out; P1 has all three.
+        assert order[:4] == ["P0:comp", "P0:out", "P1:in", "P1:comp"]
+        assert order[-1] == "P6:comp"
+        # sink P6 has no output port
+        assert "P6:out" not in order
+
+    def test_strict_order_is_processors(self):
+        order = resource_order(example_a(), "strict")
+        assert order == [f"P{u}" for u in (0, 1, 2, 3, 4, 5, 6)]
+
+
+class TestGanttRendering:
+    def _chart(self, inst, model, firings=40, width=90):
+        net = build_tpn(inst, model)
+        trace = simulate(net, firings)
+        schedules = extract_schedules(trace, model)
+        est = measure_period(trace)
+        t1 = min(s.intervals[-1].end for s in schedules.values())
+        t0 = max(0.0, t1 - 2 * est.rate)
+        return render_gantt(schedules, t0, t1, width=width,
+                            resources=resource_order(inst, model))
+
+    def test_strict_example_a_shows_idle_everywhere(self):
+        """Figure 7: every resource has idle time in each period."""
+        chart = self._chart(example_a(), "strict")
+        for line in chart.splitlines()[1:]:  # skip ruler
+            body = line.split("|")[1]
+            assert "." in body, f"no idle time on row: {line}"
+
+    def test_overlap_example_a_saturates_p0_out(self):
+        """P0's output port is the critical resource: fully busy."""
+        net = build_tpn(example_a(), "overlap")
+        trace = simulate(net, 60)
+        schedules = extract_schedules(trace, "overlap")
+        sched = schedules["P0:out"]
+        t1 = sched.intervals[-1].end
+        t0 = t1 - 4 * 189.0 * 6
+        assert sched.utilization(t0, t1) == pytest.approx(1.0, abs=1e-9)
+
+    def test_labels_embedded(self):
+        chart = self._chart(example_b(), "overlap", width=200)
+        assert "F0 (" in chart
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt({}, 10.0, 10.0)
+
+    def test_utilization_table(self):
+        net = build_tpn(example_a(), "strict")
+        trace = simulate(net, 40)
+        schedules = extract_schedules(trace, "strict")
+        tab = utilization_table(schedules, 0.0, 1000.0,
+                                resources=resource_order(example_a(), "strict"))
+        lines = tab.splitlines()
+        assert len(lines) == 1 + 7
+        assert lines[1].startswith("P0")
+
+
+class TestDotExport:
+    def test_tpn_dot_well_formed(self):
+        net = build_tpn(example_a(), "overlap")
+        dot = tpn_to_dot(net, title="Example A")
+        assert dot.startswith("digraph tpn {") and dot.endswith("}")
+        # one node per transition
+        assert dot.count("[label=") >= net.n_transitions
+        # tokens rendered
+        assert "&#9679;" in dot
+        assert "Example A" in dot
+
+    def test_critical_cycle_highlight(self):
+        res = compute_period(example_a(), "strict", method="tpn")
+        net = res.tpn_solution.net
+        dot = tpn_to_dot(net, highlight=res.tpn_solution.ratio.cycle_nodes)
+        assert "color=red" in dot
+
+    def test_pattern_dot(self):
+        pat = comm_patterns(example_b(), 0)[0]
+        dot = pattern_to_dot(pat, title="F0 pattern")
+        assert dot.count("->") == 24  # 2 edges per cell
+        assert "P0&rarr;P3" in dot

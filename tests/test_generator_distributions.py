@@ -1,0 +1,75 @@
+"""Distribution properties of the two replication-drawing methods."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.generator import random_replication
+
+
+class TestBallsMethod:
+    def test_all_spares_distributed(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            counts = random_replication(4, 11, rng, method="balls")
+            assert sum(counts) == 11  # balls uses every processor
+
+    def test_low_variance(self):
+        """Balls-into-bins max replication concentrates near spare/n."""
+        rng = np.random.default_rng(1)
+        maxima = [
+            max(random_replication(10, 30, rng, method="balls"))
+            for _ in range(300)
+        ]
+        assert np.mean(maxima) < 6  # spare=20, n=10 -> mean bin 3
+
+    def test_both_stages_often_replicated(self):
+        """The property driving overlap no-critical sensitivity."""
+        rng = np.random.default_rng(2)
+        both = sum(
+            min(random_replication(2, 7, rng, method="balls")) > 1
+            for _ in range(300)
+        )
+        assert both > 100  # frequent under balls
+
+
+class TestGreedySpareMethod:
+    def test_heavy_tail(self):
+        """The legacy draw often gives one stage most of the platform."""
+        rng = np.random.default_rng(3)
+        maxima = [
+            max(random_replication(10, 30, rng, method="greedy-spare"))
+            for _ in range(300)
+        ]
+        assert np.mean(maxima) > np.mean(
+            [max(random_replication(10, 30, np.random.default_rng(4 + i),
+                                    method="balls")) for i in range(300)]
+        )
+
+    def test_may_leave_processors_unused(self):
+        rng = np.random.default_rng(5)
+        totals = {
+            sum(random_replication(3, 10, rng, method="greedy-spare"))
+            for _ in range(100)
+        }
+        assert min(totals) < 10  # the draw can stop before using all
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            random_replication(2, 4, np.random.default_rng(0), method="magic")
+
+
+class TestSharedProperties:
+    @pytest.mark.parametrize("method", ["balls", "greedy-spare"])
+    def test_feasibility(self, method):
+        rng = np.random.default_rng(7)
+        for _ in range(100):
+            counts = random_replication(5, 13, rng, method=method)
+            assert len(counts) == 5
+            assert all(c >= 1 for c in counts)
+            assert sum(counts) <= 13
+
+    @pytest.mark.parametrize("method", ["balls", "greedy-spare"])
+    def test_deterministic(self, method):
+        a = random_replication(4, 12, np.random.default_rng(9), method=method)
+        b = random_replication(4, 12, np.random.default_rng(9), method=method)
+        assert a == b

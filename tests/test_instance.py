@@ -1,0 +1,77 @@
+"""Tests for the Instance bundle and JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro import Application, Instance, Mapping, Platform, ValidationError
+
+
+def _inst() -> Instance:
+    return Instance(
+        Application(works=[1, 2], file_sizes=[3], name="t"),
+        Platform.homogeneous(3, speed=2.0, bandwidth=1.5),
+        Mapping([(0,), (1, 2)]),
+    )
+
+
+class TestCrossValidation:
+    def test_stage_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            Instance(
+                Application(works=[1], file_sizes=[]),
+                Platform.homogeneous(2),
+                Mapping([(0,), (1,)]),
+            )
+
+    def test_processor_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Instance(
+                Application(works=[1, 1], file_sizes=[1]),
+                Platform.homogeneous(2),
+                Mapping([(0,), (5,)]),
+            )
+
+    def test_accessors(self):
+        inst = _inst()
+        assert inst.n_stages == 2
+        assert inst.num_paths == 2
+        assert inst.replication_counts == (1, 2)
+        assert inst.comp_time(1, 2) == pytest.approx(1.0)  # 2 / 2.0
+        assert inst.comm_time(0, 0, 1) == pytest.approx(2.0)  # 3 / 1.5
+
+
+class TestJson:
+    def test_roundtrip_string(self):
+        inst = _inst()
+        clone = Instance.from_json(inst.to_json())
+        assert clone.application == inst.application
+        assert clone.mapping == inst.mapping
+        assert clone.platform == inst.platform
+
+    def test_roundtrip_file(self, tmp_path):
+        inst = _inst()
+        path = tmp_path / "inst.json"
+        inst.to_json(path)
+        clone = Instance.from_json(path)
+        assert clone.mapping == inst.mapping
+
+    def test_roundtrip_preserves_infinite_bandwidth(self):
+        plat = Platform(
+            speeds=[1, 1], bandwidths=np.array([[0.0, np.inf], [2.0, 0.0]])
+        )
+        inst = Instance(
+            Application(works=[1, 1], file_sizes=[1]), plat, Mapping([(0,), (1,)])
+        )
+        clone = Instance.from_json(inst.to_json())
+        assert clone.platform.bandwidth(0, 1) == np.inf
+
+    def test_paper_examples_roundtrip(self):
+        from repro.experiments import example_a, example_b
+
+        for inst in (example_a(), example_b()):
+            clone = Instance.from_json(inst.to_json())
+            from repro import compute_period
+
+            assert compute_period(clone, "overlap").period == pytest.approx(
+                compute_period(inst, "overlap").period
+            )

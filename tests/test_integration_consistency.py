@@ -1,0 +1,151 @@
+"""Integration: all period-computation routes must agree.
+
+Five independent implementations of the same quantity are cross-checked
+on random instances:
+
+1. Theorem 1 polynomial algorithm (pattern graphs, OVERLAP only);
+2. full-TPN critical cycle via Howard's policy iteration;
+3. full-TPN critical cycle via Lawler's binary search;
+4. max-plus matrix eigenvalue of ``A0* ⊗ A1`` via Karp;
+5. discrete-event simulation (asymptotic firing rate).
+
+Plus the paper's analytic facts: ``P >= M_ct`` always, with equality when
+no stage is replicated.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compute_period, maximum_cycle_time
+from repro.maxplus import max_cycle_ratio
+from repro.maxplus.recurrence import period_by_matrix
+from repro.petri import build_tpn
+from repro.simulation import estimate_period
+
+from .conftest import make_instance, small_instances
+
+
+class TestMethodAgreement:
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_overlap_all_methods(self, inst):
+        poly = compute_period(inst, "overlap", method="polynomial").period
+        tpn = compute_period(inst, "overlap", method="tpn").period
+        assert poly == pytest.approx(tpn, rel=1e-9)
+
+        net = build_tpn(inst, "overlap")
+        assert period_by_matrix(net) == pytest.approx(poly, rel=1e-9)
+
+        lawler = max_cycle_ratio(net.to_ratio_graph(), method="lawler")
+        assert lawler.value / net.n_rows == pytest.approx(poly, rel=1e-7)
+
+        sim = estimate_period(net, n_firings=max(80, 12 * net.n_rows))
+        assert sim.period == pytest.approx(poly, rel=1e-6)
+
+    @given(small_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_strict_all_methods(self, inst):
+        tpn = compute_period(inst, "strict", method="tpn").period
+        net = build_tpn(inst, "strict")
+        assert period_by_matrix(net) == pytest.approx(tpn, rel=1e-9)
+
+        lawler = max_cycle_ratio(net.to_ratio_graph(), method="lawler")
+        assert lawler.value / net.n_rows == pytest.approx(tpn, rel=1e-7)
+
+        sim = estimate_period(net, n_firings=max(80, 12 * net.n_rows))
+        assert sim.period == pytest.approx(tpn, rel=1e-6)
+
+
+class TestPaperTheorems:
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_mct_lower_bounds_period(self, inst):
+        """Section 2: the critical resource bound holds in both models."""
+        for model in ("overlap", "strict"):
+            res = compute_period(inst, model)
+            assert res.period >= res.mct - 1e-9 * max(1.0, res.mct)
+
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_no_replication_means_tight_bound(self, inst):
+        """Section 2: without replication, P = M_ct exactly (both models)."""
+        if max(inst.replication_counts) > 1:
+            return
+        for model in ("overlap", "strict"):
+            res = compute_period(inst, model)
+            assert res.period == pytest.approx(res.mct, rel=1e-9)
+            assert res.has_critical_resource
+
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_strict_no_faster_than_overlap(self, inst):
+        """The strict model adds constraints: P_strict >= P_overlap."""
+        p_overlap = compute_period(inst, "overlap").period
+        p_strict = compute_period(inst, "strict").period
+        assert p_strict >= p_overlap - 1e-9 * max(1.0, p_overlap)
+
+    @given(small_instances(), st.floats(0.25, 8.0))
+    @settings(max_examples=25, deadline=None)
+    def test_time_scaling(self, inst, alpha):
+        """Scaling every duration by alpha scales the period by alpha."""
+        from repro import Application, Instance, Platform
+
+        scaled = Instance(
+            Application(
+                works=[w * alpha for w in inst.application.works],
+                file_sizes=list(inst.application.file_sizes),
+            ),
+            inst.platform,
+            inst.mapping,
+        )
+        # scaling works only scales computations; instead scale speeds
+        slower = Instance(
+            inst.application,
+            Platform(inst.platform.speeds / alpha, inst.platform.bandwidths / alpha),
+            inst.mapping,
+        )
+        for model in ("overlap", "strict"):
+            base = compute_period(inst, model).period
+            assert compute_period(slower, model).period == pytest.approx(
+                alpha * base, rel=1e-9
+            )
+
+
+class TestDegenerateShapes:
+    def test_single_stage_single_proc(self):
+        inst = make_instance([1], [7.0], [[0.0]])
+        for model in ("overlap", "strict"):
+            res = compute_period(inst, model)
+            assert res.period == pytest.approx(7.0)
+            assert res.has_critical_resource
+
+    def test_single_stage_replicated(self):
+        # one stage on 3 processors: P = max(t_u) / 3
+        inst = make_instance([3], [6.0, 9.0, 12.0],
+                             [[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+        res = compute_period(inst, "overlap")
+        assert res.period == pytest.approx(4.0)
+        res = compute_period(inst, "strict")
+        assert res.period == pytest.approx(4.0)
+
+    def test_zero_work_stage(self):
+        import numpy as np
+
+        comm = np.full((3, 3), 2.0)
+        np.fill_diagonal(comm, 0.0)
+        inst = make_instance(
+            [1, 1, 1], [1.0, 1.0, 1.0], comm, works=[1.0, 0.0, 1.0]
+        )
+        res = compute_period(inst, "overlap")
+        # forwarding stage costs nothing; links (2.0) dominate... but each
+        # port handles one file per data set -> P = 2
+        assert res.period == pytest.approx(2.0)
+
+    def test_free_links(self):
+        import numpy as np
+
+        comm = np.zeros((2, 2))
+        inst = make_instance([1, 1], [5.0, 3.0], comm)
+        res = compute_period(inst, "strict")
+        assert res.period == pytest.approx(5.0)

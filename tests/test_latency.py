@@ -1,0 +1,114 @@
+"""Tests for the latency metric (saturated and paced regimes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import compute_period
+from repro.core.latency import measure_latency, path_latency_bound
+from repro.experiments import example_a
+
+from .conftest import make_instance, small_instances
+
+
+class TestPathBound:
+    def test_two_stage_chain(self, two_stage_chain):
+        # comp 2 + comm 4 + comp 3
+        assert path_latency_bound(two_stage_chain, 0) == pytest.approx(9.0)
+
+    def test_follows_round_robin_path(self, replicated_middle):
+        # all comm times 5; comp: P0=3, replicas 8, sink 2
+        assert path_latency_bound(replicated_middle, 0) == pytest.approx(
+            3 + 5 + 8 + 5 + 2
+        )
+        # dataset 1 takes the other replica (same times here)
+        assert path_latency_bound(replicated_middle, 1) == pytest.approx(23.0)
+
+    def test_example_a_path0(self):
+        inst = example_a()
+        # P0(22) -F0(186)-> P1(104) -F1(57)-> P3(73) -F2(126)-> P6(23)
+        assert path_latency_bound(inst, 0) == pytest.approx(
+            22 + 186 + 104 + 57 + 73 + 126 + 23
+        )
+
+
+class TestSaturatedRegime:
+    def test_first_dataset_unimpeded(self, two_stage_chain):
+        rep = measure_latency(two_stage_chain, "overlap", n_datasets=8)
+        assert rep.latencies[0] == pytest.approx(9.0)
+
+    def test_backlog_grows(self, two_stage_chain):
+        """Saturated input: completion paced by P=4 but starts paced by
+        2 -> latency grows linearly."""
+        rep = measure_latency(two_stage_chain, "overlap", n_datasets=20)
+        diffs = np.diff(rep.latencies)
+        assert diffs[-1] > 0
+        assert rep.max == rep.latencies[-1]
+
+    @given(small_instances(max_stages=3, max_m=6))
+    @settings(max_examples=15, deadline=None)
+    def test_lower_bound_holds(self, inst):
+        rep = measure_latency(inst, "overlap", n_datasets=10)
+        for j in range(rep.n_datasets):
+            assert rep.latencies[j] >= path_latency_bound(inst, j) - 1e-9
+
+
+class TestPacedRegime:
+    def test_slow_pacing_reaches_path_bound(self, two_stage_chain):
+        rep = measure_latency(two_stage_chain, "overlap", n_datasets=10,
+                              injection_period=100.0)
+        for j in range(10):
+            assert rep.latencies[j] == pytest.approx(
+                path_latency_bound(two_stage_chain, j)
+            )
+
+    def test_pacing_below_period_diverges(self, two_stage_chain):
+        # P = 4; inject every 1 time unit -> latency grows ~3 per data set
+        rep = measure_latency(two_stage_chain, "overlap", n_datasets=40,
+                              injection_period=1.0)
+        tail = np.diff(rep.latencies)[-10:]
+        assert np.all(tail > 0)
+        assert rep.latencies[-1] > rep.latencies[0] + 50
+
+    def test_pacing_at_period_stabilizes(self, two_stage_chain):
+        period = compute_period(two_stage_chain, "overlap").period
+        rep = measure_latency(two_stage_chain, "overlap", n_datasets=60,
+                              injection_period=period)
+        tail = rep.latencies[-10:]
+        assert np.allclose(tail, tail[0], atol=1e-9)
+
+    def test_latency_monotone_in_pacing(self, replicated_middle):
+        """Slower injection never increases steady latency."""
+        period = compute_period(replicated_middle, "overlap").period
+        values = []
+        for factor in (1.0, 1.5, 3.0, 10.0):
+            rep = measure_latency(replicated_middle, "overlap", n_datasets=40,
+                                  injection_period=factor * period)
+            values.append(rep.steady_latency())
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_strict_latency_at_least_overlap(self, two_stage_chain):
+        """Strict serialization can only delay completions."""
+        for T in (50.0, 8.0):
+            ov = measure_latency(two_stage_chain, "overlap", n_datasets=20,
+                                 injection_period=T)
+            st = measure_latency(two_stage_chain, "strict", n_datasets=20,
+                                 injection_period=T)
+            assert np.all(st.latencies >= ov.latencies - 1e-9)
+
+
+class TestValidation:
+    def test_bad_dataset_count(self, two_stage_chain):
+        with pytest.raises(Exception):
+            measure_latency(two_stage_chain, "overlap", n_datasets=0)
+
+    def test_negative_period_rejected(self, two_stage_chain):
+        with pytest.raises(Exception):
+            measure_latency(two_stage_chain, "overlap", n_datasets=5,
+                            injection_period=-1.0)
+
+    def test_report_stats(self, two_stage_chain):
+        rep = measure_latency(two_stage_chain, "overlap", n_datasets=10)
+        assert rep.n_datasets == 10
+        assert rep.mean <= rep.max
+        assert rep.model.value == "overlap"

@@ -1,0 +1,121 @@
+"""Unit tests for the replicated mapping model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Mapping, MappingError
+
+
+class TestValidation:
+    def test_example_a_mapping(self):
+        mp = Mapping([(0,), (1, 2), (3, 4, 5), (6,)])
+        assert mp.replication_counts == (1, 2, 3, 1)
+        assert mp.num_paths == 6
+
+    def test_processor_shared_between_stages_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping([(0,), (0, 1)])
+
+    def test_processor_repeated_within_stage_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping([(0, 0)])
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping([(0,), ()])
+
+    def test_no_stage_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping([])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping([(-1,)])
+
+    def test_platform_bound_checked(self):
+        with pytest.raises(MappingError):
+            Mapping([(0,), (5,)], n_processors=3)
+
+
+class TestRoundRobin:
+    def test_processor_for_follows_round_robin(self):
+        mp = Mapping([(0,), (1, 2), (3, 4, 5), (6,)])
+        # Table 1, data set 1: P0 -> P2 -> P4 -> P6
+        assert [mp.processor_for(s, 1) for s in range(4)] == [0, 2, 4, 6]
+        # data set 6 repeats data set 0
+        assert [mp.processor_for(s, 6) for s in range(4)] == [
+            mp.processor_for(s, 0) for s in range(4)
+        ]
+
+    def test_stage_of_and_replica_index(self):
+        mp = Mapping([(0,), (1, 2)])
+        assert mp.stage_of(2) == 1
+        assert mp.replica_index(2) == 1
+        assert mp.stage_of(9) is None
+        assert mp.replica_index(9) is None
+
+    def test_used_processors_order(self):
+        mp = Mapping([(3,), (1, 2)])
+        assert mp.used_processors == (3, 1, 2)
+
+
+class TestCommStructure:
+    def test_example_b(self):
+        mp = Mapping([(0, 1, 2), (3, 4, 5, 6)])
+        assert mp.comm_structure(0) == (1, 3, 4, 12)
+
+    def test_example_c_f1(self):
+        mp = Mapping([
+            tuple(range(5)),
+            tuple(range(5, 26)),
+            tuple(range(26, 53)),
+            tuple(range(53, 64)),
+        ])
+        assert mp.comm_structure(1) == (3, 7, 9, 189)
+
+    def test_comm_pairs_window(self):
+        mp = Mapping([(0, 1), (2, 3, 4)])
+        pairs = mp.comm_pairs(0)
+        assert len(pairs) == 6  # lcm(2, 3)
+        assert pairs[0] == (0, 2)
+        assert pairs[1] == (1, 3)
+        assert pairs[5] == (1, 4)
+
+    def test_comm_pairs_out_of_range(self):
+        mp = Mapping([(0,), (1,)])
+        with pytest.raises(IndexError):
+            mp.comm_pairs(1)
+
+    @given(st.lists(st.integers(1, 4), min_size=2, max_size=4))
+    def test_structure_consistency(self, counts):
+        # build disjoint assignments
+        procs, assignments = 0, []
+        for c in counts:
+            assignments.append(tuple(range(procs, procs + c)))
+            procs += c
+        mp = Mapping(assignments)
+        for i in range(len(counts) - 1):
+            p, u, v, window = mp.comm_structure(i)
+            assert p * u == counts[i]
+            assert p * v == counts[i + 1]
+            assert window * p == counts[i] * counts[i + 1]
+            # every sender appears in the pair window exactly window/m_i times
+            pairs = mp.comm_pairs(i)
+            assert len(pairs) == window
+            senders = [s for s, _ in pairs]
+            for s in assignments[i]:
+                assert senders.count(s) == window // counts[i]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        mp = Mapping([(0,), (2, 1)])
+        assert Mapping.from_dict(mp.to_dict()) == mp
+
+    def test_order_preserved(self):
+        # round-robin order is semantic: (2, 1) != (1, 2)
+        assert Mapping([(0,), (2, 1)]) != Mapping([(0,), (1, 2)])
+
+    def test_hashable(self):
+        assert len({Mapping([(0,)]), Mapping([(0,)])}) == 1

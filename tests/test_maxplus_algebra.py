@@ -1,0 +1,129 @@
+"""Property tests for the (max, +) algebra substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import SolverError
+from repro.maxplus import (
+    NEG_INF,
+    matrix_to_graph,
+    mp_eigenvalue,
+    mp_eye,
+    mp_matmul,
+    mp_matvec,
+    mp_pow,
+    mp_star,
+    mp_zeros,
+)
+
+finite_entries = st.floats(min_value=-50, max_value=50)
+entries = st.one_of(finite_entries, st.just(NEG_INF))
+
+
+def square(n):
+    return arrays(float, (n, n), elements=entries)
+
+
+class TestBasics:
+    def test_eye_is_identity(self):
+        a = np.array([[1.0, NEG_INF], [3.0, 0.0]])
+        assert np.array_equal(mp_matmul(mp_eye(2), a), a)
+        assert np.array_equal(mp_matmul(a, mp_eye(2)), a)
+
+    def test_zeros_absorbs(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        z = mp_zeros((2, 2))
+        assert np.all(np.isneginf(mp_matmul(a, z)))
+
+    def test_matvec_matches_matmul(self):
+        a = np.array([[1.0, 2.0], [NEG_INF, 4.0]])
+        x = np.array([5.0, 6.0])
+        via_mat = mp_matmul(a, x.reshape(-1, 1)).ravel()
+        assert np.array_equal(mp_matvec(a, x), via_mat)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mp_matmul(np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+class TestSemiringLaws:
+    @given(square(3), square(3), square(3))
+    @settings(max_examples=30, deadline=None)
+    def test_associativity(self, a, b, c):
+        left = mp_matmul(mp_matmul(a, b), c)
+        right = mp_matmul(a, mp_matmul(b, c))
+        assert np.allclose(left, right, equal_nan=False) or np.array_equal(left, right)
+
+    @given(square(3), square(3), square(3))
+    @settings(max_examples=30, deadline=None)
+    def test_distributivity_over_max(self, a, b, c):
+        left = mp_matmul(a, np.maximum(b, c))
+        right = np.maximum(mp_matmul(a, b), mp_matmul(a, c))
+        assert np.array_equal(left, right)
+
+    @given(square(3), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_power_consistency(self, a, k):
+        direct = mp_eye(3)
+        for _ in range(k):
+            direct = mp_matmul(direct, a)
+        # binary exponentiation reassociates float additions: allow ulps
+        assert np.allclose(mp_pow(a, k), direct, rtol=1e-12, atol=1e-12)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            mp_pow(mp_eye(2), -1)
+
+
+class TestStar:
+    def test_star_of_strictly_lower_triangular(self):
+        # nilpotent support -> star is a finite DAG closure
+        a = mp_zeros((3, 3))
+        a[1, 0] = 2.0
+        a[2, 1] = 3.0
+        s = mp_star(a)
+        assert s[2, 0] == 5.0  # path 0 -> 1 -> 2
+        assert s[0, 0] == 0.0  # identity part
+
+    def test_star_detects_positive_cycle(self):
+        a = mp_zeros((2, 2))
+        a[0, 1] = 1.0
+        a[1, 0] = 1.0
+        with pytest.raises(SolverError):
+            mp_star(a)
+
+    def test_star_accepts_nonpositive_cycle(self):
+        a = mp_zeros((2, 2))
+        a[0, 1] = -1.0
+        a[1, 0] = 0.5
+        s = mp_star(a)
+        assert s[0, 0] == 0.0
+
+
+class TestEigenvalue:
+    def test_eigenvalue_of_circulant(self):
+        # cycle 0 -> 1 -> 0 with weights 2 and 4: mean 3
+        a = mp_zeros((2, 2))
+        a[1, 0] = 2.0
+        a[0, 1] = 4.0
+        assert mp_eigenvalue(a) == pytest.approx(3.0)
+
+    def test_eigenvalue_is_asymptotic_growth_rate(self):
+        rng = np.random.default_rng(7)
+        a = rng.uniform(0, 10, (4, 4))
+        lam = mp_eigenvalue(a)
+        x = np.zeros(4)
+        for _ in range(300):
+            x = mp_matvec(a, x)
+        growth = mp_matvec(a, x) - x
+        assert np.max(growth) == pytest.approx(lam, rel=1e-6)
+
+    def test_matrix_to_graph_orientation(self):
+        a = mp_zeros((2, 2))
+        a[1, 0] = 7.0  # column 0 feeds row 1: edge 0 -> 1
+        g = matrix_to_graph(a)
+        e = g.edge(0)
+        assert (e.src, e.dst, e.weight) == (0, 1, 7.0)

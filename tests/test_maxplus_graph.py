@@ -1,0 +1,118 @@
+"""Tests for the RatioGraph structure (SCC, liveness, subgraphs)."""
+
+import pytest
+
+from repro import DeadlockError
+from repro.maxplus import RatioGraph
+from repro.maxplus.graph import Edge
+
+
+def triangle(tokens=(1, 1, 1), weights=(1.0, 2.0, 3.0)) -> RatioGraph:
+    return RatioGraph(3, [
+        (0, 1, weights[0], tokens[0]),
+        (1, 2, weights[1], tokens[1]),
+        (2, 0, weights[2], tokens[2]),
+    ])
+
+
+class TestConstruction:
+    def test_edge_views(self):
+        g = triangle()
+        e = g.edge(1)
+        assert e == Edge(1, 1, 2, 2.0, 1)
+        assert [x.src for x in g.edges()] == [0, 1, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(Exception):
+            RatioGraph(2, [(0, 2, 1.0, 1)])
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(Exception):
+            RatioGraph(2, [(0, 1, 1.0, -1)])
+
+    def test_nonfinite_weight_rejected(self):
+        with pytest.raises(Exception):
+            RatioGraph(2, [(0, 1, float("inf"), 1)])
+
+    def test_adjacency(self):
+        g = triangle()
+        assert g.out_edges(0) == [0]
+        assert g.in_edges(0) == [2]
+
+    def test_parallel_edges_and_self_loops(self):
+        g = RatioGraph(1, [(0, 0, 1.0, 1), (0, 0, 2.0, 1)])
+        assert g.n_edges == 2
+        assert g.out_edges(0) == [0, 1]
+
+
+class TestScc:
+    def test_triangle_is_one_component(self):
+        comps = triangle().strongly_connected_components()
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1, 2]
+
+    def test_chain_is_singletons(self):
+        g = RatioGraph(3, [(0, 1, 1.0, 0), (1, 2, 1.0, 0)])
+        comps = g.strongly_connected_components()
+        assert sorted(len(c) for c in comps) == [1, 1, 1]
+
+    def test_two_cycles_bridge(self):
+        g = RatioGraph(4, [
+            (0, 1, 1.0, 1), (1, 0, 1.0, 1),      # component {0,1}
+            (1, 2, 1.0, 0),                       # bridge
+            (2, 3, 1.0, 1), (3, 2, 1.0, 1),       # component {2,3}
+        ])
+        comps = {frozenset(c) for c in g.strongly_connected_components()}
+        assert comps == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_reverse_topological_order(self):
+        g = RatioGraph(2, [(0, 1, 1.0, 0)])
+        comps = g.strongly_connected_components()
+        # Tarjan emits sinks first: {1} before {0}
+        assert comps[0] == [1]
+
+    def test_large_path_no_recursion_error(self):
+        n = 50_000
+        g = RatioGraph(n, [(i, i + 1, 1.0, 0) for i in range(n - 1)])
+        assert len(g.strongly_connected_components()) == n
+
+
+class TestLiveness:
+    def test_live_graph(self):
+        assert triangle().is_live()
+
+    def test_token_free_cycle_detected(self):
+        g = triangle(tokens=(0, 0, 0))
+        assert not g.is_live()
+        with pytest.raises(DeadlockError):
+            g.token_free_topological_order()
+
+    def test_token_free_self_loop_detected(self):
+        g = RatioGraph(1, [(0, 0, 1.0, 0)])
+        with pytest.raises(DeadlockError):
+            g.token_free_topological_order()
+
+    def test_one_token_breaks_cycle(self):
+        g = triangle(tokens=(0, 0, 1))
+        order = g.token_free_topological_order()
+        assert order.index(0) < order.index(1) < order.index(2)
+
+
+class TestSubgraphAndRatios:
+    def test_subgraph_maps_back(self):
+        g = RatioGraph(4, [
+            (0, 1, 1.0, 1), (1, 0, 2.0, 1), (1, 2, 3.0, 0), (3, 3, 4.0, 1),
+        ])
+        sub, node_map, edge_map = g.subgraph([1, 0])
+        assert sub.n_nodes == 2 and sub.n_edges == 2
+        assert node_map == [1, 0]
+        assert sorted(edge_map) == [0, 1]
+
+    def test_cycle_ratio_of(self):
+        g = triangle(weights=(1.0, 2.0, 3.0), tokens=(1, 0, 1))
+        assert g.cycle_ratio_of([0, 1, 2]) == pytest.approx(3.0)
+
+    def test_cycle_ratio_token_free_raises(self):
+        g = triangle(tokens=(0, 0, 0))
+        with pytest.raises(DeadlockError):
+            g.cycle_ratio_of([0, 1, 2])

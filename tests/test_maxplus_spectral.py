@@ -1,0 +1,169 @@
+"""Tests for spectral analysis: critical graph, cyclicity, eigenvectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import SolverError
+from repro.maxplus import RatioGraph, max_cycle_ratio
+from repro.maxplus.algebra import mp_matvec, mp_zeros
+from repro.maxplus.spectral import (
+    critical_graph,
+    cyclicity,
+    mp_eigenvector,
+    potentials,
+)
+
+from .test_maxplus_solvers import live_graphs
+
+
+def two_cycle_graph():
+    """Cycle A (0-1, ratio 5) and cycle B (2-3, ratio 2), bridged."""
+    return RatioGraph(4, [
+        (0, 1, 6.0, 1), (1, 0, 4.0, 1),
+        (1, 2, 1.0, 0),
+        (2, 3, 2.0, 1), (3, 2, 2.0, 1),
+    ])
+
+
+class TestPotentials:
+    def test_feasible_at_lambda_star(self):
+        g = two_cycle_graph()
+        lam = max_cycle_ratio(g).value
+        h = potentials(g, lam)
+        slack = h[g.src] + (g.weight - lam * g.tokens) - h[g.dst]
+        assert np.all(slack <= 1e-6)
+
+    def test_infeasible_below_lambda_star(self):
+        g = two_cycle_graph()
+        with pytest.raises(SolverError):
+            potentials(g, 4.0)  # lambda* is 5
+
+    def test_feasible_above(self):
+        g = two_cycle_graph()
+        h = potentials(g, 10.0)
+        slack = h[g.src] + (g.weight - 10.0 * g.tokens) - h[g.dst]
+        assert np.all(slack <= 1e-6)
+
+
+class TestCriticalGraph:
+    def test_identifies_the_critical_cycle(self):
+        g = two_cycle_graph()
+        crit = critical_graph(g)
+        assert crit.value == pytest.approx(5.0)
+        assert set(crit.nodes) == {0, 1}
+        assert set(crit.edges) == {0, 1}
+        assert crit.components == ((0, 1),)
+
+    def test_tied_cycles_both_critical(self):
+        g = RatioGraph(4, [
+            (0, 1, 5.0, 1), (1, 0, 5.0, 1),
+            (2, 3, 4.0, 1), (3, 2, 6.0, 1),
+        ])
+        crit = critical_graph(g)
+        assert set(crit.nodes) == {0, 1, 2, 3}
+        assert len(crit.components) == 2
+
+    def test_self_loop_critical(self):
+        g = RatioGraph(2, [(0, 0, 7.0, 1), (0, 1, 0.0, 1), (1, 0, 0.0, 1)])
+        crit = critical_graph(g)
+        assert crit.nodes == (0,)
+        assert cyclicity(g, crit) == 1
+
+    @given(live_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_critical_edges_form_critical_cycles(self, g):
+        crit = critical_graph(g)
+        assert crit.value == pytest.approx(max_cycle_ratio(g).value, rel=1e-9)
+        assert len(crit.nodes) >= 1
+        # Howard's extracted cycle must live inside the critical graph
+        res = max_cycle_ratio(g)
+        assert set(res.cycle_nodes) <= set(crit.nodes)
+        assert set(res.cycle_edges) <= set(crit.edges)
+
+
+class TestCyclicity:
+    def test_single_cycle_token_count(self):
+        # one critical cycle with 2 tokens -> cyclicity 2
+        g = RatioGraph(2, [(0, 1, 5.0, 1), (1, 0, 5.0, 1)])
+        assert cyclicity(g) == 2
+
+    def test_mixed_cycles_gcd(self):
+        # one critical component with cycles of 2 and 3 tokens -> gcd 1
+        g = RatioGraph(3, [
+            (0, 1, 5.0, 1), (1, 0, 5.0, 1),          # ratio 5, 2 tokens
+            (1, 2, 5.0, 1), (2, 0, 5.0, 1),          # 0->1->2->0: 15/3 = 5
+        ])
+        crit = critical_graph(g)
+        assert len(crit.components) == 1
+        assert len(crit.edges) == 4
+        assert cyclicity(g, crit) == 1
+
+    def test_token_heavy_cycle(self):
+        # cycles of 2 and 4 tokens in one component -> gcd 2
+        g = RatioGraph(3, [
+            (0, 1, 5.0, 1), (1, 0, 5.0, 1),
+            (1, 2, 5.0, 1), (2, 0, 10.0, 2),         # 0->1->2->0: 20/4 = 5
+        ])
+        assert cyclicity(g) == 2
+
+    def test_two_components_lcm(self):
+        g = RatioGraph(5, [
+            (0, 1, 5.0, 1), (1, 0, 5.0, 1),                    # 2 tokens
+            (2, 3, 5.0, 1), (3, 4, 5.0, 1), (4, 2, 5.0, 1),    # 3 tokens
+        ])
+        assert cyclicity(g) == 6
+
+    def test_example_b_cyclicity_matches_simulation(self):
+        """Example B's simulated rates oscillate with period 2: the
+        critical staircase carries 2 tokens."""
+        from repro.experiments import example_b
+        from repro.petri import build_tpn
+
+        net = build_tpn(example_b(), "overlap")
+        g = net.to_ratio_graph()
+        q = cyclicity(g)
+        assert q == 2
+
+
+class TestEigenvector:
+    def test_circulant(self):
+        a = mp_zeros((2, 2))
+        a[1, 0] = 2.0
+        a[0, 1] = 4.0
+        lam, v = mp_eigenvector(a)
+        assert lam == pytest.approx(3.0)
+        assert np.allclose(mp_matvec(a, v), lam + v)
+
+    def test_random_irreducible(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0, 10, (6, 6))  # dense -> irreducible
+        lam, v = mp_eigenvector(a)
+        assert np.allclose(mp_matvec(a, v), lam + v, atol=1e-7)
+        assert v[0] == 0.0
+
+    def test_reducible_detected(self):
+        a = mp_zeros((2, 2))
+        a[0, 0] = 1.0  # node 1 unreachable / no finite row
+        with pytest.raises(SolverError):
+            mp_eigenvector(a)
+
+    def test_strict_tpn_eigenvector_gives_periodic_schedule(self):
+        """On a strongly connected strict net, A0* A1 is irreducible and
+        the eigenvector reproduces the simulator's steady-state offsets."""
+        from repro.maxplus.recurrence import tpn_transition_matrix
+        from repro.petri import build_tpn
+        from repro.simulation import simulate
+        from tests.conftest import make_instance
+
+        inst = make_instance([1, 1], [2.0, 3.0], [[0.0, 4.0], [4.0, 0.0]])
+        net = build_tpn(inst, "strict")
+        a = tpn_transition_matrix(net)
+        lam, v = mp_eigenvector(a)
+        # simulate well past the transient: increments equal lam
+        trace = simulate(net, 50)
+        inc = trace.completion[-1] - trace.completion[-2]
+        assert np.allclose(inc, lam, atol=1e-9)
+        # offsets match the eigenvector up to a common shift
+        offs = trace.completion[-1] - trace.completion[-1][0]
+        assert np.allclose(offs, v - v[0], atol=1e-9)

@@ -1,0 +1,164 @@
+"""Analytic properties of the paper's constructions, property-tested."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Application, Instance, Mapping, Platform, compute_period
+from repro.petri import comm_patterns
+from repro.utils import gcd_all, lcm_all
+
+from .conftest import make_instance, small_instances
+
+
+def disjoint_mapping(counts):
+    procs, assignments = 0, []
+    for c in counts:
+        assignments.append(tuple(range(procs, procs + c)))
+        procs += c
+    return Mapping(assignments)
+
+
+class TestCommunicationWindows:
+    """'Each sender ships exactly one file to each of its receivers per
+    lcm window' — the arithmetical core of the cycle-time formulas."""
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_one_file_per_pair_per_window(self, a, b):
+        mp = disjoint_mapping([a, b])
+        pairs = mp.comm_pairs(0)  # one lcm window
+        # every realized pair occurs exactly once
+        assert len(pairs) == len(set(pairs)) == lcm_all([a, b])
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_respect_components(self, a, b):
+        """Sender s talks to receiver r iff s ≡ r (mod gcd(a, b))."""
+        mp = disjoint_mapping([a, b])
+        p = gcd_all([a, b])
+        for s, r in mp.comm_pairs(0):
+            # receiver index within its stage
+            r_idx = r - a
+            assert s % p == r_idx % p
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_patterns_partition_pairs(self, a, b):
+        """The p component pattern graphs cover each realized pair once."""
+        counts = [a, b]
+        inst = make_instance(
+            counts, [1.0] * (a + b), np.where(np.eye(a + b, dtype=bool), 0, 1.0)
+        )
+        pats = comm_patterns(inst, 0)
+        cells = [
+            (pat.senders[alpha], pat.receivers[beta])
+            for pat in pats
+            for alpha in range(pat.u)
+            for beta in range(pat.v)
+        ]
+        assert len(cells) == len(set(cells))
+        assert set(cells) == set(inst.mapping.comm_pairs(0))
+
+
+class TestHomogeneousMonotonicity:
+    """On a homogeneous platform, extra replicas never hurt (OVERLAP)."""
+
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_replica_monotone(self, m0, m1, extra):
+        def period(counts):
+            p = sum(counts)
+            app = Application(works=[4.0, 4.0], file_sizes=[2.0])
+            plat = Platform.homogeneous(p, speed=1.0, bandwidth=1.0)
+            return compute_period(
+                Instance(app, plat, disjoint_mapping(counts)), "overlap"
+            ).period
+
+        base = period([m0, m1])
+        more = period([m0 + extra, m1])
+        assert more <= base + 1e-9
+
+    def test_homogeneous_closed_form(self):
+        """Homogeneous contribution of a comm column is
+        delta/b * max(1/m_i, 1/m_{i+1}) — derived in docs/theory.md."""
+        for a, b in [(2, 3), (3, 4), (4, 6), (5, 5)]:
+            p = a + b
+            app = Application(works=[0.0, 0.0], file_sizes=[6.0])
+            plat = Platform.homogeneous(p, speed=1.0, bandwidth=2.0)
+            inst = Instance(app, plat, disjoint_mapping([a, b]))
+            res = compute_period(inst, "overlap")
+            assert res.period == pytest.approx(3.0 * max(1 / a, 1 / b))
+
+
+class TestReplicationChangesPairings:
+    """Replica order is semantic: rotating a stage's replicas can change
+    the period on heterogeneous platforms (and never on homogeneous)."""
+
+    @given(small_instances(max_stages=3, max_m=6))
+    @settings(max_examples=20, deadline=None)
+    def test_rotation_preserves_homogeneous(self, inst):
+        # overwrite the platform with a homogeneous one
+        p = inst.platform.n_processors
+        plat = Platform.homogeneous(p, speed=1.0, bandwidth=1.0)
+        base = Instance(inst.application, plat, inst.mapping)
+        base_period = compute_period(base, "overlap").period
+        rotated_assignments = [
+            tuple(s[1:] + s[:1]) for s in inst.mapping.assignments
+        ]
+        rotated = Instance(inst.application, plat, Mapping(rotated_assignments))
+        assert compute_period(rotated, "overlap").period == pytest.approx(
+            base_period
+        )
+
+    def test_rotation_is_torus_translation(self):
+        """Cyclic rotation of one stage's replicas only shifts the
+        round-robin phase — a translation of the pattern torus — so the
+        period is invariant even on heterogeneous platforms."""
+        from repro.experiments import example_b
+
+        inst = example_b()
+        base = compute_period(inst, "overlap").period
+        for rotated_order in [(4, 5, 6, 3), (5, 6, 3, 4), (6, 3, 4, 5)]:
+            rotated = Instance(
+                inst.application,
+                inst.platform,
+                Mapping([inst.mapping.assignments[0], rotated_order]),
+            )
+            assert compute_period(rotated, "overlap").period == pytest.approx(base)
+
+    def test_transposition_changes_heterogeneous(self):
+        """Non-cyclic permutations genuinely re-pair senders/receivers."""
+        import itertools
+
+        from repro.experiments import example_b
+
+        inst = example_b()
+        periods = set()
+        for order in itertools.permutations((3, 4, 5, 6)):
+            trial = Instance(
+                inst.application,
+                inst.platform,
+                Mapping([inst.mapping.assignments[0], order]),
+            )
+            periods.add(round(compute_period(trial, "overlap").period, 6))
+        assert len(periods) > 1
+
+
+class TestZeroCommunication:
+    """With free links the period is purely computational."""
+
+    @given(st.lists(st.integers(1, 3), min_size=1, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_free_links_reduce_to_comp(self, counts):
+        p = sum(counts)
+        works = [float(2 + i) for i in range(len(counts))]
+        app = Application(works=works, file_sizes=[1.0] * (len(counts) - 1))
+        bw = np.full((p, p), np.inf)
+        np.fill_diagonal(bw, 0.0)
+        plat = Platform([1.0] * p, bw)
+        inst = Instance(app, plat, disjoint_mapping(counts))
+        expected = max(w / c for w, c in zip(works, counts))
+        for model in ("overlap", "strict"):
+            assert compute_period(inst, model).period == pytest.approx(expected)

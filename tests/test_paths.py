@@ -1,0 +1,87 @@
+"""Tests for round-robin path enumeration (Proposition 1 / Table 1)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Mapping, enumerate_paths, format_path_table, path_of_dataset
+from repro.utils import lcm_all
+
+
+class TestTable1:
+    """The exact path table of Example A (Table 1 of the paper)."""
+
+    MAPPING = Mapping([(0,), (1, 2), (3, 4, 5), (6,)])
+    EXPECTED = [
+        (0, 1, 3, 6),
+        (0, 2, 4, 6),
+        (0, 1, 5, 6),
+        (0, 2, 3, 6),
+        (0, 1, 4, 6),
+        (0, 2, 5, 6),
+    ]
+
+    def test_six_distinct_paths(self):
+        paths = enumerate_paths(self.MAPPING)
+        assert len(paths) == 6
+        assert [p.processors for p in paths] == self.EXPECTED
+        assert len({p.processors for p in paths}) == 6
+
+    def test_wraparound(self):
+        # data sets 6 and 7 re-use paths 0 and 1 (Table 1 rows 6-7)
+        assert path_of_dataset(self.MAPPING, 6).processors == self.EXPECTED[0]
+        assert path_of_dataset(self.MAPPING, 7).processors == self.EXPECTED[1]
+
+    def test_format_table_matches_paper_rows(self):
+        table = format_path_table(self.MAPPING)
+        lines = table.splitlines()
+        # header + separator + m + 2 rows
+        assert len(lines) == 2 + 6 + 2
+        assert "P0 -> P1 -> P3 -> P6" in lines[2]
+        assert "P0 -> P2 -> P4 -> P6" in lines[3]
+        # row 6 repeats row 0
+        assert lines[8].split("|")[1] == lines[2].split("|")[1]
+
+    def test_str_rendering(self):
+        p = path_of_dataset(self.MAPPING, 0)
+        assert str(p) == "path 0: P0 -> P1 -> P3 -> P6"
+
+
+class TestProposition1:
+    """Property form of Proposition 1."""
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=5))
+    def test_path_count_is_lcm(self, counts):
+        procs, assignments = 0, []
+        for c in counts:
+            assignments.append(tuple(range(procs, procs + c)))
+            procs += c
+        mp = Mapping(assignments)
+        paths = enumerate_paths(mp)
+        assert len(paths) == lcm_all(counts)
+        # all paths distinct
+        assert len({p.processors for p in paths}) == len(paths)
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=4),
+           st.integers(0, 100))
+    def test_dataset_follows_path_mod_m(self, counts, dataset):
+        procs, assignments = 0, []
+        for c in counts:
+            assignments.append(tuple(range(procs, procs + c)))
+            procs += c
+        mp = Mapping(assignments)
+        m = mp.num_paths
+        path = path_of_dataset(mp, dataset)
+        assert path.index == dataset % m
+        assert path.processors == path_of_dataset(mp, dataset % m).processors
+
+    @given(st.lists(st.integers(1, 4), min_size=2, max_size=4))
+    def test_stage_round_robin_within_paths(self, counts):
+        """Path j uses replica j mod m_i of stage i — the paper's rule."""
+        procs, assignments = 0, []
+        for c in counts:
+            assignments.append(tuple(range(procs, procs + c)))
+            procs += c
+        mp = Mapping(assignments)
+        for j, path in enumerate(enumerate_paths(mp)):
+            for i, c in enumerate(counts):
+                assert path.processors[i] == assignments[i][j % c]

@@ -1,0 +1,110 @@
+"""Tests for TPN construction (Sections 3.2 / 3.3 of the paper)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import ReplicationExplosionError
+from repro.experiments import example_a
+from repro.petri import PlaceKind, build_tpn, validate_tpn
+
+from .conftest import small_instances
+
+
+class TestExampleADimensions:
+    """The net of Figure 4: m = 6 rows, 2n-1 = 7 columns."""
+
+    def test_overlap_shape(self):
+        net = build_tpn(example_a(), "overlap")
+        assert (net.n_rows, net.n_columns) == (6, 7)
+        assert net.n_transitions == 42
+
+    def test_overlap_place_census(self):
+        net = build_tpn(example_a(), "overlap")
+        rep = validate_tpn(net)
+        # flow: 6 rows x 6 column-gaps
+        assert rep.places_by_kind[PlaceKind.FLOW] == 36
+        # comp circuits: every row position of each column -> 4 columns x 6
+        assert rep.places_by_kind[PlaceKind.RR_COMP] == 24
+        # out circuits on comm columns: 3 columns x 6 rows
+        assert rep.places_by_kind[PlaceKind.RR_OUT] == 18
+        assert rep.places_by_kind[PlaceKind.RR_IN] == 18
+        # one token per circuit: 7 comp + 7 out-ports... counted below
+        assert rep.tokens == net.total_tokens()
+
+    def test_overlap_token_count_equals_circuits(self):
+        net = build_tpn(example_a(), "overlap")
+        # circuits: comp per processor (7) + out ports (1+2+3=6... P0,P1,P2,
+        # P3,P4,P5 have successors -> 6) + in ports (P1..P6 -> 6)
+        assert net.total_tokens() == 7 + 6 + 6
+
+    def test_strict_place_census(self):
+        net = build_tpn(example_a(), "strict")
+        rep = validate_tpn(net)
+        assert rep.places_by_kind[PlaceKind.FLOW] == 36
+        # one serialization circuit per processor, total 6 rows per column
+        # span: each row of each processor contributes one place -> 4
+        # stages x 6 rows = 24
+        assert rep.places_by_kind[PlaceKind.RCS] == 24
+        assert net.total_tokens() == 7  # one token per processor
+
+    def test_transition_durations_follow_mapping(self):
+        inst = example_a()
+        net = build_tpn(inst, "overlap")
+        # row 1 computation of S1 runs on P2 (round-robin)
+        t = net.transition_at(1, 2)
+        assert t.kind == "comp" and t.procs == (2,)
+        assert t.duration == pytest.approx(inst.comp_time(1, 2))
+        # row 1 transmission of F0 goes P0 -> P2 with time 192
+        t = net.transition_at(1, 1)
+        assert t.procs == (0, 2)
+        assert t.duration == pytest.approx(192.0)
+
+    def test_labels(self):
+        net = build_tpn(example_a(), "overlap")
+        assert net.transition_at(0, 0).label == "S0/P0 [row 0]"
+        assert net.transition_at(1, 1).label == "F0:P0->P2 [row 1]"
+
+
+class TestRowBudget:
+    def test_explosion_guard(self):
+        from repro.experiments import example_c
+
+        with pytest.raises(ReplicationExplosionError) as err:
+            build_tpn(example_c(), "overlap", max_rows=1000)
+        assert err.value.m == 10395
+
+    def test_budget_disabled(self):
+        # max_rows=None builds even the big net (structure only, no solve)
+        from repro.experiments import example_c
+
+        net = build_tpn(example_c(), "overlap", max_rows=None)
+        assert net.n_rows == 10395
+        assert net.n_transitions == 10395 * 7
+
+
+class TestInvariantsOnRandomInstances:
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_both_models_validate(self, inst):
+        for model in ("overlap", "strict"):
+            net = build_tpn(inst, model)
+            rep = validate_tpn(net)
+            assert rep.n_transitions == inst.num_paths * (2 * inst.n_stages - 1)
+
+    @given(small_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_overlap_cycles_stay_in_columns(self, inst):
+        """Section 4.1: any overlap cycle contains transitions of a single
+        column — check via SCC membership."""
+        net = build_tpn(inst, "overlap")
+        graph = net.to_ratio_graph()
+        for comp in graph.strongly_connected_components():
+            cols = {net.transitions[t].column for t in comp}
+            if len(comp) > 1:
+                assert len(cols) == 1
+
+    @given(small_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_strict_token_count_is_processor_count(self, inst):
+        net = build_tpn(inst, "strict")
+        assert net.total_tokens() == sum(inst.replication_counts)

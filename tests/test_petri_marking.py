@@ -1,0 +1,119 @@
+"""Token-game semantics vs. dater recursion, plus TPN serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SimulationError
+from repro.experiments import example_a, example_b
+from repro.petri import build_tpn
+from repro.petri.marking import (
+    circuit_invariants,
+    play_token_game,
+    verify_invariant_during_game,
+)
+from repro.petri.serialization import (
+    tpn_from_dict,
+    tpn_from_json,
+    tpn_to_dict,
+    tpn_to_json,
+)
+from repro.simulation import simulate
+
+from .conftest import small_instances
+
+
+class TestTokenGameEquivalence:
+    """The operational semantics must equal the max-plus daters exactly."""
+
+    def test_two_stage_chain(self, two_stage_chain):
+        net = build_tpn(two_stage_chain, "overlap")
+        k = 5
+        game = play_token_game(net, k)
+        daters = simulate(net, k).completion
+        assert np.allclose(game.completion_matrix(k), daters)
+
+    def test_example_a_both_models(self):
+        for model in ("overlap", "strict"):
+            net = build_tpn(example_a(), model)
+            k = 4
+            game = play_token_game(net, k)
+            daters = simulate(net, k).completion
+            assert np.allclose(game.completion_matrix(k), daters), model
+
+    @given(small_instances(max_stages=3, max_m=6))
+    @settings(max_examples=12, deadline=None)
+    def test_random_instances(self, inst):
+        for model in ("overlap", "strict"):
+            net = build_tpn(inst, model)
+            k = 3
+            game = play_token_game(net, k)
+            daters = simulate(net, k).completion
+            assert np.allclose(game.completion_matrix(k), daters)
+
+    def test_bad_horizon(self, two_stage_chain):
+        net = build_tpn(two_stage_chain, "overlap")
+        with pytest.raises(SimulationError):
+            play_token_game(net, 0)
+
+
+class TestInvariants:
+    def test_circuit_census(self):
+        net = build_tpn(example_a(), "overlap")
+        circuits = circuit_invariants(net)
+        # 7 CPU circuits + 6 out-port + 6 in-port
+        assert len(circuits) == 19
+        assert "rr_comp:P0:comp" in circuits
+
+    def test_one_token_invariant_holds(self):
+        for inst, model in [(example_a(), "overlap"), (example_a(), "strict"),
+                            (example_b(), "overlap")]:
+            net = build_tpn(inst, model)
+            game = play_token_game(net, 3)
+            verify_invariant_during_game(net, game)  # raises on violation
+
+    def test_event_ordering(self, two_stage_chain):
+        net = build_tpn(two_stage_chain, "overlap")
+        game = play_token_game(net, 4)
+        ends = [ev.end for ev in game.events]
+        assert ends == sorted(ends)
+        # every transition fired exactly 4 times
+        counts = {}
+        for ev in game.events:
+            counts[ev.transition] = counts.get(ev.transition, 0) + 1
+        assert set(counts.values()) == {4}
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        net = build_tpn(example_a(), "strict")
+        clone = tpn_from_dict(tpn_to_dict(net))
+        assert clone.n_transitions == net.n_transitions
+        assert clone.n_places == net.n_places
+        assert [t.duration for t in clone.transitions] == [
+            t.duration for t in net.transitions
+        ]
+        assert [(p.src, p.dst, p.tokens, p.kind) for p in clone.places] == [
+            (p.src, p.dst, p.tokens, p.kind) for p in net.places
+        ]
+
+    def test_json_roundtrip_preserves_period(self):
+        from repro.maxplus import max_cycle_ratio
+
+        net = build_tpn(example_b(), "overlap")
+        clone = tpn_from_json(tpn_to_json(net))
+        a = max_cycle_ratio(net.to_ratio_graph()).value
+        b = max_cycle_ratio(clone.to_ratio_graph()).value
+        assert a == pytest.approx(b)
+
+    def test_json_file_roundtrip(self, tmp_path):
+        net = build_tpn(example_a(), "overlap")
+        path = tmp_path / "net.json"
+        tpn_to_json(net, path)
+        clone = tpn_from_json(path)
+        assert clone.meta["model"] == "overlap"
+        assert clone.n_rows == 6
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(Exception):
+            tpn_from_dict({"format": "not-a-tpn"})

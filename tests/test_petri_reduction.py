@@ -1,0 +1,124 @@
+"""Tests for column decomposition and pattern graphs (Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.experiments import EXAMPLE_C_STRUCTURE, example_a, example_b, example_c
+from repro.maxplus import max_cycle_ratio
+from repro.petri import (
+    build_tpn,
+    column_subgraph,
+    comm_patterns,
+    computation_column,
+)
+
+from .conftest import small_instances
+
+
+class TestComputationColumns:
+    def test_slowest_replica_dominates(self, replicated_middle):
+        col = computation_column(replicated_middle, 1)
+        assert col.contribution == pytest.approx(8.0 / 2.0)
+        assert col.critical_proc in (1, 2)
+
+    def test_unreplicated_stage(self, two_stage_chain):
+        col = computation_column(two_stage_chain, 0)
+        assert col.contribution == pytest.approx(2.0)
+        assert col.per_processor == ((0, 2.0),)
+
+
+class TestPatternStructure:
+    def test_example_b_single_component(self):
+        pats = comm_patterns(example_b(), 0)
+        assert len(pats) == 1
+        pat = pats[0]
+        assert (pat.p, pat.u, pat.v, pat.window) == (1, 3, 4, 12)
+        assert pat.senders == (0, 1, 2)
+        # receiver grid order follows the round-robin step m_0 = 3 (mod 4):
+        # P3, P6, P5, P4
+        assert pat.receivers == (3, 6, 5, 4)
+
+    def test_example_b_critical_ratio(self):
+        pat = comm_patterns(example_b(), 0)[0]
+        assert pat.critical_ratio() == pytest.approx(7000.0 / 2.0)
+        assert pat.contribution() == pytest.approx(3500.0 / 12.0)
+
+    def test_example_a_f1_pattern(self):
+        pats = comm_patterns(example_a(), 1)
+        assert len(pats) == 1
+        pat = pats[0]
+        assert (pat.p, pat.u, pat.v, pat.window) == (1, 2, 3, 6)
+        assert pat.senders == (1, 2)
+        # receivers step by m_1 = 2 mod 3: P3, P5, P4
+        assert pat.receivers == (3, 5, 4)
+
+    def test_example_c_components(self):
+        """Figures 11/13: F1 has p=3 components of 7x9 patterns; P5 talks
+        only to P26, P29, ..., P50 and P6 only to P27, P30, ..., P51."""
+        pats = comm_patterns(example_c(), 1)
+        assert len(pats) == 3
+        for pat in pats:
+            assert (pat.u, pat.v) == (7, 9)
+            assert pat.window == 189
+        by_first_sender = {pat.senders[0]: pat for pat in pats}
+        assert sorted(by_first_sender) == [5, 6, 7]
+        assert set(by_first_sender[5].receivers) == set(
+            EXAMPLE_C_STRUCTURE["p5_receivers"]
+        )
+        assert set(by_first_sender[6].receivers) == set(
+            EXAMPLE_C_STRUCTURE["p6_receivers"]
+        )
+
+    def test_pattern_c_count(self):
+        """c = m / lcm(m_i, m_{i+1}) = 10395 / 189 = 55 (Figure 13)."""
+        inst = example_c()
+        pat = comm_patterns(inst, 1)[0]
+        assert inst.num_paths // pat.window == 55
+
+    def test_cell_pair_matches_duration(self):
+        inst = example_b()
+        pat = comm_patterns(inst, 0)[0]
+        for a in range(pat.u):
+            for b in range(pat.v):
+                s, r = pat.cell_pair(a, b)
+                assert pat.durations[a, b] == pytest.approx(
+                    inst.comm_time(0, s, r)
+                )
+
+
+class TestReductionCorrectness:
+    """The pattern quotient must match the full column sub-TPN exactly."""
+
+    @given(small_instances(max_stages=3))
+    @settings(max_examples=25, deadline=None)
+    def test_pattern_ratio_equals_column_ratio(self, inst):
+        net = build_tpn(inst, "overlap")
+        m = inst.num_paths
+        for i in range(inst.n_stages - 1):
+            sub, _ = column_subgraph(net, 2 * i + 1)
+            full = max_cycle_ratio(sub).value / m
+            pats = comm_patterns(inst, i)
+            quotient = max(p.contribution() for p in pats)
+            assert quotient == pytest.approx(full, rel=1e-9)
+
+    @given(small_instances(max_stages=3))
+    @settings(max_examples=25, deadline=None)
+    def test_comp_column_equals_subgraph(self, inst):
+        net = build_tpn(inst, "overlap")
+        m = inst.num_paths
+        for i in range(inst.n_stages):
+            sub, _ = column_subgraph(net, 2 * i)
+            full = max_cycle_ratio(sub).value / m
+            assert computation_column(inst, i).contribution == pytest.approx(
+                full, rel=1e-9
+            )
+
+    def test_pattern_graph_token_structure(self):
+        pat = comm_patterns(example_b(), 0)[0]
+        g = pat.to_ratio_graph()
+        # u*v nodes, 2 per-cell edges
+        assert g.n_nodes == 12 and g.n_edges == 24
+        # one token per wrap row + per wrap column: u + v
+        assert int(np.sum(g.tokens)) == pat.u + pat.v
+        assert g.is_live()

@@ -1,0 +1,105 @@
+"""Tests for structural TPN validation (and its failure modes)."""
+
+import pytest
+
+from repro import DeadlockError, ValidationError
+from repro.experiments import example_a
+from repro.petri import PlaceKind, TimedEventGraph, build_tpn, validate_tpn
+
+
+def tiny_net() -> TimedEventGraph:
+    """Hand-built 1-row, 3-column net (one path, two stages)."""
+    net = TimedEventGraph(n_rows=1, n_columns=3)
+    net.add_transition(0, 0, 2.0, "comp", 0, (0,))
+    net.add_transition(0, 1, 4.0, "comm", 0, (0, 1))
+    net.add_transition(0, 2, 3.0, "comp", 1, (1,))
+    net.add_place(0, 1, 0, PlaceKind.FLOW)
+    net.add_place(1, 2, 0, PlaceKind.FLOW)
+    net.add_place(0, 0, 1, PlaceKind.RR_COMP, "P0:comp")
+    net.add_place(1, 1, 1, PlaceKind.RR_OUT, "P0:out")
+    net.add_place(1, 1, 1, PlaceKind.RR_IN, "P1:in")
+    net.add_place(2, 2, 1, PlaceKind.RR_COMP, "P1:comp")
+    return net
+
+
+class TestManualConstruction:
+    def test_valid_net_passes(self):
+        rep = validate_tpn(tiny_net())
+        assert rep.tokens == 4
+        assert rep.places_by_kind[PlaceKind.FLOW] == 2
+
+    def test_out_of_order_transition_rejected(self):
+        net = TimedEventGraph(n_rows=1, n_columns=3)
+        with pytest.raises(ValidationError):
+            net.add_transition(0, 1, 1.0, "comm", 0, (0, 1))
+
+    def test_place_to_missing_transition_rejected(self):
+        net = TimedEventGraph(n_rows=1, n_columns=3)
+        net.add_transition(0, 0, 1.0, "comp", 0, (0,))
+        with pytest.raises(ValidationError):
+            net.add_place(0, 5, 0, PlaceKind.FLOW)
+
+    def test_unknown_place_kind_rejected(self):
+        net = tiny_net()
+        with pytest.raises(ValidationError):
+            net.add_place(0, 1, 0, "mystery")
+
+    def test_flow_with_token_rejected(self):
+        net = tiny_net()
+        net.places[0] = net.places[0].__class__(
+            index=0, src=0, dst=1, tokens=1, kind=PlaceKind.FLOW
+        )
+        with pytest.raises(ValidationError):
+            validate_tpn(net)
+
+    def test_circuit_with_two_tokens_rejected(self):
+        net = tiny_net()
+        net.add_place(0, 0, 1, PlaceKind.RR_COMP, "P0:comp")  # second token
+        with pytest.raises(ValidationError):
+            validate_tpn(net)
+
+    def test_wrong_kind_for_column_rejected(self):
+        net = TimedEventGraph(n_rows=1, n_columns=1)
+        net.add_transition(0, 0, 1.0, "comm", 0, (0, 1))  # comp column!
+        net.add_place(0, 0, 1, PlaceKind.RR_COMP, "P0:comp")
+        with pytest.raises(ValidationError):
+            validate_tpn(net)
+
+    def test_token_free_cycle_detected(self):
+        net = TimedEventGraph(n_rows=1, n_columns=3)
+        net.add_transition(0, 0, 2.0, "comp", 0, (0,))
+        net.add_transition(0, 1, 4.0, "comm", 0, (0, 1))
+        net.add_transition(0, 2, 3.0, "comp", 1, (1,))
+        net.add_place(0, 1, 0, PlaceKind.FLOW)
+        net.add_place(1, 2, 0, PlaceKind.FLOW)
+        # tokenless "circuit": deadlock
+        net.add_place(0, 0, 0, PlaceKind.RR_COMP, "P0:comp")
+        net.add_place(1, 1, 1, PlaceKind.RR_OUT, "P0:out")
+        net.add_place(1, 1, 1, PlaceKind.RR_IN, "P1:in")
+        net.add_place(2, 2, 1, PlaceKind.RR_COMP, "P1:comp")
+        with pytest.raises((DeadlockError, ValidationError)):
+            validate_tpn(net)
+
+
+class TestAccessors:
+    def test_transition_at_bounds(self):
+        net = build_tpn(example_a(), "overlap")
+        with pytest.raises(IndexError):
+            net.transition_at(6, 0)
+        with pytest.raises(IndexError):
+            net.transition_at(0, 7)
+
+    def test_column_transitions_row_order(self):
+        net = build_tpn(example_a(), "overlap")
+        col = net.column_transitions(3)
+        assert [t.row for t in col] == list(range(6))
+        assert all(t.column == 3 for t in col)
+
+    def test_places_by_kind(self):
+        net = build_tpn(example_a(), "strict")
+        assert len(net.places_by_kind(PlaceKind.RCS)) == 24
+        assert len(net.places_by_kind(PlaceKind.RR_OUT)) == 0
+
+    def test_repr(self):
+        net = build_tpn(example_a(), "overlap")
+        assert "6x7" in repr(net)

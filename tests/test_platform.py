@@ -1,0 +1,103 @@
+"""Unit tests for the platform model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Platform, ValidationError
+
+
+class TestConstruction:
+    def test_basic_times(self):
+        plat = Platform(speeds=[1.0, 2.0], bandwidths=[[0, 5.0], [5.0, 0]])
+        assert plat.n_processors == 2
+        assert plat.comp_time(10.0, 1) == 5.0
+        assert plat.comm_time(10.0, 0, 1) == 2.0
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValidationError):
+            Platform(speeds=[1.0, 0.0], bandwidths=np.ones((2, 2)))
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            Platform(speeds=[1.0, 1.0], bandwidths=[[0, -1.0], [1.0, 0]])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            Platform(speeds=[1.0, 1.0], bandwidths=np.ones((3, 3)))
+
+    def test_infinite_bandwidth_means_free_link(self):
+        plat = Platform(speeds=[1, 1], bandwidths=[[0, math.inf], [1, 0]])
+        assert plat.comm_time(100.0, 0, 1) == 0.0
+
+    def test_diagonal_ignored(self):
+        # zero diagonal is fine — there is no P_u -> P_u link
+        plat = Platform(speeds=[1, 1], bandwidths=[[0, 1], [1, 0]])
+        with pytest.raises(ValidationError):
+            plat.bandwidth(0, 0)
+
+    def test_immutable_arrays(self):
+        plat = Platform.homogeneous(3)
+        with pytest.raises(ValueError):
+            plat.speeds[0] = 2.0
+        with pytest.raises(ValueError):
+            plat.bandwidths[0, 1] = 2.0
+
+    def test_index_out_of_range(self):
+        plat = Platform.homogeneous(2)
+        with pytest.raises(IndexError):
+            plat.speed(2)
+
+
+class TestConstructors:
+    def test_homogeneous(self):
+        plat = Platform.homogeneous(4, speed=2.0, bandwidth=0.5)
+        assert plat.n_processors == 4
+        assert plat.comp_time(4.0, 3) == 2.0
+        assert plat.comm_time(1.0, 0, 3) == 2.0
+
+    def test_star_bottleneck(self):
+        plat = Platform.star(speeds=[1, 1, 1], up_bandwidths=[10, 1, 5],
+                             down_bandwidths=[2, 8, 4])
+        # link 0 -> 1 limited by min(up[0]=10, down[1]=8) = 8
+        assert plat.bandwidth(0, 1) == 8.0
+        # link 1 -> 0 limited by min(up[1]=1, down[0]=2) = 1
+        assert plat.bandwidth(1, 0) == 1.0
+
+    def test_star_symmetric_default(self):
+        plat = Platform.star(speeds=[1, 1], up_bandwidths=[3, 7])
+        assert plat.bandwidth(0, 1) == 3.0
+        assert plat.bandwidth(1, 0) == 3.0
+
+    def test_from_comm_times(self):
+        plat = Platform.from_comm_times([2.0, 4.0], [[0, 10.0], [5.0, 0]])
+        # unit work on P1 takes 4 time units
+        assert plat.comp_time(1.0, 1) == pytest.approx(4.0)
+        assert plat.comm_time(1.0, 0, 1) == pytest.approx(10.0)
+        assert plat.comm_time(1.0, 1, 0) == pytest.approx(5.0)
+
+    def test_from_comm_times_zero_time_is_inf_bandwidth(self):
+        plat = Platform.from_comm_times([1.0, 1.0], [[0, 0.0], [1.0, 0]])
+        assert plat.comm_time(123.0, 0, 1) == 0.0
+
+    def test_from_comm_times_rejects_bad_comp(self):
+        with pytest.raises(ValidationError):
+            Platform.from_comm_times([0.0, 1.0], np.zeros((2, 2)))
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        plat = Platform(speeds=[1, 2], bandwidths=[[0, math.inf], [3, 0]])
+        clone = Platform.from_dict(plat.to_dict())
+        assert clone == plat
+
+    def test_inf_encoded_as_string(self):
+        plat = Platform(speeds=[1, 2], bandwidths=[[0, math.inf], [3, 0]])
+        assert plat.to_dict()["bandwidths"][0][1] == "inf"
+
+    def test_equality_and_hash(self):
+        a = Platform.homogeneous(2)
+        b = Platform.homogeneous(2)
+        assert a == b and hash(a) == hash(b)
+        assert a != Platform.homogeneous(3)

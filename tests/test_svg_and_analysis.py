@@ -1,0 +1,101 @@
+"""Tests for SVG rendering and experiment analysis."""
+
+import pytest
+
+from repro.experiments import TABLE2_CONFIGS, run_family
+from repro.experiments.analysis import feature_report, gap_histogram, summarize
+from repro.experiments.runner import ExperimentRecord
+from repro.petri import build_tpn
+from repro.simulation import extract_schedules, simulate
+from repro.simulation.svg import render_gantt_svg
+
+
+@pytest.fixture(scope="module")
+def example_a_schedules():
+    from repro.experiments import example_a
+
+    net = build_tpn(example_a(), "strict")
+    trace = simulate(net, 20)
+    return extract_schedules(trace, "strict")
+
+
+class TestSvg:
+    def test_well_formed_document(self, example_a_schedules):
+        svg = render_gantt_svg(example_a_schedules, 0.0, 3000.0,
+                               title="Example A strict")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "Example A strict" in svg
+        # one lane background per resource
+        assert svg.count(f'fill="#f4f4f4"') == len(example_a_schedules)
+
+    def test_interval_rectangles_present(self, example_a_schedules):
+        svg = render_gantt_svg(example_a_schedules, 0.0, 3000.0)
+        # computations blue, transmissions orange
+        assert '#4e79a7' in svg
+        assert '#f28e2b' in svg
+        assert "<title>S0 (0)" in svg
+
+    def test_period_marks(self, example_a_schedules):
+        svg = render_gantt_svg(example_a_schedules, 0.0, 3000.0,
+                               period_marks=[1384.0, 2768.0])
+        assert svg.count("stroke-dasharray") == 2
+
+    def test_window_clipping(self, example_a_schedules):
+        full = render_gantt_svg(example_a_schedules, 0.0, 3000.0)
+        clipped = render_gantt_svg(example_a_schedules, 0.0, 100.0)
+        assert clipped.count("<rect") < full.count("<rect")
+
+    def test_file_output(self, example_a_schedules, tmp_path):
+        path = tmp_path / "gantt.svg"
+        render_gantt_svg(example_a_schedules, 0.0, 500.0, path=path)
+        assert path.read_text().startswith("<svg")
+
+    def test_bad_window(self, example_a_schedules):
+        with pytest.raises(ValueError):
+            render_gantt_svg(example_a_schedules, 10.0, 10.0)
+
+
+def _fake_record(critical: bool, gap: float, rep=(1, 2), name="fam", model="strict"):
+    return ExperimentRecord(
+        config_name=name, model=model, seed=0, n_stages=len(rep),
+        n_procs=sum(rep), replication=rep, m=2, period=1 + gap, mct=1.0,
+        critical=critical, gap=gap,
+    )
+
+
+class TestAnalysis:
+    def test_summarize_groups(self):
+        records = [
+            _fake_record(True, 0.0),
+            _fake_record(False, 0.05),
+            _fake_record(False, 0.01, name="fam2"),
+        ]
+        rows = summarize(records)
+        assert len(rows) == 2
+        fam = next(r for r in rows if r.config_name == "fam")
+        assert fam.total == 2 and fam.no_critical == 1
+        assert fam.max_gap == pytest.approx(0.05)
+
+    def test_gap_histogram_empty(self):
+        assert "no cases" in gap_histogram([_fake_record(True, 0.0)])
+
+    def test_gap_histogram_bins(self):
+        records = [_fake_record(False, g) for g in (0.01, 0.02, 0.09)]
+        text = gap_histogram(records, n_bins=3)
+        assert "3 no-critical cases" in text
+        assert text.count("|") == 3
+
+    def test_feature_report(self):
+        records = [_fake_record(True, 0.0, rep=(1, 1)),
+                   _fake_record(False, 0.03, rep=(2, 3))]
+        text = feature_report(records)
+        assert "with critical resource" in text
+        assert "every no-critical case has a replicated stage: True" in text
+
+    def test_on_real_records(self):
+        records = run_family(TABLE2_CONFIGS[4], "strict", count=8, n_jobs=1)
+        rows = summarize(records)
+        assert rows[0].total == 8
+        gap_histogram(records)
+        feature_report(records)

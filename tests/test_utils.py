@@ -1,0 +1,85 @@
+"""Unit tests for repro.utils."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import check_finite, check_non_negative, check_positive, format_time, gcd_all, lcm_all
+
+
+class TestLcmAll:
+    def test_paper_example_a(self):
+        assert lcm_all([1, 2, 3, 1]) == 6
+
+    def test_paper_example_b(self):
+        assert lcm_all([3, 4]) == 12
+
+    def test_paper_example_c(self):
+        assert lcm_all([5, 21, 27, 11]) == 10395
+
+    def test_empty_is_one(self):
+        assert lcm_all([]) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            lcm_all([2, 0])
+        with pytest.raises(ValueError):
+            lcm_all([-3])
+
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=5))
+    def test_divides_all(self, values):
+        m = lcm_all(values)
+        assert all(m % v == 0 for v in values)
+        # minimality: no proper divisor of m is a common multiple
+        for d in range(1, m):
+            if m % d == 0 and all(d % v == 0 for v in values):
+                pytest.fail(f"{d} is a smaller common multiple than {m}")
+
+
+class TestGcdAll:
+    def test_example_c_f1(self):
+        assert gcd_all([21, 27]) == 3
+
+    def test_coprime(self):
+        assert gcd_all([3, 4]) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            gcd_all([0, 4])
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=5))
+    def test_divides_each(self, values):
+        g = gcd_all(values)
+        assert all(v % g == 0 for v in values)
+
+
+class TestChecks:
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("x", [1.0, 0.0])
+
+    def test_positive_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", [math.inf])
+
+    def test_non_negative_accepts_zero(self):
+        check_non_negative("x", [0.0, 1.0])
+
+    def test_non_negative_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", [math.nan])
+
+    def test_check_finite_roundtrip(self):
+        assert check_finite("x", 3) == 3.0
+        with pytest.raises(ValueError):
+            check_finite("x", math.inf)
+
+
+class TestFormatTime:
+    def test_integers_render_bare(self):
+        assert format_time(189.0) == "189"
+
+    def test_fractions_render_decimal(self):
+        assert format_time(215.83333333, digits=4).startswith("215.8")

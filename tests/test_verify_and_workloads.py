@@ -1,0 +1,148 @@
+"""Tests for period certificates, the workload catalog, and transients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import SolverError, compute_period
+from repro.algorithms.verify import PeriodCertificate, certify_period, check_certificate
+from repro.experiments import example_a, example_b
+from repro.petri import build_tpn
+from repro.simulation.transient import analyze_transient
+from repro.workloads import CATALOG, get_workload, synthetic
+
+from .conftest import small_instances
+
+
+class TestCertificates:
+    def test_example_a_strict_certified(self):
+        cert = certify_period(example_a(), "strict")
+        assert cert.period == pytest.approx(692.0 / 3.0)
+        assert len(cert.cycle_edges) > 0
+        # check is idempotent
+        check_certificate(example_a(), cert)
+
+    def test_example_b_overlap_certified(self):
+        cert = certify_period(example_b(), "overlap")
+        assert cert.period == pytest.approx(3500.0 / 12.0)
+
+    @given(small_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances_certify(self, inst):
+        for model in ("overlap", "strict"):
+            cert = certify_period(inst, model)
+            assert cert.period == pytest.approx(
+                compute_period(inst, model).period, rel=1e-9
+            )
+
+    def test_tampered_period_rejected(self):
+        cert = certify_period(example_b(), "overlap")
+        fake = PeriodCertificate(
+            period=cert.period * 0.9,
+            m=cert.m,
+            cycle_edges=cert.cycle_edges,
+            potentials=cert.potentials,
+            model=cert.model,
+        )
+        with pytest.raises(SolverError):
+            check_certificate(example_b(), fake)
+
+    def test_tampered_cycle_rejected(self):
+        cert = certify_period(example_b(), "overlap")
+        fake = PeriodCertificate(
+            period=cert.period,
+            m=cert.m,
+            cycle_edges=cert.cycle_edges[:-1],  # broken cycle
+            potentials=cert.potentials,
+            model=cert.model,
+        )
+        with pytest.raises(SolverError):
+            check_certificate(example_b(), fake)
+
+    def test_tampered_potentials_rejected(self):
+        cert = certify_period(example_a(), "strict")
+        bad = np.array(cert.potentials)
+        bad[0] -= 1e6
+        fake = PeriodCertificate(cert.period, cert.m, cert.cycle_edges,
+                                 bad, cert.model)
+        with pytest.raises(SolverError):
+            check_certificate(example_a(), fake)
+
+
+class TestWorkloads:
+    def test_catalog_contents(self):
+        assert len(CATALOG) == 5
+        for name, spec in CATALOG.items():
+            assert spec.application.n_stages >= 4
+            assert spec.description
+
+    def test_get_workload(self):
+        app = get_workload("video-transcode")
+        assert app.stage_names[3] == "encode"
+        with pytest.raises(KeyError):
+            get_workload("mining-rig")
+
+    @pytest.mark.parametrize("shape", [
+        "balanced", "compute-heavy", "comm-heavy", "shrinking", "random",
+    ])
+    def test_synthetic_shapes(self, shape):
+        app = synthetic(5, shape=shape, scale=4.0, seed=3)
+        assert app.n_stages == 5
+        assert all(w >= 0 for w in app.works)
+
+    def test_synthetic_validation(self):
+        with pytest.raises(ValueError):
+            synthetic(0)
+        with pytest.raises(ValueError):
+            synthetic(3, shape="weird")
+
+    def test_shrinking_monotone(self):
+        app = synthetic(6, shape="shrinking")
+        assert all(a > b for a, b in zip(app.file_sizes, app.file_sizes[1:]))
+
+    def test_compute_heavy_has_dominant_stage(self):
+        app = synthetic(5, shape="compute-heavy")
+        assert max(app.works) > 10 * sorted(app.works)[-2]
+
+    def test_workloads_schedulable(self):
+        """Every catalog workload computes a finite period when mapped."""
+        from repro import Instance, Mapping, Platform
+
+        for spec in CATALOG.values():
+            app = spec.application
+            n = app.n_stages
+            plat = Platform.homogeneous(n, speed=10.0, bandwidth=50.0)
+            inst = Instance(app, plat, Mapping([(i,) for i in range(n)]))
+            res = compute_period(inst, "overlap")
+            assert np.isfinite(res.period) and res.period > 0
+
+
+class TestTransient:
+    def test_example_b_cyclicity_two(self):
+        net = build_tpn(example_b(), "overlap")
+        rep = analyze_transient(net, n_firings=200)
+        assert rep.cyclicity == 2
+        assert rep.rate == pytest.approx(3500.0, rel=1e-9)
+        assert 0 <= rep.coupling_index < 200
+
+    def test_non_replicated_chain_cyclicity_one(self, two_stage_chain):
+        net = build_tpn(two_stage_chain, "strict")
+        rep = analyze_transient(net, n_firings=64)
+        assert rep.cyclicity == 1
+        # critical strict cycle: receive F0 (4) + compute S1 (3) on P1
+        assert rep.rate == pytest.approx(7.0)
+
+    @given(small_instances(max_stages=3, max_m=6))
+    @settings(max_examples=10, deadline=None)
+    def test_rate_matches_period(self, inst):
+        for model in ("overlap", "strict"):
+            net = build_tpn(inst, model)
+            rep = analyze_transient(net, n_firings=max(96, 16 * net.n_rows))
+            expected = compute_period(inst, model).period * net.n_rows
+            assert rep.rate == pytest.approx(expected, rel=1e-9)
+
+    def test_transient_report_fields(self, two_stage_chain):
+        net = build_tpn(two_stage_chain, "overlap")
+        rep = analyze_transient(net, n_firings=50)
+        assert rep.horizon == 50
+        assert rep.cyclicity >= 1

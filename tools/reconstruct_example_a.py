@@ -1,0 +1,280 @@
+"""Constraint-search reconstruction of Example A's durations (Figure 2).
+
+The available source text of the paper garbles Figure 2's numeric labels:
+eighteen numbers are listed (7 computation times, 11 communication times)
+but their association with nodes/edges is lost.  This script recovers the
+assignment from every published fact:
+
+* the 18 raw label values (Figure 2);
+* Figure 9 groups {57, 68, 77} and {13, 157, 165} as the two senders'
+  ``F_1`` transfer-time rows;
+* OVERLAP: period = 189, critical resource = output port of P0
+  (hence t(P0->P1) + t(P0->P2) = 378 = 186 + 192, the only label pair
+  summing to 378);
+* STRICT: M_ct = 215.8(3) attained by P2 — forcing t(P0->P2) = 192,
+  comp(P2) = 128 and P2's row = {13, 157, 165} (derivation in
+  EXPERIMENTS.md);
+* STRICT: period = 230.7.
+
+Remaining freedom (comp times of P0, P1, P3..P6, the three F2 transfer
+times, and the receiver order of each sender row) is brute-forced below
+with pure-arithmetic pre-filters; full strict-TPN critical-cycle checks
+run only on the survivors.  All assignments matching every published
+number are printed.
+
+Run:  python tools/reconstruct_example_a.py
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+
+from repro.algorithms.general_tpn import tpn_period
+from repro.algorithms.overlap_poly import overlap_period
+from repro.core.application import Application
+from repro.core.cycle_time import cycle_times
+from repro.core.instance import Instance
+from repro.core.mapping import Mapping
+from repro.core.platform import Platform
+from repro.maxplus.cycle_ratio import max_cycle_ratio
+from repro.maxplus.graph import RatioGraph
+
+# -- fixed by the published constraints ---------------------------------
+T01, T02 = 186.0, 192.0
+C2 = 128.0
+P1_ROW = (57.0, 68.0, 77.0)  # F1 times of sender P1 (receiver order tbd)
+P2_ROW = (13.0, 157.0, 165.0)  # F1 times of sender P2 (receiver order tbd)
+
+#: The remaining 18-label pool after removing the 8 fixed values and C2.
+REMAINING = [147.0, 22.0, 104.0, 146.0, 23.0, 73.0, 73.0, 67.0, 126.0]
+
+STRICT_MCT_TARGET = (215.75, 215.88)  # paper: 215.8 (=1295/6 = 215.8333)
+STRICT_P_TARGET = (230.65, 230.75)  # paper: 230.7
+OVERLAP_P = 189.0
+
+MAPPING = Mapping([(0,), (1, 2), (3, 4, 5), (6,)])
+
+
+def f1_torus_ratio(r1: tuple, r2: tuple) -> float:
+    """Max cycle ratio of the 2x3 pattern graph of F1.
+
+    Senders (P1, P2) x grid columns; grid column order follows the
+    receivers' round-robin (step m_1 = 2 mod 3): receivers P3, P5, P4.
+    Cell (alpha, beta): sender alpha, receiver index (2*beta) mod 3.
+    """
+    dur = np.zeros((2, 3))
+    for beta in range(3):
+        recv = (2 * beta) % 3
+        dur[0, beta] = r1[recv]
+        dur[1, beta] = r2[recv]
+    edges = []
+    cell = lambda a, b: a * 3 + b  # noqa: E731
+    for a in range(2):
+        for b in range(3):
+            edges.append((cell(a, b), cell((a + 1) % 2, b), dur[a, b], 1 if a == 1 else 0))
+            edges.append((cell(a, b), cell(a, (b + 1) % 3), dur[a, b], 1 if b == 2 else 0))
+    return max_cycle_ratio(RatioGraph(6, edges)).value
+
+
+def build_instance(comp: dict[int, float], f1_p1, f1_p2, f2) -> Instance:
+    comm = {
+        (0, 1): T01,
+        (0, 2): T02,
+        (1, 3): f1_p1[0], (1, 4): f1_p1[1], (1, 5): f1_p1[2],
+        (2, 3): f1_p2[0], (2, 4): f1_p2[1], (2, 5): f1_p2[2],
+        (3, 6): f2[0], (4, 6): f2[1], (5, 6): f2[2],
+    }
+    comp_times = np.ones(7)
+    for u, t in comp.items():
+        comp_times[u] = t
+    comm_times = np.ones((7, 7))
+    np.fill_diagonal(comm_times, 0.0)
+    for (u, v), t in comm.items():
+        comm_times[u, v] = t
+    plat = Platform.from_comm_times(comp_times, comm_times)
+    app = Application(works=[1.0] * 4, file_sizes=[1.0] * 3)
+    return Instance(app, plat, MAPPING)
+
+
+def strict_edges() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fixed strict-TPN topology of Example A's mapping.
+
+    Returns ``(edge_src_transition, edge_dst_transition, edge_tokens)``;
+    the 42 transition durations vary per candidate, the 60 places do not.
+    """
+    from repro.petri.builder import build_tpn
+
+    inst = build_instance({u: 1.0 for u in range(7)}, (1, 1, 1), (1, 1, 1),
+                          (1, 1, 1))
+    net = build_tpn(inst, "strict")
+    src = np.array([p.src for p in net.places])
+    dst = np.array([p.dst for p in net.places])
+    tok = np.array([p.tokens for p in net.places], dtype=float)
+    return src, dst, tok
+
+
+def duration_matrix(perms: np.ndarray, c0: float, r1, r2) -> np.ndarray:
+    """Durations of the 42 transitions for each candidate row of ``perms``.
+
+    Transition (row j, column c) has index ``7j + c``; round-robin rules
+    give S1 -> P_{1 + j%2}, S2 -> P_{3 + j%3}.
+    """
+    B = perms.shape[0]
+    c1s, c3s, c4s, c5s, c6s = (perms[:, i] for i in range(5))
+    f2 = perms[:, 5:8]  # t36, t46, t56
+    W = np.empty((B, 42))
+    for j in range(6):
+        base = 7 * j
+        W[:, base + 0] = c0
+        W[:, base + 1] = T01 if j % 2 == 0 else T02
+        W[:, base + 2] = c1s if j % 2 == 0 else C2
+        W[:, base + 3] = (r1 if j % 2 == 0 else r2)[j % 3]
+        W[:, base + 4] = (c3s, c4s, c5s)[j % 3]
+        W[:, base + 5] = f2[:, j % 3]
+        W[:, base + 6] = c6s
+    return W
+
+
+def batch_positive_cycle(W: np.ndarray, lam: float, src: np.ndarray,
+                         dst: np.ndarray, tok: np.ndarray) -> np.ndarray:
+    """For each candidate row of ``W``: does the strict TPN have a cycle
+    with mean ratio > lam?  Vectorized Bellman-Ford over all candidates."""
+    B, n = W.shape[0], 42
+    order = np.argsort(dst, kind="stable")
+    src_s, dst_s = src[order], dst[order]
+    starts = np.searchsorted(dst_s, np.arange(n))
+    present = np.unique(dst_s)
+    starts_present = np.searchsorted(dst_s, present)
+    rw = W[:, src_s] - lam * tok[order]  # edge weight = dur(src transition)
+    pot = np.zeros((B, n))
+    changed = np.zeros(B, dtype=bool)
+    for _ in range(n + 1):
+        contrib = pot[:, src_s] + rw
+        gmax = np.maximum.reduceat(contrib, starts_present, axis=1)
+        new = pot.copy()
+        new[:, present] = np.maximum(pot[:, present], gmax)
+        changed = (new != pot).any(axis=1)
+        if not changed.any():
+            return changed
+        pot = new
+    return changed
+
+
+def verify_canonical() -> None:
+    """Check the assignment shipped in repro.experiments.examples_paper
+    against every published value."""
+    from repro.experiments.examples_paper import example_a
+
+    inst = example_a()
+    ov = overlap_period(inst)
+    strict = tpn_period(inst, "strict")
+    rep_o = cycle_times(inst, "overlap")
+    rep_s = cycle_times(inst, "strict")
+    print("canonical assignment (shipped in the library):")
+    print(f"  overlap period  = {ov.period:10.4f}   (paper: 189)")
+    print(f"  overlap Mct     = {rep_o.mct:10.4f}   (paper: 189, P0 out)")
+    print(f"  strict Mct      = {rep_s.mct:10.4f}   (paper: 215.8, P2)")
+    print(f"  strict period   = {strict.period:10.4f}   (paper: 230.7)")
+    print(f"  strict critical = {rep_s.critical_processors()}")
+    assert abs(ov.period - 189.0) < 1e-9
+    assert abs(rep_o.mct - 189.0) < 1e-9
+    assert abs(rep_s.mct - 1295.0 / 6.0) < 1e-9
+    assert abs(strict.period - 692.0 / 3.0) < 1e-9
+    assert rep_s.critical_processors() == (2,)
+
+
+def main() -> None:
+    t0 = time.time()
+    matches = []
+    howard_runs = 0
+    mct_lo, mct_hi = STRICT_MCT_TARGET
+    sum_p1, sum_p2 = sum(P1_ROW), sum(P2_ROW)
+    esrc, edst, etok = strict_edges()
+    verify_canonical()
+
+    # F1 overlap contribution only depends on the two receiver perms.
+    good_f1 = [
+        (r1, r2)
+        for r1 in itertools.permutations(P1_ROW)
+        for r2 in itertools.permutations(P2_ROW)
+        if f1_torus_ratio(r1, r2) / 6.0 <= OVERLAP_P + 1e-9
+    ]
+    print(f"F1 receiver perms compatible with overlap period 189: "
+          f"{len(good_f1)}/36")
+
+    tried = 0
+    for c0 in (22.0, 23.0):
+        rest = REMAINING.copy()
+        rest.remove(c0)
+        # slots: c1, c3, c4, c5, c6, t36, t46, t56 — all perms as a matrix
+        perms = np.array(sorted(set(itertools.permutations(rest))))
+        tried += len(perms)
+        c1s, c3s, c4s, c5s, c6s = (perms[:, i] for i in range(5))
+        t36s, t46s, t56s = perms[:, 5], perms[:, 6], perms[:, 7]
+        f2sums = t36s + t46s + t56s
+
+        # overlap invariants + strict cycle-times independent of F1 perms
+        ce0 = c0 + (T01 + T02) / 2
+        ce1 = (T01 + c1s) / 2 + sum_p1 / 6
+        ce2 = (T02 + C2) / 2 + sum_p2 / 6  # 215.8333 by construction
+        ce6 = f2sums / 3 + c6s
+        base_ok = (
+            (np.maximum(c1s, C2) / 2 <= OVERLAP_P)
+            & (np.maximum.reduce([c3s, c4s, c5s]) / 3 <= OVERLAP_P)
+            & (c6s <= OVERLAP_P)
+            & (f2sums / 3 <= OVERLAP_P)
+            & (ce0 <= mct_hi)
+            & (ce1 <= mct_hi)
+            & (ce6 <= mct_hi)
+        )
+        base_max = np.maximum.reduce([
+            np.full_like(c1s, ce0), ce1, np.full_like(c1s, ce2), ce6
+        ])
+
+        for r1, r2 in good_f1:
+            rec = [(r1[k] + r2[k]) / 6 for k in range(3)]
+            ces3 = rec[0] + c3s / 3 + t36s / 3
+            ces4 = rec[1] + c4s / 3 + t46s / 3
+            ces5 = rec[2] + c5s / 3 + t56s / 3
+            mct = np.maximum.reduce([base_max, ces3, ces4, ces5])
+            mask = base_ok & (mct >= mct_lo) & (mct <= mct_hi)
+            cand_idx = np.flatnonzero(mask)
+            if cand_idx.size == 0:
+                continue
+            # vectorized strict-period window test: the TPN ratio lambda
+            # (= 6 * period) must satisfy lambda > 6*230.65 (positive
+            # cycle at the low bound) and lambda <= 6*230.75 (no positive
+            # cycle at the high bound).
+            W = duration_matrix(perms[cand_idx], c0, r1, r2)
+            above_lo = batch_positive_cycle(W, 6 * STRICT_P_TARGET[0],
+                                            esrc, edst, etok)
+            above_hi = batch_positive_cycle(W, 6 * STRICT_P_TARGET[1],
+                                            esrc, edst, etok)
+            survivors = cand_idx[above_lo & ~above_hi]
+            matches.append(((c0, r1, r2), survivors.size))
+            howard_runs += int(cand_idx.size)
+
+    n_solutions = sum(count for _, count in matches)
+    by_c0 = {}
+    for (c0, _, _), count in matches:
+        by_c0[c0] = by_c0.get(c0, 0) + count
+    print(f"\nsearched {tried} value assignments x 36 receiver orders "
+          f"({howard_runs} strict-period window tests) in "
+          f"{time.time() - t0:.1f}s")
+    print(f"assignments matching EVERY published value: {n_solutions}")
+    print(f"  by comp(P0): {by_c0}")
+    print(
+        "\nConclusion: the published numbers pin t(P0->P1)=186, "
+        "t(P0->P2)=192,\ncomp(P2)=128, P2's F1 row {13,157,165} and "
+        "comp(P0)=22 exactly (the strict\ncritical cycle traverses only "
+        "those values), while the remaining labels\nonly face inequality "
+        "constraints — the library ships one canonical\nassignment of "
+        "Figure 2's 18-label multiset satisfying all of them."
+    )
+
+
+if __name__ == "__main__":
+    main()
