@@ -1,0 +1,1 @@
+"""Benchmark package marker (enables the relative conftest imports)."""

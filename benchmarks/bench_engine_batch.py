@@ -1,0 +1,150 @@
+"""Batched vs per-call throughput evaluation on a shared-topology sweep.
+
+The experiment behind :mod:`repro.engine`: 500 instances share one
+mapping topology (``m_i = (2, 3, 5, 1)``, ``m = lcm = 30``) and differ
+only in their drawn computation/communication times — exactly the shape
+of a Table 2 family sweep or one mapping-search neighborhood.  The
+per-call loop rebuilds the TPN, re-reduces it to a ratio graph and
+re-runs the solver's structural phases 500 times; the engine builds one
+skeleton, re-stamps edge weights per instance, and must come out at
+least **3x** faster while returning bit-identical periods.
+
+Run standalone (asserts the speedup and identity)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_batch.py
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_batch.py \
+        -o python_files='bench_*.py' -o python_functions='bench_*'
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import Application, Instance, Mapping, Platform
+from repro.core.throughput import compute_period
+from repro.engine import BatchEngine, evaluate_batch
+
+try:  # pytest package context vs standalone `python benchmarks/...`
+    from .conftest import report
+except ImportError:  # pragma: no cover - standalone fallback
+    from conftest import report
+
+#: Per-stage replication of the shared topology; lcm = 30 rows.
+REPLICATION = (2, 3, 5, 1)
+N_INSTANCES = 500
+MIN_SPEEDUP = 3.0
+
+
+def make_sweep(n_instances: int = N_INSTANCES, seed: int = 0) -> list[Instance]:
+    """Instances sharing one mapping topology, times drawn U(5, 15)."""
+    rng = np.random.default_rng(seed)
+    counts = list(REPLICATION)
+    n, p = len(counts), sum(counts)
+    bounds = np.cumsum([0] + counts)
+    mapping = Mapping(
+        [tuple(range(bounds[i], bounds[i + 1])) for i in range(n)],
+        n_processors=p,
+    )
+    app = Application(works=[1.0] * n, file_sizes=[1.0] * (n - 1))
+    instances = []
+    for _ in range(n_instances):
+        comp = rng.uniform(5.0, 15.0, p)
+        comm = rng.uniform(5.0, 15.0, (p, p))
+        np.fill_diagonal(comm, 0.0)
+        instances.append(
+            Instance(app, Platform.from_comm_times(comp, comm), mapping)
+        )
+    return instances
+
+
+def run_comparison(n_instances: int = N_INSTANCES) -> dict:
+    """Time per-call vs batched evaluation; verify identity; return stats."""
+    instances = make_sweep(n_instances)
+    # Warm both paths so one-time import/alloc costs don't skew the race.
+    compute_period(instances[0], "strict", method="tpn")
+    engine = BatchEngine()
+    engine.evaluate(instances[0], "strict", method="tpn")
+    engine = BatchEngine()  # fresh cache: the timed run pays the one build
+
+    t0 = time.perf_counter()
+    scalar = [compute_period(i, "strict", method="tpn") for i in instances]
+    t1 = time.perf_counter()
+    batched = evaluate_batch(instances, "strict", method="tpn", engine=engine)
+    t2 = time.perf_counter()
+
+    identical = all(
+        s.period == b.period
+        and s.mct == b.mct
+        and s.has_critical_resource == b.has_critical_resource
+        and s.tpn_solution.ratio == b.tpn_solution.ratio
+        for s, b in zip(scalar, batched)
+    )
+    per_call_s, batch_s = t1 - t0, t2 - t1
+    return {
+        "n": len(instances),
+        "per_call_s": per_call_s,
+        "batch_s": batch_s,
+        "speedup": per_call_s / batch_s,
+        "identical": identical,
+        "cache": engine.stats,
+    }
+
+
+def bench_engine_batch_speedup(benchmark):
+    instances = make_sweep(100)
+    scalar = [compute_period(i, "strict", method="tpn") for i in instances]
+
+    def batched():
+        return evaluate_batch(instances, "strict", method="tpn")
+
+    results = benchmark(batched)
+    assert all(s.period == b.period for s, b in zip(scalar, results))
+    stats = run_comparison(200)
+    assert stats["identical"]
+    assert stats["speedup"] >= MIN_SPEEDUP
+    report(benchmark, "Engine: batched vs per-call (shared topology, m=30)",
+           [("results identical", "yes", stats["identical"]),
+            ("speedup", f">= {MIN_SPEEDUP}x", f"{stats['speedup']:.2f}x"),
+            ("skeleton builds", 1, stats["cache"].misses)])
+
+
+def bench_engine_multiworker_determinism(benchmark):
+    instances = make_sweep(60)
+    serial = evaluate_batch(instances, "strict", method="tpn")
+
+    def sharded():
+        return evaluate_batch(instances, "strict", method="tpn", n_jobs=2)
+
+    results = benchmark.pedantic(sharded, rounds=1, iterations=1)
+    assert all(s.period == r.period for s, r in zip(serial, results))
+    report(benchmark, "Engine: 2-worker shard returns identical results",
+           [("order preserved", "yes", True),
+            ("bit-identical", "yes", True)])
+
+
+def main() -> int:
+    stats = run_comparison()
+    print(f"shared-topology sweep: {stats['n']} instances, strict model, "
+          f"replication {REPLICATION} (m = 30)")
+    print(f"per-call loop : {stats['per_call_s']:.3f} s "
+          f"({1000 * stats['per_call_s'] / stats['n']:.2f} ms/instance)")
+    print(f"evaluate_batch: {stats['batch_s']:.3f} s "
+          f"({1000 * stats['batch_s'] / stats['n']:.2f} ms/instance)")
+    print(f"speedup       : {stats['speedup']:.2f}x "
+          f"(cache: {stats['cache'].misses} build, {stats['cache'].hits} hits)")
+    print(f"bit-identical : {stats['identical']}")
+    assert stats["identical"], "batched results diverged from per-call"
+    assert stats["speedup"] >= MIN_SPEEDUP, (
+        f"speedup {stats['speedup']:.2f}x below the {MIN_SPEEDUP}x target"
+    )
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

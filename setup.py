@@ -1,11 +1,28 @@
-"""Legacy setup shim.
+"""Setup shim: all metadata lives in ``pyproject.toml``.
 
-Kept so ``pip install -e .`` works in offline environments without the
-``wheel`` package (pip falls back to ``setup.py develop`` when no
-``[build-system]`` table is present).  All metadata lives in
-``pyproject.toml``.
+Offline fallback: PEP 660 editable installs under setuptools < 70 need
+the ``wheel`` package, which minimal containers may lack (the symptom is
+``error: invalid command 'bdist_wheel'``).  When ``wheel`` is missing we
+expose the vendored stand-in from ``tools/_vendor`` — see its docstring
+for the (deliberately tiny) supported surface.  With the real ``wheel``
+installed, this file is a plain pass-through.
+
+Offline: ``pip install -e . --no-build-isolation``
+Online:  ``pip install -e .``
 """
+
+import sys
+from pathlib import Path
 
 from setuptools import setup
 
-setup()
+cmdclass = {}
+try:
+    import wheel  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "tools" / "_vendor"))
+    from wheel.bdist_wheel import bdist_wheel  # vendored shim
+
+    cmdclass["bdist_wheel"] = bdist_wheel
+
+setup(cmdclass=cmdclass)

@@ -36,6 +36,11 @@ Sub-packages
 ``repro.experiments``
     Paper examples A/B/C, the random-instance generator and the Table 2
     campaign harness.
+``repro.engine``
+    Batched throughput evaluation: per-topology TPN-skeleton caching,
+    vectorized weight re-stamping and multi-process sharding —
+    bit-identical to :func:`compute_period`, several times faster on
+    sweeps (``evaluate_batch`` / ``BatchEngine``).
 ``repro.extensions``
     Beyond-paper extras: mapping heuristics and stochastic platforms.
 """

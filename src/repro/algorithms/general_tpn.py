@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..core.instance import Instance
 from ..core.models import CommModel
+from ..errors import ValidationError
 from ..maxplus.cycle_ratio import CycleRatioResult, max_cycle_ratio
 from ..petri.builder import DEFAULT_MAX_ROWS, build_tpn
 from ..petri.net import TimedEventGraph, Transition
@@ -39,15 +40,29 @@ class TpnSolution:
         full round-robin sweep of ``m`` data sets on the critical cycle).
     net:
         The constructed net (reusable for simulation / DOT export).
+        ``None`` for solutions produced by the batch engine
+        (:mod:`repro.engine`), which never materializes the per-instance
+        net — ``ratio`` still carries the critical cycle's indices.
     """
 
     period: float
     ratio: CycleRatioResult
-    net: TimedEventGraph
+    net: TimedEventGraph | None
 
     @property
     def critical_transitions(self) -> tuple[Transition, ...]:
-        """Transitions of the extracted critical cycle (Figure 8)."""
+        """Transitions of the extracted critical cycle (Figure 8).
+
+        Raises
+        ------
+        ValidationError
+            When the solution carries no net (batch-engine results).
+        """
+        if self.net is None:
+            raise ValidationError(
+                "this TpnSolution has no net attached (batch-engine result); "
+                "rebuild it with tpn_period() to inspect transitions"
+            )
         return tuple(self.net.transitions[t] for t in self.ratio.cycle_nodes)
 
 
@@ -92,6 +107,11 @@ def describe_critical_cycle(sol: TpnSolution) -> str:
     The cycle of Figure 8 mixes computations and transmissions of several
     processors — exactly what this listing shows for any instance.
     """
+    if sol.net is None:
+        raise ValidationError(
+            "this TpnSolution has no net attached (batch-engine result); "
+            "rebuild it with tpn_period() to inspect transitions"
+        )
     lines = [
         f"critical cycle: ratio {sol.ratio.value:g} over {sol.net.n_rows} "
         f"data sets -> period {sol.period:g}"

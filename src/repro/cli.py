@@ -9,6 +9,7 @@ Subcommands
 ``gantt``      simulate and render an ASCII Gantt chart (Figures 7/12)
 ``dot``        export the TPN to graphviz DOT (Figures 4/5/8)
 ``table2``     run the Table 2 experimental campaign
+``sweep``      run one experiment family through the batch engine
 ``search``     greedy + local-search mapping optimization (extension)
 ``example``    dump one of the paper's examples (A/B/C) as JSON
 
@@ -204,8 +205,37 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     rows = run_table2(scale=args.scale, models=tuple(args.models),
-                      n_jobs=args.jobs, root_seed=args.seed)
+                      n_jobs=args.jobs, root_seed=args.seed,
+                      engine=args.engine)
     print(format_table2(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.generator import TABLE2_CONFIGS
+    from .experiments.runner import run_family
+
+    if not 0 <= args.family < len(TABLE2_CONFIGS):
+        print(f"error: --family must be in [0, {len(TABLE2_CONFIGS)})",
+              file=sys.stderr)
+        return 1
+    config = TABLE2_CONFIGS[args.family]
+    records = run_family(
+        config, args.model, count=args.count, root_seed=args.seed,
+        n_jobs=args.jobs, engine=args.engine,
+    )
+    no_crit = [r for r in records if not r.critical]
+    print(f"family         : {config.name}")
+    print(f"model / engine : {args.model} / {args.engine}")
+    print(f"experiments    : {len(records)}")
+    print(f"no critical    : {len(no_crit)}")
+    if no_crit:
+        print(f"max gap        : {100 * max(r.gap for r in no_crit):.2f}%")
+    if args.csv:
+        from .experiments.io import records_to_csv
+
+        records_to_csv(records, args.csv)
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -320,7 +350,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=0,
                    help="worker processes (0 = all cores, 1 = serial)")
     p.add_argument("--seed", type=int, default=20090302)
+    p.add_argument("--engine", default="batch", choices=["batch", "percall"],
+                   help="evaluation engine (identical records either way)")
     p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run one experiment family through the batch engine")
+    p.add_argument("--family", type=int, default=0,
+                   help="index into the Table 2 families (0-5)")
+    p.add_argument("--model", default="overlap",
+                   choices=["overlap", "strict"])
+    p.add_argument("--count", type=int, default=None,
+                   help="number of experiments (default: the family's "
+                        "paper count)")
+    p.add_argument("--engine", default="batch", choices=["batch", "percall"],
+                   help="batched topology-cached evaluation vs the "
+                        "historical per-call path")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (0 = all cores, 1 = serial)")
+    p.add_argument("--seed", type=int, default=20090302)
+    p.add_argument("--csv", default=None,
+                   help="also write the records to this CSV path")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("example", help="dump a paper example as JSON")
     p.add_argument("which", choices=["a", "b", "c", "A", "B", "C"])

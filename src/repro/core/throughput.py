@@ -13,6 +13,13 @@ Method selection:
 * ``"tpn"`` — force the full timed-Petri-net computation (both models);
 * ``"simulation"`` — estimate by discrete-event simulation (approximate;
   useful as an independent cross-check).
+
+Sweeps: evaluating thousands of ``(instance, model)`` pairs one
+``compute_period`` call at a time rebuilds the TPN and the solver's
+structural phases from scratch each call.  Use
+:func:`repro.engine.evaluate_batch` (bit-identical results) to amortize
+that work across instances sharing a mapping topology and to shard the
+batch over worker processes.
 """
 
 from __future__ import annotations

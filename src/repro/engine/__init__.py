@@ -1,0 +1,62 @@
+"""Batched throughput evaluation engine.
+
+Every large-scale scenario built on this library — the Table 2 sweeps,
+the mapping-search extension, scaling studies of Theorem 1 — reduces to
+evaluating :func:`repro.core.throughput.compute_period` over thousands
+of ``(instance, model)`` pairs.  The scalar entry point rebuilds the
+timed Petri net, reduces it to a ratio graph and re-runs the structural
+phases of the cycle-ratio solver from scratch on every call, even when
+all instances of a sweep share one mapping topology.
+
+This package amortizes that hot path:
+
+* :func:`~repro.engine.signature.topology_signature` — hashable key
+  identifying the (model, mapping) structure an instance shares with its
+  sweep siblings;
+* :class:`~repro.engine.skeleton.TpnSkeleton` — the cached structural
+  artifact of one group: TPN transition/place layout, CSR-prepared
+  max-plus solver plan, and vectorized duration stamping arrays;
+* :class:`~repro.engine.batch.BatchEngine` — skeleton cache plus a
+  drop-in ``evaluate`` returning the same
+  :class:`~repro.core.throughput.PeriodResult` values as the scalar
+  path, bit-identical;
+* :func:`~repro.engine.batch.evaluate_batch` /
+  :func:`~repro.engine.batch.evaluate_stream` — batch entry points with
+  deterministic chunk sharding across a ``ProcessPoolExecutor`` and
+  streaming, submission-ordered results.
+
+Quick start::
+
+    from repro.engine import evaluate_batch
+
+    results = evaluate_batch(instances, "strict")       # list[PeriodResult]
+    results = evaluate_batch(instances, models, n_jobs=0)  # all cores
+
+Guarantees
+----------
+* **Bit-identical results.**  For every supported method the batched
+  path executes the same floating-point operations in the same order as
+  ``compute_period``; only redundant structural work is skipped.  The
+  single intentional difference: batched TPN results carry
+  ``tpn_solution.net = None`` (the heavyweight net object is not
+  rebuilt per instance) while ``ratio``, ``period`` and every numeric
+  field match exactly.
+* **Order preservation.**  Results align index-by-index with the input
+  iterable, whatever the worker count or chunking.
+* **Determinism.**  Evaluation is a pure function of
+  ``(instance, model, method)``; ``n_jobs`` only changes wall-clock.
+"""
+
+from .batch import BatchEngine, EngineStats, evaluate_batch, evaluate_stream
+from .signature import topology_signature
+from .skeleton import TpnSkeleton, build_skeleton
+
+__all__ = [
+    "BatchEngine",
+    "EngineStats",
+    "evaluate_batch",
+    "evaluate_stream",
+    "topology_signature",
+    "TpnSkeleton",
+    "build_skeleton",
+]

@@ -1,0 +1,43 @@
+"""Topology signatures: grouping instances that share TPN structure.
+
+The timed Petri net of an instance is determined by two ingredients
+(:mod:`repro.petri.builder`): the communication model and the mapping's
+per-stage processor tuples (which fix ``m = lcm(m_i)``, the round-robin
+row structure and every place of the net).  Stage works, file sizes,
+processor speeds and link bandwidths only enter as *transition
+durations* — edge weights of the reduced cycle-ratio graph.
+
+Hence two instances with equal ``(model, mapping.assignments)`` share
+the entire structural pipeline: net layout, liveness check, SCC
+decomposition and CSR solver preparation.  :func:`topology_signature`
+is the cache key the batch engine groups by.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.models import CommModel
+
+__all__ = ["topology_signature"]
+
+
+def topology_signature(
+    inst: Instance, model: CommModel | str
+) -> tuple[str, tuple[tuple[int, ...], ...]]:
+    """Hashable key of the TPN structure shared by a sweep group.
+
+    Examples
+    --------
+    Instances differing only in speeds/bandwidths share a signature:
+
+    >>> from repro import Application, Platform, Mapping, Instance
+    >>> app = Application(works=[1, 1], file_sizes=[1])
+    >>> mp = Mapping([(0,), (1, 2)])
+    >>> a = Instance(app, Platform.homogeneous(3, speed=1.0), mp)
+    >>> b = Instance(app, Platform.homogeneous(3, speed=2.0), mp)
+    >>> topology_signature(a, "overlap") == topology_signature(b, "overlap")
+    True
+    >>> topology_signature(a, "overlap") == topology_signature(a, "strict")
+    False
+    """
+    return (CommModel.parse(model).value, inst.mapping.assignments)

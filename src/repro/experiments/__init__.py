@@ -17,7 +17,7 @@ from .generator import (
 )
 from .analysis import FamilySummary, feature_report, gap_histogram, summarize
 from .io import records_from_csv, records_to_csv
-from .runner import ExperimentRecord, run_family, run_single
+from .runner import ExperimentRecord, family_seeds, run_family, run_single
 from .table2 import Table2Row, format_table2, run_table2
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "ExperimentRecord",
     "run_single",
     "run_family",
+    "family_seeds",
     "Table2Row",
     "run_table2",
     "format_table2",

@@ -6,25 +6,42 @@ model, and records whether the bound is attained ("critical resource").
 
 Reproducibility and parallelism: every experiment owns a child of the
 root :class:`numpy.random.SeedSequence`, so results are bit-identical
-whatever the worker count.  The sweep is embarrassingly parallel and
-scales across cores with :class:`concurrent.futures.ProcessPoolExecutor`
-(workers re-import the library; tasks are pure functions of their seed).
+whatever the worker count.  The family's position in the seed tree is
+derived with :func:`zlib.crc32` — a *stable* digest of the family name —
+never with Python's :func:`hash`, whose per-process randomization
+(``PYTHONHASHSEED``) would silently make "reproducible" sweeps differ
+between interpreter runs.
+
+Two execution engines are available (``engine=`` parameter):
+
+* ``"batch"`` (default) — instances are generated up front and evaluated
+  through :func:`repro.engine.evaluate_batch`, which caches the TPN
+  skeleton and solver preparation per mapping topology and shards large
+  sweeps across worker processes with deterministic chunking;
+* ``"percall"`` — the historical path: one
+  :func:`~repro.core.throughput.compute_period` call per experiment,
+  optionally fanned out one task per seed.
+
+Both engines produce bit-identical :class:`ExperimentRecord` lists.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..algorithms.bounds import classify_critical_resource
+from ..core.instance import Instance
 from ..core.models import CommModel
-from ..core.throughput import compute_period
+from ..core.throughput import PeriodResult, compute_period
+from ..engine import evaluate_batch
+from ..errors import ValidationError
 from .generator import ExperimentConfig, instance_from_config
 
-__all__ = ["ExperimentRecord", "run_family", "run_single"]
+__all__ = ["ExperimentRecord", "run_family", "run_single", "family_seeds"]
 
 #: Replication draws are rejected above this ``lcm(m_i)`` so the STRICT
 #: model (full TPN) stays tractable; Table 2's size families stay well
@@ -71,18 +88,19 @@ class ExperimentRecord:
     gap: float
 
 
-def run_single(
+def _record_from(
     config: ExperimentConfig,
-    model: CommModel | str,
+    model: CommModel,
     seed_entropy: int,
-    max_paths: int = DEFAULT_MAX_PATHS,
+    inst: Instance,
+    result: PeriodResult,
 ) -> ExperimentRecord:
-    """Run one experiment (pure function of its seed — safe to fork out)."""
-    model = CommModel.parse(model)
-    rng = np.random.default_rng(np.random.SeedSequence(seed_entropy))
-    inst = instance_from_config(config, rng, max_paths=max_paths)
-    result = compute_period(inst, model, max_rows=max_paths + 1)
-    verdict = classify_critical_resource(inst, model, result.period)
+    """Assemble a record from an evaluated instance.
+
+    The critical-resource verdict (``mct`` / ``critical`` / ``gap``) is
+    read off the :class:`PeriodResult` — ``compute_period`` already ran
+    the classification, so re-running it here would double the work.
+    """
     return ExperimentRecord(
         config_name=config.name,
         model=model.value,
@@ -92,15 +110,57 @@ def run_single(
         replication=inst.replication_counts,
         m=inst.num_paths,
         period=result.period,
-        mct=verdict.mct,
-        critical=verdict.has_critical_resource,
-        gap=verdict.relative_gap,
+        mct=result.mct,
+        critical=result.has_critical_resource,
+        gap=result.relative_gap,
     )
+
+
+def _draw_instance(
+    config: ExperimentConfig, seed_entropy: int, max_paths: int
+) -> Instance:
+    """The experiment's instance is a pure function of its seed."""
+    rng = np.random.default_rng(np.random.SeedSequence(seed_entropy))
+    return instance_from_config(config, rng, max_paths=max_paths)
+
+
+def run_single(
+    config: ExperimentConfig,
+    model: CommModel | str,
+    seed_entropy: int,
+    max_paths: int = DEFAULT_MAX_PATHS,
+) -> ExperimentRecord:
+    """Run one experiment (pure function of its seed — safe to fork out)."""
+    model = CommModel.parse(model)
+    inst = _draw_instance(config, seed_entropy, max_paths)
+    result = compute_period(inst, model, max_rows=max_paths + 1)
+    return _record_from(config, model, seed_entropy, inst, result)
 
 
 def _run_single_args(args: tuple) -> ExperimentRecord:
     """Module-level trampoline for process pools (picklable)."""
     return run_single(*args)
+
+
+def family_seeds(
+    config: ExperimentConfig,
+    model: CommModel | str,
+    count: int,
+    root_seed: int = 20090302,
+) -> list[int]:
+    """Deterministic per-experiment seed entropies of one (family, model).
+
+    The family's branch of the seed tree is keyed by
+    ``crc32(config.name)`` — stable across interpreters and platforms,
+    unlike ``hash()`` which is randomized per process by
+    ``PYTHONHASHSEED``.
+    """
+    model = CommModel.parse(model)
+    ss = np.random.SeedSequence(
+        [root_seed, zlib.crc32(config.name.encode()) & 0x7FFFFFFF,
+         0 if model.overlap else 1]
+    )
+    return [int(child.generate_state(1)[0]) for child in ss.spawn(count)]
 
 
 def run_family(
@@ -110,6 +170,7 @@ def run_family(
     root_seed: int = 20090302,
     n_jobs: int | None = None,
     max_paths: int = DEFAULT_MAX_PATHS,
+    engine: str = "batch",
 ) -> list[ExperimentRecord]:
     """Run ``count`` experiments of one family under one model.
 
@@ -119,18 +180,37 @@ def run_family(
         Number of experiments; defaults to the family's paper count.
     root_seed:
         Root entropy; per-experiment seeds are spawned from it so the
-        sweep is deterministic for any ``n_jobs``.
+        sweep is deterministic for any ``n_jobs`` — and, because the
+        family branch uses a stable digest (:func:`family_seeds`), for
+        any interpreter invocation.
     n_jobs:
         Worker processes; ``None``/1 runs serially, 0 uses all cores.
+    engine:
+        ``"batch"`` routes evaluation through
+        :func:`repro.engine.evaluate_batch` (topology-cached, sharded);
+        ``"percall"`` keeps the historical one-call-per-seed path.
+        Records are bit-identical either way.
     """
     model = CommModel.parse(model)
     if count is None:
         count = config.count
-    ss = np.random.SeedSequence([root_seed, hash(config.name) & 0x7FFFFFFF,
-                                 0 if model.overlap else 1])
-    seeds = [int(child.generate_state(1)[0]) for child in ss.spawn(count)]
-    tasks = [(config, model, s, max_paths) for s in seeds]
+    seeds = family_seeds(config, model, count, root_seed=root_seed)
 
+    if engine == "batch":
+        instances = [_draw_instance(config, s, max_paths) for s in seeds]
+        results = evaluate_batch(
+            instances, model, max_rows=max_paths + 1, n_jobs=n_jobs
+        )
+        return [
+            _record_from(config, model, s, inst, res)
+            for s, inst, res in zip(seeds, instances, results)
+        ]
+    if engine != "percall":
+        raise ValidationError(
+            f"unknown engine {engine!r}; expected 'batch' or 'percall'"
+        )
+
+    tasks = [(config, model, s, max_paths) for s in seeds]
     if n_jobs is None or n_jobs == 1 or count < 4:
         return [run_single(*t) for t in tasks]
     workers = os.cpu_count() if n_jobs == 0 else n_jobs

@@ -61,6 +61,7 @@ def run_table2(
     root_seed: int = 20090302,
     n_jobs: int | None = None,
     max_paths: int = DEFAULT_MAX_PATHS,
+    engine: str = "batch",
 ) -> list[Table2Row]:
     """Run the full campaign (or a scaled-down version).
 
@@ -72,6 +73,9 @@ def run_table2(
         Which communication models to sweep.
     n_jobs:
         Parallel worker processes (0 = all cores).
+    engine:
+        Evaluation engine passed to :func:`run_family` (``"batch"`` or
+        ``"percall"``; identical records either way).
     """
     rows: list[Table2Row] = []
     for model in models:
@@ -85,6 +89,7 @@ def run_table2(
                 root_seed=root_seed,
                 n_jobs=n_jobs,
                 max_paths=max_paths,
+                engine=engine,
             )
             no_crit = [r for r in records if not r.critical]
             rows.append(

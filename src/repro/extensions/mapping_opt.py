@@ -12,9 +12,14 @@ this module offers baselines rather than exact optimization:
 * :func:`local_search_mapping` — hill-climbing over swap/move/reorder
   neighborhoods, scored by the exact period oracle.
 
-All heuristics treat :func:`repro.core.throughput.compute_period` as a
-black-box objective, demonstrating the intended downstream use of the
-library's exact evaluator.
+All heuristics use the exact period as a black-box objective,
+demonstrating the intended downstream use of the library's evaluator.
+Candidate evaluation runs through a shared
+:class:`~repro.engine.batch.BatchEngine` (pass your own via ``engine=``
+to share its topology cache across searches): re-proposed mappings hit
+the skeleton cache instead of rebuilding their TPN, and
+:func:`local_search_mapping` can fan a whole neighborhood out to worker
+processes with ``n_jobs`` while preserving the serial search trajectory.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from ..core.instance import Instance
 from ..core.mapping import Mapping
 from ..core.models import CommModel
 from ..core.platform import Platform
-from ..core.throughput import compute_period
+from ..engine import BatchEngine, evaluate_batch
 from ..errors import ValidationError
 from ..experiments.generator import random_replication
 
@@ -64,12 +69,22 @@ class MappingSearchResult:
 
 
 def _evaluate(
-    app: Application, plat: Platform, mapping: Mapping, model: CommModel, max_paths: int
+    app: Application,
+    plat: Platform,
+    mapping: Mapping,
+    model: CommModel,
+    max_paths: int,
+    engine: BatchEngine,
 ) -> float:
     if mapping.num_paths > max_paths:
         return float("inf")
     inst = Instance(app, plat, mapping)
-    return compute_period(inst, model, max_rows=max_paths + 1).period
+    return engine.evaluate(inst, model).period
+
+
+def _search_engine(engine: BatchEngine | None, max_paths: int) -> BatchEngine:
+    """The caller's engine, or a fresh one budgeted like the scalar path."""
+    return engine if engine is not None else BatchEngine(max_rows=max_paths + 1)
 
 
 def random_mapping(
@@ -94,6 +109,7 @@ def greedy_mapping(
     plat: Platform,
     model: CommModel | str = "overlap",
     max_paths: int = 3000,
+    engine: BatchEngine | None = None,
 ) -> MappingSearchResult:
     """Greedy constructive heuristic.
 
@@ -104,6 +120,7 @@ def greedy_mapping(
     improves the exact period (or processors run out).
     """
     model = CommModel.parse(model)
+    eng = _search_engine(engine, max_paths)
     n, p = app.n_stages, plat.n_processors
     if p < n:
         raise ValidationError("need at least one processor per stage")
@@ -117,7 +134,7 @@ def greedy_mapping(
     def period_of(a: list[list[int]]) -> float:
         nonlocal evaluations
         evaluations += 1
-        return _evaluate(app, plat, Mapping([tuple(s) for s in a]), model, max_paths)
+        return _evaluate(app, plat, Mapping([tuple(s) for s in a]), model, max_paths, eng)
 
     best = period_of(assign)
     trace = [best]
@@ -152,14 +169,27 @@ def local_search_mapping(
     start: Mapping | None = None,
     max_iters: int = 200,
     max_paths: int = 3000,
+    engine: BatchEngine | None = None,
+    n_jobs: int | None = None,
 ) -> MappingSearchResult:
     """First-improvement hill climbing over mapping neighborhoods.
 
     Moves: (a) swap two processors between stages, (b) move a spare or
     replicated processor to another stage, (c) rotate a stage's replica
     order (changes round-robin phase, which matters for comm pairing).
+
+    With ``n_jobs`` set (0 = all cores, k > 1 = k workers) every
+    iteration evaluates its whole candidate neighborhood through
+    :func:`repro.engine.evaluate_batch` and *then* scans it in the same
+    shuffled order for the first improving move — the accepted-solution
+    trajectory is identical to the serial search, only ``evaluations``
+    grows (the serial path stops evaluating at the first improvement).
+    Worker processes are pooled per iteration, so the shared ``engine``
+    cache benefits the serial paths; sharded chunks warm their own
+    per-worker caches.
     """
     model = CommModel.parse(model)
+    eng = _search_engine(engine, max_paths)
     rng = rng if rng is not None else np.random.default_rng(0)
     mapping = start if start is not None else random_mapping(app, plat, rng, max_paths)
 
@@ -168,7 +198,7 @@ def local_search_mapping(
     def period_of(m: Mapping) -> float:
         nonlocal evaluations
         evaluations += 1
-        return _evaluate(app, plat, m, model, max_paths)
+        return _evaluate(app, plat, m, model, max_paths, eng)
 
     best = period_of(mapping)
     trace = [best]
@@ -205,18 +235,50 @@ def local_search_mapping(
                 moves.append(trial)
 
         order = rng.permutation(len(moves))
-        for k in order:
-            trial = moves[int(k)]
-            try:
-                m2 = Mapping([tuple(s) for s in trial], n_processors=plat.n_processors)
-            except ValidationError:
-                continue
-            val = period_of(m2)
-            if val < best * (1 - 1e-12):
-                mapping, best = m2, val
-                trace.append(best)
-                improved = True
-                break
+        if n_jobs is not None and n_jobs != 1:
+            # Batch path: evaluate the whole (valid) neighborhood at once,
+            # then accept the first improving move in shuffled order — the
+            # same move the serial scan would have accepted.
+            candidates: list[tuple[int, Mapping]] = []
+            for k in order:
+                try:
+                    m2 = Mapping([tuple(s) for s in moves[int(k)]],
+                                 n_processors=plat.n_processors)
+                except ValidationError:
+                    continue
+                candidates.append((int(k), m2))
+            feasible = [(k, m2) for k, m2 in candidates
+                        if m2.num_paths <= max_paths]
+            insts = [Instance(app, plat, m2) for _, m2 in feasible]
+            # `engine=eng` only reaches the serial fallback (small
+            # neighborhoods); sharded evaluations use per-worker caches
+            # that live for one evaluate_batch call.
+            results = evaluate_batch(insts, model, max_rows=max_paths + 1,
+                                     n_jobs=n_jobs, engine=eng)
+            evaluations += len(candidates)
+            values = {k: float("inf") for k, _ in candidates}
+            values.update({k: r.period for (k, _), r in zip(feasible, results)})
+            by_move = dict(candidates)
+            for k, _ in candidates:
+                if values[k] < best * (1 - 1e-12):
+                    mapping, best = by_move[k], values[k]
+                    trace.append(best)
+                    improved = True
+                    break
+        else:
+            for k in order:
+                trial = moves[int(k)]
+                try:
+                    m2 = Mapping([tuple(s) for s in trial],
+                                 n_processors=plat.n_processors)
+                except ValidationError:
+                    continue
+                val = period_of(m2)
+                if val < best * (1 - 1e-12):
+                    mapping, best = m2, val
+                    trace.append(best)
+                    improved = True
+                    break
         if not improved:
             break
     return MappingSearchResult(mapping=mapping, period=best,

@@ -13,7 +13,13 @@ from .algebra import (
 )
 from .cycle_ratio import CycleRatioResult, max_cycle_ratio
 from .graph import Edge, RatioGraph
-from .howard import HowardResult, max_cycle_ratio_howard
+from .howard import (
+    HowardPlan,
+    HowardResult,
+    max_cycle_ratio_howard,
+    prepare_howard,
+    solve_prepared,
+)
 from .karp import max_cycle_mean, max_cycle_mean_scc
 from .lawler import has_positive_cycle, max_cycle_ratio_lawler
 from .spectral import (
@@ -30,6 +36,9 @@ __all__ = [
     "CycleRatioResult",
     "max_cycle_ratio",
     "HowardResult",
+    "HowardPlan",
+    "prepare_howard",
+    "solve_prepared",
     "max_cycle_ratio_howard",
     "max_cycle_mean",
     "max_cycle_mean_scc",

@@ -14,6 +14,24 @@ At the fixed point the best policy cycle is a true critical cycle, which
 is how the library *extracts* critical cycles (Figure 8 of the paper) and
 why Howard is the default solver: it returns the exact cycle, not just a
 bracketed value.  Graphs are processed per strongly connected component.
+
+Prepare/solve split
+-------------------
+The solver is factored into a structural *preparation* phase and a
+weight-dependent *solve* phase:
+
+* :func:`prepare_howard` runs the liveness check, Tarjan's SCC
+  decomposition and the per-component CSR edge sort — everything that
+  depends only on the graph's **structure** (sources, destinations,
+  tokens) — and returns a reusable :class:`HowardPlan`;
+* :func:`solve_prepared` takes a plan plus an edge-weight vector and runs
+  policy iteration only.
+
+:func:`max_cycle_ratio_howard` simply composes the two.  The split is
+what makes batched evaluation cheap: thousands of instances sharing one
+TPN topology share a single plan and only re-stamp edge weights (see
+:mod:`repro.engine`).  ``solve_prepared(prepare_howard(g), g.weight)``
+is bit-identical to the one-shot call by construction.
 """
 
 from __future__ import annotations
@@ -22,10 +40,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import SolverError
+from ..errors import DeadlockError, SolverError
 from .graph import RatioGraph
 
-__all__ = ["HowardResult", "max_cycle_ratio_howard"]
+__all__ = [
+    "HowardResult",
+    "HowardPlan",
+    "prepare_howard",
+    "solve_prepared",
+    "max_cycle_ratio_howard",
+]
 
 #: Safety cap multiplier on policy-iteration rounds.
 _MAX_ROUNDS_FACTOR = 64
@@ -54,26 +78,117 @@ class HowardResult:
     n_rounds: int
 
 
-def _scc_howard(graph: RatioGraph, tol: float) -> HowardResult | None:
-    """Run policy iteration inside one SCC; ``None`` when it has no cycle."""
-    n, e = graph.n_nodes, graph.n_edges
-    if n == 0 or e == 0:
-        return None
+@dataclass(frozen=True)
+class _PreparedScc:
+    """One multi-node SCC with its CSR edge layout precomputed.
 
-    # CSR layout: edges sorted by source node.
-    order = np.argsort(graph.src, kind="stable")
-    src = graph.src[order]
-    dst = graph.dst[order]
-    weight = graph.weight[order]
-    tokens = graph.tokens[order].astype(float)
-    start = np.searchsorted(src, np.arange(n + 1))
-    if np.any(start[1:] == start[:-1]):
-        # Some node has no outgoing edge: inside an SCC that means the
-        # "SCC" is a singleton without self-loop -> no cycle.
-        return None
+    ``order`` sorts the component's local edges by source node;
+    ``edge_map`` maps local (pre-sort) edge indices back to the global
+    graph, so fresh global weights are stamped into CSR order with
+    ``weights[edge_map][order]``.
+    """
+
+    n: int
+    node_map: tuple[int, ...]
+    edge_map: np.ndarray
+    order: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    tokens: np.ndarray
+    start: np.ndarray
+
+
+@dataclass(frozen=True)
+class _PreparedSingleton:
+    """A singleton SCC whose cycles are its self-loops."""
+
+    node: int
+    self_loops: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HowardPlan:
+    """Structural preparation of a :class:`RatioGraph` for repeated solves.
+
+    Holds the SCC decomposition (in Tarjan order, so candidate comparison
+    is reproducible), the per-SCC CSR layouts, and the global token
+    vector used for the exact critical-cycle ratio.  A plan depends only
+    on ``(src, dst, tokens)`` — never on edge weights — so one plan
+    serves every weight stamping of the same topology.
+    """
+
+    n_nodes: int
+    n_edges: int
+    tokens: np.ndarray
+    components: tuple[_PreparedScc | _PreparedSingleton, ...]
+
+
+def prepare_howard(graph: RatioGraph) -> HowardPlan:
+    """Structure-only preparation: liveness, SCCs, CSR sorts.
+
+    Raises
+    ------
+    DeadlockError
+        If some cycle carries no token (the liveness check fails).
+    """
+    graph.token_free_topological_order()  # liveness (raises DeadlockError)
+
+    components: list[_PreparedScc | _PreparedSingleton] = []
+    for comp in graph.strongly_connected_components():
+        if len(comp) == 1:
+            v = comp[0]
+            self_loops = tuple(
+                i for i in graph.out_edges(v) if int(graph.dst[i]) == v
+            )
+            if self_loops:
+                components.append(_PreparedSingleton(v, self_loops))
+            continue
+        sub, node_map, edge_map = graph.subgraph(comp)
+        n, e = sub.n_nodes, sub.n_edges
+        if n == 0 or e == 0:
+            continue
+        order = np.argsort(sub.src, kind="stable")
+        src = sub.src[order]
+        start = np.searchsorted(src, np.arange(n + 1))
+        if np.any(start[1:] == start[:-1]):
+            # Some node has no outgoing edge: inside an SCC that means the
+            # "SCC" is a singleton without self-loop -> no cycle.
+            continue
+        components.append(
+            _PreparedScc(
+                n=n,
+                node_map=tuple(int(v) for v in node_map),
+                edge_map=np.asarray(edge_map, dtype=np.int64),
+                order=order,
+                src=src,
+                dst=sub.dst[order],
+                tokens=sub.tokens[order].astype(float),
+                start=start,
+            )
+        )
+    return HowardPlan(
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        tokens=graph.tokens,
+        components=tuple(components),
+    )
+
+
+def _scc_howard_csr(scc: _PreparedScc, weight: np.ndarray, tol: float) -> HowardResult:
+    """Policy iteration inside one prepared SCC (CSR edge order)."""
+    n = scc.n
+    e = int(weight.size)
+    src, dst, tokens, start, order = scc.src, scc.dst, scc.tokens, scc.start, scc.order
 
     # Initial policy: first out-edge of each node (CSR positions).
     policy = start[:n].copy()
+    edge_pos = np.arange(e, dtype=np.int64)
+    seg_starts = start[:n]
+    # Plain-Python mirrors for the sequential evaluation walk below —
+    # list indexing is several times cheaper than numpy scalar indexing
+    # and float arithmetic on the extracted values is bit-identical.
+    weight_l = weight.tolist()
+    tokens_l = tokens.tolist()
 
     lam = np.zeros(n)
     pot = np.zeros(n)
@@ -83,9 +198,11 @@ def _scc_howard(graph: RatioGraph, tol: float) -> HowardResult | None:
     for round_no in range(1, max_rounds + 1):
         # ---- policy evaluation ------------------------------------------
         nxt = dst[policy]
-        color = np.zeros(n, dtype=np.int8)  # 0 new, 1 in progress, 2 done
-        lam_new = np.empty(n)
-        pot_new = np.empty(n)
+        nxt_l = nxt.tolist()
+        policy_l = policy.tolist()
+        color = [0] * n  # 0 new, 1 in progress, 2 done
+        lam_new: list[float] = [0.0] * n
+        pot_new: list[float] = [0.0] * n
         best_val = -np.inf
         best_cycle = ([], [])
 
@@ -98,7 +215,7 @@ def _scc_howard(graph: RatioGraph, tol: float) -> HowardResult | None:
             while color[v] == 0:
                 color[v] = 1
                 chain.append(v)
-                v = int(nxt[v])
+                v = nxt_l[v]
             if color[v] == 1:
                 # Found a fresh cycle; v is its entry point within `chain`.
                 cstart = chain.index(v)
@@ -115,9 +232,9 @@ def _scc_howard(graph: RatioGraph, tol: float) -> HowardResult | None:
                 lam_new[v] = lam_c
                 pot_new[v] = 0.0
                 for u in reversed(cycle[1:]):
-                    eidx = policy[u]
+                    eidx = policy_l[u]
                     lam_new[u] = lam_c
-                    pot_new[u] = weight[eidx] - lam_c * tokens[eidx] + pot_new[int(nxt[u])]
+                    pot_new[u] = weight_l[eidx] - lam_c * tokens_l[eidx] + pot_new[nxt_l[u]]
                 for u in cycle:
                     color[u] = 2
                 if lam_c > best_val:
@@ -128,38 +245,37 @@ def _scc_howard(graph: RatioGraph, tol: float) -> HowardResult | None:
                 tree = chain
             # Unwind tree nodes (their successor already has lam/pot).
             for u in reversed(tree):
-                eidx = policy[u]
-                w_next = int(nxt[u])
+                eidx = policy_l[u]
+                w_next = nxt_l[u]
                 lam_new[u] = lam_new[w_next]
-                pot_new[u] = weight[eidx] - lam_new[u] * tokens[eidx] + pot_new[w_next]
+                pot_new[u] = weight_l[eidx] - lam_new[u] * tokens_l[eidx] + pot_new[w_next]
                 color[u] = 2
 
-        lam, pot = lam_new, pot_new
+        lam, pot = np.asarray(lam_new), np.asarray(pot_new)
 
-        # ---- policy improvement -----------------------------------------
+        # ---- policy improvement (vectorized over CSR segments) ----------
         # Phase 1: move towards successors with strictly larger lambda.
         gain_lam = lam[dst] - lam[src]
         # Phase 2 (only among lambda-ties): improve potentials.
         reduced = weight - lam[src] * tokens + pot[dst] - pot[src]
 
-        improved = False
-        for u in range(n):
-            lo, hi = start[u], start[u + 1]
-            seg = slice(lo, hi)
-            g = gain_lam[seg]
-            best_pos = int(np.argmax(g))
-            if g[best_pos] > tol:
-                policy[u] = lo + best_pos
-                improved = True
-                continue
-            tie = np.flatnonzero(g > -tol)
-            r = reduced[lo + tie]
-            best_tie = int(np.argmax(r))
-            if r[best_tie] > tol and lo + tie[best_tie] != policy[u]:
-                policy[u] = lo + int(tie[best_tie])
-                improved = True
+        # Per-node segment maxima; "first index attaining the max" matches
+        # np.argmax's tie-breaking in the per-node formulation.
+        seg_max_g = np.maximum.reduceat(gain_lam, seg_starts)
+        first_g = np.minimum.reduceat(
+            np.where(gain_lam == seg_max_g[src], edge_pos, e), seg_starts
+        )
+        phase1 = seg_max_g > tol
 
-        if not improved:
+        tie = gain_lam > -tol
+        r_masked = np.where(tie, reduced, -np.inf)
+        seg_max_r = np.maximum.reduceat(r_masked, seg_starts)
+        first_r = np.minimum.reduceat(
+            np.where(tie & (r_masked == seg_max_r[src]), edge_pos, e), seg_starts
+        )
+        phase2 = ~phase1 & (seg_max_r > tol) & (first_r != policy)
+
+        if not (np.any(phase1) or np.any(phase2)):
             cycle_nodes, cycle_edges = best_cycle
             return HowardResult(
                 value=float(best_val),
@@ -167,11 +283,70 @@ def _scc_howard(graph: RatioGraph, tol: float) -> HowardResult | None:
                 cycle_edges=tuple(cycle_edges),
                 n_rounds=round_no,
             )
+        policy = np.where(phase1, first_g, np.where(phase2, first_r, policy))
 
     raise SolverError(
         f"Howard's algorithm did not converge within {max_rounds} rounds; "
         f"the tolerance {tol} may be too small for this weight scale"
     )
+
+
+def solve_prepared(
+    plan: HowardPlan, weight: np.ndarray, tol: float | None = None
+) -> HowardResult:
+    """Run policy iteration on a prepared plan with fresh edge weights.
+
+    Parameters
+    ----------
+    plan:
+        Structural preparation from :func:`prepare_howard`.
+    weight:
+        Edge weights aligned with the original graph's edge indices.
+    tol:
+        Improvement tolerance; defaults to ``1e-9`` times the weight scale.
+
+    Raises
+    ------
+    SolverError
+        If the graph is acyclic or policy iteration fails to converge.
+    """
+    weight = np.asarray(weight, dtype=float)
+    if tol is None:
+        scale = float(np.abs(weight).max()) if plan.n_edges else 1.0
+        tol = 1e-9 * max(scale, 1.0)
+
+    best: HowardResult | None = None
+    for comp in plan.components:
+        if isinstance(comp, _PreparedSingleton):
+            ratios = [
+                (float(weight[i]) / int(plan.tokens[i]), i)
+                for i in comp.self_loops
+                # 0-token self-loops were excluded by the liveness check
+            ]
+            val, eidx = max(ratios)
+            cand = HowardResult(val, (comp.node,), (eidx,), 0)
+        else:
+            res = _scc_howard_csr(comp, weight[comp.edge_map][comp.order], tol)
+            cand = HowardResult(
+                value=res.value,
+                cycle_nodes=tuple(comp.node_map[v] for v in res.cycle_nodes),
+                cycle_edges=tuple(int(comp.edge_map[i]) for i in res.cycle_edges),
+                n_rounds=res.n_rounds,
+            )
+        if best is None or cand.value > best.value:
+            best = cand
+
+    if best is None:
+        raise SolverError("graph is acyclic: no cycle ratio exists")
+
+    # Report the *exact* arithmetic ratio of the extracted cycle, which is
+    # cleaner than the float accumulated during policy evaluation.
+    idx = np.asarray(list(best.cycle_edges), dtype=np.int64)
+    total_w = float(weight[idx].sum())
+    total_t = int(plan.tokens[idx].sum())
+    if total_t == 0:
+        raise DeadlockError("cycle carries no token; its ratio is infinite")
+    return HowardResult(total_w / total_t, best.cycle_nodes, best.cycle_edges, best.n_rounds)
 
 
 def max_cycle_ratio_howard(graph: RatioGraph, tol: float | None = None) -> HowardResult:
@@ -192,43 +367,4 @@ def max_cycle_ratio_howard(graph: RatioGraph, tol: float | None = None) -> Howar
     DeadlockError
         If some cycle carries no token.
     """
-    graph.token_free_topological_order()  # liveness (raises DeadlockError)
-    if tol is None:
-        scale = float(np.abs(graph.weight).max()) if graph.n_edges else 1.0
-        tol = 1e-9 * max(scale, 1.0)
-
-    best: HowardResult | None = None
-    for comp in graph.strongly_connected_components():
-        if len(comp) == 1:
-            v = comp[0]
-            self_loops = [i for i in graph.out_edges(v) if int(graph.dst[i]) == v]
-            if not self_loops:
-                continue
-            ratios = [
-                (float(graph.weight[i]) / int(graph.tokens[i]), i)
-                for i in self_loops
-                # 0-token self-loops were excluded by the liveness check
-            ]
-            val, eidx = max(ratios)
-            cand = HowardResult(val, (v,), (eidx,), 0)
-        else:
-            sub, node_map, edge_map = graph.subgraph(comp)
-            res = _scc_howard(sub, tol)
-            if res is None:
-                continue
-            cand = HowardResult(
-                value=res.value,
-                cycle_nodes=tuple(node_map[v] for v in res.cycle_nodes),
-                cycle_edges=tuple(edge_map[i] for i in res.cycle_edges),
-                n_rounds=res.n_rounds,
-            )
-        if best is None or cand.value > best.value:
-            best = cand
-
-    if best is None:
-        raise SolverError("graph is acyclic: no cycle ratio exists")
-
-    # Report the *exact* arithmetic ratio of the extracted cycle, which is
-    # cleaner than the float accumulated during policy evaluation.
-    exact = graph.cycle_ratio_of(best.cycle_edges)
-    return HowardResult(exact, best.cycle_nodes, best.cycle_edges, best.n_rounds)
+    return solve_prepared(prepare_howard(graph), graph.weight, tol)

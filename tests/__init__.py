@@ -1,0 +1,6 @@
+"""Test package marker.
+
+The test modules import shared fixtures with ``from .conftest import
+...``; that relative import only resolves when ``tests`` is a proper
+package, so this file must exist for collection to work.
+"""

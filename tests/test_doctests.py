@@ -25,6 +25,8 @@ MODULES = [
     "repro.algorithms.overlap_poly",
     "repro.algorithms.general_tpn",
     "repro.experiments.examples_paper",
+    "repro.engine.signature",
+    "repro.engine.batch",
     "repro.utils",
 ]
 

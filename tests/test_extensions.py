@@ -64,6 +64,39 @@ class TestLocalSearch:
         assert res.period <= base + 1e-12
         assert res.evaluations > 0
 
+    def test_batched_neighborhood_matches_serial_trajectory(self):
+        """n_jobs neighborhood evaluation accepts the same moves."""
+        app, plat = small_problem()
+        start = random_mapping(app, plat, np.random.default_rng(11))
+        serial = local_search_mapping(
+            app, plat, "overlap", rng=np.random.default_rng(5),
+            start=start, max_iters=8,
+        )
+        batched = local_search_mapping(
+            app, plat, "overlap", rng=np.random.default_rng(5),
+            start=start, max_iters=8, n_jobs=2,
+        )
+        assert batched.period == serial.period
+        assert batched.mapping == serial.mapping
+        assert batched.trace == serial.trace
+        # The batch path evaluates whole neighborhoods, never fewer
+        # oracle calls than first-improvement.
+        assert batched.evaluations >= serial.evaluations
+
+    def test_shared_engine_reused_across_searches(self):
+        from repro.engine import BatchEngine
+
+        app, plat = small_problem()
+        engine = BatchEngine(max_rows=3001)
+        # STRICT resolves to the TPN method, which exercises the cache.
+        first = greedy_mapping(app, plat, "strict", engine=engine)
+        misses_after_first = engine.stats.misses
+        second = greedy_mapping(app, plat, "strict", engine=engine)
+        assert first.period == second.period
+        # The second search re-proposes the same mappings: all hits.
+        assert engine.stats.misses == misses_after_first
+        assert engine.stats.hits > 0
+
     def test_heterogeneous_prefers_fast_processors(self):
         app = Application(works=[1.0, 1.0], file_sizes=[0.001])
         plat = Platform(

@@ -1,0 +1,23 @@
+"""Minimal stand-in for the ``wheel`` package (offline editable installs).
+
+This is **not** the PyPA ``wheel`` project.  It implements just the
+surface that ``setuptools``' PEP 660 editable-install machinery
+(``setuptools/command/editable_wheel.py`` and ``dist_info.py``) touches:
+
+* :class:`wheel.wheelfile.WheelFile` — a ``ZipFile`` that records
+  sha256 hashes and emits a PEP 376 ``RECORD`` on close;
+* :class:`wheel.bdist_wheel.bdist_wheel` — a command providing
+  ``get_tag()`` (always the pure-Python ``py3-none-any``),
+  ``write_wheelfile()`` and ``egg2dist()``.
+
+``setup.py`` puts this package on ``sys.path`` **only when the real
+``wheel`` distribution is missing** — i.e. offline containers where
+``pip install -e . --no-build-isolation`` would otherwise die with
+``error: invalid command 'bdist_wheel'``.  Environments with the real
+``wheel`` installed (CI, dev boxes) never import this copy.
+
+Only pure-Python, ``Root-Is-Purelib: true`` projects are supported —
+which is exactly this project.
+"""
+
+__version__ = "0.0.0+repro.vendored"

@@ -1,0 +1,114 @@
+"""Pure-Python ``bdist_wheel`` command: just enough for editable installs.
+
+``setuptools``' ``dist_info`` command calls :meth:`bdist_wheel.egg2dist`
+while preparing PEP 660 metadata, and ``editable_wheel`` calls
+:meth:`get_tag` / :meth:`write_wheelfile`.  Nothing else of the real
+command is implemented — in particular ``run()`` refuses to build a
+regular (non-editable) wheel.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from setuptools import Command
+
+__all__ = ["bdist_wheel"]
+
+_WHEEL_FILE = """\
+Wheel-Version: 1.0
+Generator: repro-vendored-wheel-shim
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+
+def _requires_to_metadata(requires_txt: str) -> list[str]:
+    """Convert an egg-info ``requires.txt`` into core-metadata lines."""
+    lines: list[str] = []
+    extra = None
+    for raw in requires_txt.splitlines():
+        entry = raw.strip()
+        if not entry:
+            continue
+        if entry.startswith("[") and entry.endswith("]"):
+            section = entry[1:-1]
+            extra, _, condition = section.partition(":")
+            extra = extra.strip()
+            if extra:
+                lines.append(f"Provides-Extra: {extra}")
+            extra = (extra, condition.strip())
+            continue
+        if extra is None:
+            lines.append(f"Requires-Dist: {entry}")
+            continue
+        name, condition = extra
+        markers = []
+        if condition:
+            markers.append(f"({condition})" if " or " in condition else condition)
+        if name:
+            markers.append(f'extra == "{name}"')
+        marker = " and ".join(markers)
+        lines.append(f"Requires-Dist: {entry}" + (f"; {marker}" if marker else ""))
+    return lines
+
+
+class bdist_wheel(Command):
+    """Minimal stand-in for ``wheel.bdist_wheel.bdist_wheel``."""
+
+    description = "vendored wheel shim (editable installs only)"
+    user_options: list[tuple] = []
+
+    def initialize_options(self) -> None:
+        pass
+
+    def finalize_options(self) -> None:
+        pass
+
+    def run(self) -> None:  # pragma: no cover - guarded usage
+        raise RuntimeError(
+            "the vendored wheel shim only supports editable installs; "
+            "install the real 'wheel' package to build distributions"
+        )
+
+    # -- API used by setuptools' editable-install machinery ---------------
+    def get_tag(self) -> tuple[str, str, str]:
+        """Pure-Python projects are always ``py3-none-any``."""
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, dist_info_dir: str) -> None:
+        with open(os.path.join(dist_info_dir, "WHEEL"), "w", encoding="utf-8") as fh:
+            fh.write(_WHEEL_FILE)
+
+    def egg2dist(self, egg_info_dir: str, dist_info_dir: str) -> None:
+        """Convert an ``.egg-info`` directory into a ``.dist-info`` one."""
+        if os.path.isdir(dist_info_dir):
+            shutil.rmtree(dist_info_dir)
+        os.makedirs(dist_info_dir)
+
+        pkg_info_path = os.path.join(egg_info_dir, "PKG-INFO")
+        with open(pkg_info_path, encoding="utf-8") as fh:
+            metadata = fh.read().rstrip("\n").split("\n\n", 1)
+        headers, body = metadata[0], metadata[1] if len(metadata) > 1 else ""
+
+        requires_path = os.path.join(egg_info_dir, "requires.txt")
+        if "Requires-Dist:" not in headers and os.path.isfile(requires_path):
+            with open(requires_path, encoding="utf-8") as fh:
+                extra_lines = _requires_to_metadata(fh.read())
+            if extra_lines:
+                headers = headers + "\n" + "\n".join(extra_lines)
+
+        with open(os.path.join(dist_info_dir, "METADATA"), "w", encoding="utf-8") as fh:
+            fh.write(headers + "\n")
+            if body:
+                fh.write("\n" + body + "\n")
+
+        for name in ("entry_points.txt", "top_level.txt"):
+            src = os.path.join(egg_info_dir, name)
+            if os.path.isfile(src):
+                shutil.copy2(src, os.path.join(dist_info_dir, name))
+
+        # The real converter removes the egg-info dir; dist_info backs it
+        # up beforehand when it wants to keep it.
+        shutil.rmtree(egg_info_dir)

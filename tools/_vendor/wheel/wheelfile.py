@@ -1,0 +1,85 @@
+"""A ZipFile subclass that maintains the wheel's RECORD manifest."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+__all__ = ["WheelFile"]
+
+#: ``{name}-{version}[-{build}]-{python}-{abi}-{platform}.whl``
+_WHEEL_NAME = re.compile(
+    r"(?P<name>[^-]+)-(?P<version>[^-]+)(-(?P<build>\d[^-]*))?"
+    r"-(?P<pyver>[^-]+)-(?P<abi>[^-]+)-(?P<plat>[^-.]+)\.whl$"
+)
+
+
+def _urlsafe_b64(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-mode wheel archive with automatic RECORD generation.
+
+    Every ``write``/``writestr`` is hashed (sha256); ``close`` appends
+    the ``RECORD`` file pip validates at install time.
+    """
+
+    def __init__(self, file, mode: str = "r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode, compression=compression, allowZip64=True)
+        match = _WHEEL_NAME.match(os.path.basename(str(file)))
+        if match is None:
+            raise ValueError(f"bad wheel filename {file!r}")
+        self.parsed_filename = match
+        self.dist_info_path = f"{match.group('name')}-{match.group('version')}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._records: list[tuple[str, str, int]] = []
+
+    # -- recording writers -------------------------------------------------
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else str(zinfo_or_arcname)
+        )
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        self._record(arcname, data)
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        arcname = str(arcname if arcname is not None else filename)
+        super().write(filename, arcname, *args, **kwargs)
+        with open(filename, "rb") as fh:
+            self._record(arcname, fh.read())
+
+    def write_files(self, base_dir: str) -> None:
+        """Add every file under ``base_dir`` (sorted, RECORD excluded)."""
+        entries = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in files:
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname != self.record_path:
+                    entries.append((path, arcname))
+        for path, arcname in sorted(entries, key=lambda item: item[1]):
+            self.write(path, arcname)
+
+    # -- RECORD ------------------------------------------------------------
+    def _record(self, arcname: str, data: bytes) -> None:
+        digest = hashlib.sha256(data).digest()
+        self._records.append((arcname, f"sha256={_urlsafe_b64(digest)}", len(data)))
+
+    def close(self) -> None:
+        if self.mode == "w" and self._records:
+            lines = [
+                f"{name},{digest},{size}" for name, digest, size in self._records
+            ]
+            lines.append(f"{self.record_path},,")
+            record = "\n".join(lines) + "\n"
+            self._records = []
+            super().writestr(self.record_path, record.encode("utf-8"))
+        super().close()
