@@ -38,9 +38,14 @@ Sub-packages
     campaign harness.
 ``repro.engine``
     Batched throughput evaluation: per-topology TPN-skeleton caching,
-    vectorized weight re-stamping and multi-process sharding —
-    bit-identical to :func:`compute_period`, several times faster on
-    sweeps (``evaluate_batch`` / ``BatchEngine``).
+    vectorized weight re-stamping, multi-process sharding and opt-in
+    Howard warm starts — bit-identical to :func:`compute_period`,
+    several times faster on sweeps (``evaluate_batch`` /
+    ``BatchEngine``).
+``repro.search``
+    Mapping-space optimization: the multi-start portfolio
+    (``portfolio_search``) with diversified restarts, a shared
+    evaluation budget and deterministic seeding.
 ``repro.extensions``
     Beyond-paper extras: mapping heuristics and stochastic platforms.
 """

@@ -11,6 +11,7 @@ Subcommands
 ``table2``     run the Table 2 experimental campaign
 ``sweep``      run one experiment family through the batch engine
 ``search``     greedy + local-search mapping optimization (extension)
+``optimize``   multi-start portfolio mapping search (repro.search)
 ``example``    dump one of the paper's examples (A/B/C) as JSON
 
 Instances are JSON files in the :meth:`repro.core.instance.Instance.to_dict`
@@ -138,6 +139,44 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"refined period : {ls.period:g} ({ls.evaluations} evaluations)")
     original = compute_period(inst, args.model, max_rows=args.max_rows)
     print(f"input mapping  : {original.period:g} (for comparison)")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .search import portfolio_search
+
+    inst = _load_instance(args.instance)
+    result = portfolio_search(
+        inst.application, inst.platform, args.model,
+        n_restarts=args.restarts, budget=args.budget, root_seed=args.seed,
+        max_iters=args.iters, max_paths=args.max_rows,
+        n_jobs=args.jobs if args.jobs != 1 else None,
+        warm_start=args.warm_start,
+    )
+    print(f"portfolio      : {args.restarts} restarts, "
+          f"budget {args.budget} evaluations "
+          f"({result.evaluations} spent)")
+    print(f"{'restart':>7} {'kind':>16} {'evals':>6} {'period':>12}")
+    for r in result.restarts:
+        print(f"{r.index:>7} {r.kind:>16} {r.evaluations:>6} "
+              f"{format_time(r.period):>12}")
+    print(f"best mapping   : {[list(s) for s in result.mapping.assignments]}")
+    best = result.best_restart
+    provenance = f" (restart {best.index}, {best.kind})" if best else \
+        " (budget exhausted before any restart)"
+    print(f"best period    : {format_time(result.period)}{provenance}")
+    original = compute_period(inst, args.model, max_rows=args.max_rows)
+    print(f"input mapping  : {format_time(original.period)} (for comparison)")
+    if args.json_out:
+        from .experiments.io import portfolio_to_json
+
+        portfolio_to_json(result, args.json_out)
+        print(f"wrote {args.json_out}")
+    if args.csv:
+        from .experiments.io import restarts_to_csv
+
+        restarts_to_csv(result, args.csv)
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -312,6 +351,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="local-search iteration budget")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "optimize",
+        help="multi-start portfolio mapping optimization (repro.search)")
+    add_instance(p)
+    add_model(p)
+    p.add_argument("--restarts", type=int, default=6,
+                   help="diversified restarts (greedy/random/perturbed-elite)")
+    p.add_argument("--budget", type=int, default=1500,
+                   help="total period-oracle evaluations across all restarts")
+    p.add_argument("--iters", type=int, default=100,
+                   help="hill-climbing iteration cap per restart")
+    p.add_argument("--seed", type=int, default=20090302,
+                   help="root entropy of the restart seed tree")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per neighborhood (0 = all cores, "
+                        "1 = serial; trajectory is identical)")
+    p.add_argument("--warm-start", action="store_true",
+                   help="seed Howard's policy iteration from the previous "
+                        "instance of each topology group (period values "
+                        "unchanged; extracted cycles may differ)")
+    p.add_argument("--json", dest="json_out", default=None,
+                   help="write the full result (restart traces) as JSON")
+    p.add_argument("--csv", default=None,
+                   help="write the per-restart summary as CSV")
+    p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser("gantt", help="ASCII Gantt chart (Figures 7/12)")
     add_instance(p)

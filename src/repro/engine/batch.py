@@ -17,7 +17,12 @@ the same batch (and across batches, for repeated calls inside one
 worker lifetime).
 
 Every evaluation is a pure function of ``(instance, model, method)``:
-results are bit-identical whatever ``n_jobs`` or ``chunk_size``.
+results are bit-identical whatever ``n_jobs`` or ``chunk_size``.  The
+one opt-in exception is ``warm_start=True``, which seeds Howard's policy
+iteration from the previous instance of a topology group: period
+*values* are unchanged, but the extracted critical cycle (and hence
+``tpn_solution.ratio.cycle_nodes``) may depend on evaluation history —
+see :class:`BatchEngine`.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from ..core.instance import Instance
 from ..core.models import CommModel
 from ..core.throughput import PeriodResult, compute_period
 from ..errors import ValidationError
+from ..maxplus.howard import HowardState
 from ..petri.builder import DEFAULT_MAX_ROWS
 from .signature import topology_signature
 from .skeleton import TpnSkeleton, build_skeleton
@@ -72,6 +78,17 @@ class BatchEngine:
         beyond it (sweeps use a handful of topologies, but a mapping
         *search* streams through thousands — the bound keeps memory
         flat).  ``None`` disables eviction.
+    warm_start:
+        Opt-in: seed Howard's policy iteration from the previous
+        evaluation of the same topology group
+        (:class:`~repro.maxplus.howard.HowardState` per cached
+        skeleton).  On slowly-varying neighborhoods — a mapping-search
+        trajectory, a sweep of nearby instances — the previous policy
+        is typically one improvement round from the new fixed point.
+        Period *values* are identical to cold start; the extracted
+        critical cycle may differ when several cycles tie exactly,
+        which is why the flag defaults to off (cold evaluation stays a
+        pure function of ``(instance, model, method)``).
 
     Notes
     -----
@@ -86,17 +103,25 @@ class BatchEngine:
 
     max_rows: int | None = DEFAULT_MAX_ROWS
     cache_limit: int | None = 1024
+    warm_start: bool = False
     stats: EngineStats = field(default_factory=EngineStats)
     _skeletons: dict[tuple, TpnSkeleton] = field(default_factory=dict)
+    _warm_states: dict[tuple, HowardState] = field(default_factory=dict)
 
     def skeleton(self, inst: Instance, model: CommModel | str) -> TpnSkeleton:
         """Fetch (or build and cache) the topology group's skeleton."""
-        key = topology_signature(inst, model)
+        return self._skeleton_for(topology_signature(inst, model), inst, model)
+
+    def _skeleton_for(
+        self, key: tuple, inst: Instance, model: CommModel | str
+    ) -> TpnSkeleton:
         sk = self._skeletons.get(key)
         if sk is None:
             sk = build_skeleton(inst, model, max_rows=self.max_rows)
             if self.cache_limit is not None and len(self._skeletons) >= self.cache_limit:
-                self._skeletons.pop(next(iter(self._skeletons)))
+                oldest = next(iter(self._skeletons))
+                self._skeletons.pop(oldest)
+                self._warm_states.pop(oldest, None)
             self._skeletons[key] = sk
             self.stats.misses += 1
         else:
@@ -132,9 +157,12 @@ class BatchEngine:
             breakdown = overlap_period(inst)
             period = breakdown.period
         elif method == "tpn":
-            sk = self.skeleton(inst, model)
+            key = topology_signature(inst, model)
+            sk = self._skeleton_for(key, inst, model)
             sk.check_budget(self.max_rows)
-            ratio = sk.solve(inst)
+            state = self._warm_states.setdefault(key, HowardState()) \
+                if self.warm_start else None
+            ratio = sk.solve(inst, state=state)
             period = ratio.value / sk.m
             solution = TpnSolution(period=period, ratio=ratio, net=None)
         elif method == "simulation":
@@ -188,13 +216,17 @@ _WORKER_ENGINE: BatchEngine | None = None
 
 
 def _evaluate_chunk(
-    payload: tuple[list[tuple[Instance, CommModel]], str, int | None],
+    payload: tuple[list[tuple[Instance, CommModel]], str, int | None, bool],
 ) -> list[PeriodResult]:
     """Module-level trampoline for process pools (picklable)."""
     global _WORKER_ENGINE
-    chunk, method, max_rows = payload
-    if _WORKER_ENGINE is None or _WORKER_ENGINE.max_rows != max_rows:
-        _WORKER_ENGINE = BatchEngine(max_rows=max_rows)
+    chunk, method, max_rows, warm_start = payload
+    if (
+        _WORKER_ENGINE is None
+        or _WORKER_ENGINE.max_rows != max_rows
+        or _WORKER_ENGINE.warm_start != warm_start
+    ):
+        _WORKER_ENGINE = BatchEngine(max_rows=max_rows, warm_start=warm_start)
     engine = _WORKER_ENGINE
     return [engine.evaluate(inst, model, method=method) for inst, model in chunk]
 
@@ -207,6 +239,7 @@ def evaluate_stream(
     n_jobs: int | None = None,
     chunk_size: int | None = None,
     engine: BatchEngine | None = None,
+    warm_start: bool = False,
 ) -> Iterator[PeriodResult]:
     """Lazily yield one :class:`PeriodResult` per pair, in input order.
 
@@ -232,11 +265,17 @@ def evaluate_stream(
         input for best cache locality.
     engine:
         Serial path only: reuse a caller-owned :class:`BatchEngine`
-        (e.g. to share its cache across successive sweeps).
+        (e.g. to share its cache across successive sweeps).  When given,
+        the engine's own ``warm_start`` flag governs, not this call's.
+    warm_start:
+        Opt-in Howard warm starting inside each evaluating engine (see
+        :class:`BatchEngine`).  Period values are identical to cold
+        start; extracted critical cycles may depend on chunk boundaries.
     """
     pairs = _normalize_pairs(instances, models)
     if n_jobs is None or n_jobs == 1 or len(pairs) < _MIN_PARALLEL_BATCH:
-        eng = engine if engine is not None else BatchEngine(max_rows=max_rows)
+        eng = engine if engine is not None else BatchEngine(
+            max_rows=max_rows, warm_start=warm_start)
         for inst, model in pairs:
             yield eng.evaluate(inst, model, method=method)
         return
@@ -245,7 +284,7 @@ def evaluate_stream(
     if chunk_size is None:
         chunk_size = max(1, -(-len(pairs) // (workers * 4)))
     chunks = [pairs[i: i + chunk_size] for i in range(0, len(pairs), chunk_size)]
-    payloads = [(chunk, method, max_rows) for chunk in chunks]
+    payloads = [(chunk, method, max_rows, warm_start) for chunk in chunks]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         for results in pool.map(_evaluate_chunk, payloads):
             yield from results
@@ -259,6 +298,7 @@ def evaluate_batch(
     n_jobs: int | None = None,
     chunk_size: int | None = None,
     engine: BatchEngine | None = None,
+    warm_start: bool = False,
 ) -> list[PeriodResult]:
     """Evaluate all pairs and return results aligned with the input.
 
@@ -281,5 +321,6 @@ def evaluate_batch(
         evaluate_stream(
             instances, models, method=method, max_rows=max_rows,
             n_jobs=n_jobs, chunk_size=chunk_size, engine=engine,
+            warm_start=warm_start,
         )
     )

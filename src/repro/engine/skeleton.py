@@ -35,7 +35,7 @@ from ..core.models import CommModel
 from ..errors import ReplicationExplosionError, SolverError
 from ..maxplus.cycle_ratio import CycleRatioResult
 from ..maxplus.graph import RatioGraph
-from ..maxplus.howard import HowardPlan, prepare_howard, solve_prepared
+from ..maxplus.howard import HowardPlan, HowardState, prepare_howard, solve_prepared
 from ..maxplus.lawler import max_cycle_ratio_lawler
 from ..petri.builder import DEFAULT_MAX_ROWS, build_tpn
 
@@ -113,12 +113,24 @@ class TpnSkeleton:
         """
         return self.stamp_durations(inst)[self.edge_src]
 
-    def solve(self, inst: Instance, solver: str = "auto") -> CycleRatioResult:
+    def solve(
+        self,
+        inst: Instance,
+        solver: str = "auto",
+        state: HowardState | None = None,
+    ) -> CycleRatioResult:
         """Maximum cycle ratio for ``inst`` on the cached structure.
 
         Mirrors :func:`repro.maxplus.cycle_ratio.max_cycle_ratio`'s
         ``"auto"``/``"howard"``/``"lawler"`` dispatch (Karp is pointless
         here: round-robin wrap places mean tokens are not all 1).
+
+        ``state`` optionally warm-starts Howard's policy iteration from
+        the previous solve on this skeleton (see
+        :class:`~repro.maxplus.howard.HowardState`); the period *value*
+        is unchanged, but the extracted critical cycle may differ on
+        exact ties, which is why :class:`~repro.engine.batch.BatchEngine`
+        keeps warm starting opt-in.
         """
         weights = self.stamp_weights(inst)
         if solver == "lawler":
@@ -128,7 +140,7 @@ class TpnSkeleton:
         if solver not in ("auto", "howard"):
             raise ValueError(f"unknown method {solver!r}")
         try:
-            res = solve_prepared(self.plan, weights)
+            res = solve_prepared(self.plan, weights, state=state)
             return CycleRatioResult(res.value, res.cycle_nodes, res.cycle_edges, "howard")
         except SolverError:
             if solver == "howard":

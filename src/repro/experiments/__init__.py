@@ -16,7 +16,12 @@ from .generator import (
     random_replication,
 )
 from .analysis import FamilySummary, feature_report, gap_histogram, summarize
-from .io import records_from_csv, records_to_csv
+from .io import (
+    portfolio_to_json,
+    records_from_csv,
+    records_to_csv,
+    restarts_to_csv,
+)
 from .runner import ExperimentRecord, family_seeds, run_family, run_single
 from .table2 import Table2Row, format_table2, run_table2
 
@@ -41,6 +46,8 @@ __all__ = [
     "format_table2",
     "records_to_csv",
     "records_from_csv",
+    "portfolio_to_json",
+    "restarts_to_csv",
     "FamilySummary",
     "summarize",
     "gap_histogram",

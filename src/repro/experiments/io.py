@@ -1,9 +1,17 @@
-"""CSV import/export of experiment records.
+"""CSV/JSON import/export of experiment and search results.
 
 The Table 2 campaign can take minutes at full scale; persisting records
 lets analyses (gap histograms, per-family breakdowns) run without
 re-sweeping.  The format is plain CSV with a header, one row per
 experiment.
+
+Portfolio runs (:func:`repro.search.portfolio_search`) persist two
+artifacts: the full result as JSON (:func:`portfolio_to_json` — best
+mapping plus every restart's trace, round-trippable through
+``json.loads``) and the per-restart summary as CSV
+(:func:`restarts_to_csv` — one row per restart, for quick spreadsheet
+triage of which seed strategy won).  Both back the
+``repro-workflow optimize --json/--csv`` flags.
 """
 
 from __future__ import annotations
@@ -11,11 +19,19 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from .runner import ExperimentRecord
 
-__all__ = ["records_to_csv", "records_from_csv"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search -> engine)
+    from ..search.portfolio import PortfolioResult
+
+__all__ = [
+    "records_to_csv",
+    "records_from_csv",
+    "portfolio_to_json",
+    "restarts_to_csv",
+]
 
 _COLUMNS = [
     "config_name",
@@ -88,3 +104,57 @@ def records_from_csv(source: str | Path) -> list[ExperimentRecord]:
             )
         )
     return out
+
+
+_RESTART_COLUMNS = [
+    "index",
+    "kind",
+    "seed",
+    "period",
+    "evaluations",
+    "trace",
+    "assignments",
+]
+
+
+def portfolio_to_json(
+    result: "PortfolioResult", path: str | Path | None = None
+) -> str:
+    """Serialize a portfolio result to JSON; also writes ``path`` if given.
+
+    The payload is ``result.to_dict()``: model, best period/assignments,
+    spent vs granted budget, and one entry per restart (kind, seed,
+    trace, mapping) — everything needed to reproduce or plot the run.
+    """
+    text = result.to_json()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def restarts_to_csv(
+    result: "PortfolioResult", path: str | Path | None = None
+) -> str:
+    """One CSV row per restart of a portfolio; writes ``path`` if given.
+
+    ``trace`` is space-separated (``repr`` floats, lossless); stages of
+    ``assignments`` are ``|``-separated with space-separated processor
+    indices, e.g. ``"0|1 2|3"``.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(_RESTART_COLUMNS)
+    for r in result.restarts:
+        writer.writerow([
+            r.index,
+            r.kind,
+            r.seed,
+            repr(r.period),
+            r.evaluations,
+            " ".join(repr(t) for t in r.trace),
+            "|".join(" ".join(str(u) for u in s) for s in r.assignments),
+        ])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -12,12 +12,14 @@ from .mapping_opt import (
     MappingSearchResult,
     greedy_mapping,
     local_search_mapping,
+    perturb_mapping,
     random_mapping,
 )
 
 __all__ = [
     "greedy_mapping",
     "local_search_mapping",
+    "perturb_mapping",
     "random_mapping",
     "MappingSearchResult",
     "DynamicPlatformModel",

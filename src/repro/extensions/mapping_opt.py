@@ -20,11 +20,26 @@ to share its topology cache across searches): re-proposed mappings hit
 the skeleton cache instead of rebuilding their TPN, and
 :func:`local_search_mapping` can fan a whole neighborhood out to worker
 processes with ``n_jobs`` while preserving the serial search trajectory.
+
+Restart hooks
+-------------
+:mod:`repro.search` composes these heuristics into a multi-start
+portfolio.  Two hooks exist for that composition and for any caller with
+a fixed oracle allowance:
+
+* ``budget=`` — an :class:`repro.search.EvaluationBudget` (or any object
+  with its ``take(n) -> int`` / ``refund(n)`` protocol) checked before
+  every oracle call; when the shared pool runs dry the search stops
+  gracefully and returns its incumbent instead of overdrawing.
+* :func:`perturb_mapping` — a seeded kick of an elite mapping (random
+  swap/move/rotate moves) used to diversify restarts around the current
+  best solution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
@@ -42,7 +57,30 @@ __all__ = [
     "random_mapping",
     "greedy_mapping",
     "local_search_mapping",
+    "perturb_mapping",
 ]
+
+
+class _Budget(Protocol):
+    """Structural type of the ``budget=`` hook (no import of repro.search)."""
+
+    def take(self, n: int = 1) -> int: ...
+
+    def refund(self, n: int) -> None: ...
+
+
+class _BudgetExhausted(Exception):
+    """Internal control flow: the shared evaluation pool ran dry."""
+
+
+def _charge(budget: _Budget | None, n: int = 1) -> int:
+    """Grant up to ``n`` evaluations from ``budget`` (all of them if None)."""
+    if budget is None:
+        return n
+    granted = budget.take(n)
+    if granted == 0 and n > 0:
+        raise _BudgetExhausted
+    return granted
 
 
 @dataclass(frozen=True)
@@ -104,12 +142,62 @@ def random_mapping(
     )
 
 
+def perturb_mapping(
+    mapping: Mapping,
+    rng: np.random.Generator,
+    moves: int = 2,
+    n_processors: int | None = None,
+) -> Mapping:
+    """Kick a mapping with ``moves`` random swap/move/rotate moves.
+
+    The portfolio's *perturbed-elite* restarts climb from a randomized
+    neighbor of the incumbent instead of a fresh random draw — close
+    enough to inherit its structure, far enough to escape its basin.
+    Every move preserves mapping validity (a processor still executes at
+    most one stage), so the result always constructs.
+
+    Examples
+    --------
+    >>> mp = Mapping([(0,), (1, 2), (3,)])
+    >>> kicked = perturb_mapping(mp, np.random.default_rng(7), moves=3)
+    >>> sorted(u for s in kicked.assignments for u in s)
+    [0, 1, 2, 3]
+    """
+    assign = [list(s) for s in mapping.assignments]
+    n = len(assign)
+    for _ in range(max(0, moves)):
+        kind = int(rng.integers(3))
+        if kind == 0 and n >= 2:
+            i, j = (int(x) for x in rng.choice(n, size=2, replace=False))
+            a = int(rng.integers(len(assign[i])))
+            b = int(rng.integers(len(assign[j])))
+            assign[i][a], assign[j][b] = assign[j][b], assign[i][a]
+        elif kind == 1 and n >= 2:
+            donors = [i for i in range(n) if len(assign[i]) >= 2]
+            if not donors:
+                continue
+            i = donors[int(rng.integers(len(donors)))]
+            j = int(rng.integers(n - 1))
+            j += j >= i
+            proc = assign[i].pop(int(rng.integers(len(assign[i]))))
+            assign[j].append(proc)
+        else:
+            stages = [i for i in range(n) if len(assign[i]) >= 2]
+            if not stages:
+                continue
+            i = stages[int(rng.integers(len(stages)))]
+            r = 1 + int(rng.integers(len(assign[i]) - 1))
+            assign[i] = assign[i][r:] + assign[i][:r]
+    return Mapping([tuple(s) for s in assign], n_processors=n_processors)
+
+
 def greedy_mapping(
     app: Application,
     plat: Platform,
     model: CommModel | str = "overlap",
     max_paths: int = 3000,
     engine: BatchEngine | None = None,
+    budget: _Budget | None = None,
 ) -> MappingSearchResult:
     """Greedy constructive heuristic.
 
@@ -118,6 +206,11 @@ def greedy_mapping(
     to the stage whose computation column currently dominates the period,
     choosing the fastest remaining processor — stopping when no grant
     improves the exact period (or processors run out).
+
+    ``budget`` (an :class:`repro.search.EvaluationBudget`-style pool)
+    bounds the oracle calls; when it runs dry the incumbent is returned
+    (``period=inf`` and an empty trace if not even the seed mapping
+    could be evaluated).
     """
     model = CommModel.parse(model)
     eng = _search_engine(engine, max_paths)
@@ -133,26 +226,36 @@ def greedy_mapping(
 
     def period_of(a: list[list[int]]) -> float:
         nonlocal evaluations
+        _charge(budget)
         evaluations += 1
         return _evaluate(app, plat, Mapping([tuple(s) for s in a]), model, max_paths, eng)
 
-    best = period_of(assign)
+    try:
+        best = period_of(assign)
+    except _BudgetExhausted:
+        return MappingSearchResult(
+            mapping=Mapping([tuple(s) for s in assign]),
+            period=float("inf"), evaluations=evaluations, trace=(),
+        )
     trace = [best]
-    while free:
-        candidate_best: tuple[float, int] | None = None
-        u = free[0]
-        for stage in range(n):
-            trial = [list(s) for s in assign]
-            trial[stage].append(u)
-            val = period_of(trial)
-            if candidate_best is None or val < candidate_best[0]:
-                candidate_best = (val, stage)
-        if candidate_best is None or candidate_best[0] >= best:
-            break
-        best = candidate_best[0]
-        assign[candidate_best[1]].append(u)
-        free.pop(0)
-        trace.append(best)
+    try:
+        while free:
+            candidate_best: tuple[float, int] | None = None
+            u = free[0]
+            for stage in range(n):
+                trial = [list(s) for s in assign]
+                trial[stage].append(u)
+                val = period_of(trial)
+                if candidate_best is None or val < candidate_best[0]:
+                    candidate_best = (val, stage)
+            if candidate_best is None or candidate_best[0] >= best:
+                break
+            best = candidate_best[0]
+            assign[candidate_best[1]].append(u)
+            free.pop(0)
+            trace.append(best)
+    except _BudgetExhausted:
+        pass  # pool ran dry mid-scan: keep the incumbent
     return MappingSearchResult(
         mapping=Mapping([tuple(s) for s in assign]),
         period=best,
@@ -171,6 +274,7 @@ def local_search_mapping(
     max_paths: int = 3000,
     engine: BatchEngine | None = None,
     n_jobs: int | None = None,
+    budget: _Budget | None = None,
 ) -> MappingSearchResult:
     """First-improvement hill climbing over mapping neighborhoods.
 
@@ -187,6 +291,14 @@ def local_search_mapping(
     Worker processes are pooled per iteration, so the shared ``engine``
     cache benefits the serial paths; sharded chunks warm their own
     per-worker caches.
+
+    ``budget`` bounds the oracle calls against a shared pool (see
+    :class:`repro.search.EvaluationBudget`): the serial scan stops at
+    the last granted evaluation; the batch scan takes a grant for its
+    whole (truncated) neighborhood up front and refunds everything past
+    the first improving move.  Budgeted searches therefore charge — and
+    stop — exactly like the serial search at any ``n_jobs``, and the
+    incumbent is returned when the pool dries either way.
     """
     model = CommModel.parse(model)
     eng = _search_engine(engine, max_paths)
@@ -197,10 +309,15 @@ def local_search_mapping(
 
     def period_of(m: Mapping) -> float:
         nonlocal evaluations
+        _charge(budget)
         evaluations += 1
         return _evaluate(app, plat, m, model, max_paths, eng)
 
-    best = period_of(mapping)
+    try:
+        best = period_of(mapping)
+    except _BudgetExhausted:
+        return MappingSearchResult(mapping=mapping, period=float("inf"),
+                                   evaluations=evaluations, trace=())
     trace = [best]
     n = app.n_stages
     for _ in range(max_iters):
@@ -247,38 +364,56 @@ def local_search_mapping(
                 except ValidationError:
                     continue
                 candidates.append((int(k), m2))
-            feasible = [(k, m2) for k, m2 in candidates
+            # Budget truncation keeps the shuffled scan prefix, so the
+            # trajectory matches the serial search up to the dry point.
+            grant = len(candidates) if budget is None \
+                else budget.take(len(candidates))
+            scan = candidates[:grant]
+            feasible = [(k, m2) for k, m2 in scan
                         if m2.num_paths <= max_paths]
             insts = [Instance(app, plat, m2) for _, m2 in feasible]
             # `engine=eng` only reaches the serial fallback (small
             # neighborhoods); sharded evaluations use per-worker caches
-            # that live for one evaluate_batch call.
+            # that live for one evaluate_batch call, inheriting the
+            # shared engine's warm-start mode.
             results = evaluate_batch(insts, model, max_rows=max_paths + 1,
-                                     n_jobs=n_jobs, engine=eng)
-            evaluations += len(candidates)
-            values = {k: float("inf") for k, _ in candidates}
+                                     n_jobs=n_jobs, engine=eng,
+                                     warm_start=eng.warm_start)
+            values = {k: float("inf") for k, _ in scan}
             values.update({k: r.period for (k, _), r in zip(feasible, results)})
-            by_move = dict(candidates)
-            for k, _ in candidates:
+            by_move = dict(scan)
+            charged = grant
+            for pos, (k, _) in enumerate(scan):
                 if values[k] < best * (1 - 1e-12):
                     mapping, best = by_move[k], values[k]
                     trace.append(best)
                     improved = True
+                    if budget is not None:
+                        # Serial-equivalent cost: the sequential scan
+                        # would have stopped at this move — refund the
+                        # speculatively-granted remainder so budgeted
+                        # searches charge identically at any n_jobs.
+                        budget.refund(grant - (pos + 1))
+                        charged = pos + 1
                     break
+            evaluations += charged
         else:
-            for k in order:
-                trial = moves[int(k)]
-                try:
-                    m2 = Mapping([tuple(s) for s in trial],
-                                 n_processors=plat.n_processors)
-                except ValidationError:
-                    continue
-                val = period_of(m2)
-                if val < best * (1 - 1e-12):
-                    mapping, best = m2, val
-                    trace.append(best)
-                    improved = True
-                    break
+            try:
+                for k in order:
+                    trial = moves[int(k)]
+                    try:
+                        m2 = Mapping([tuple(s) for s in trial],
+                                     n_processors=plat.n_processors)
+                    except ValidationError:
+                        continue
+                    val = period_of(m2)
+                    if val < best * (1 - 1e-12):
+                        mapping, best = m2, val
+                        trace.append(best)
+                        improved = True
+                        break
+            except _BudgetExhausted:
+                pass  # pool dry mid-scan: no improvement found, stop below
         if not improved:
             break
     return MappingSearchResult(mapping=mapping, period=best,

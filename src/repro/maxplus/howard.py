@@ -32,6 +32,29 @@ what makes batched evaluation cheap: thousands of instances sharing one
 TPN topology share a single plan and only re-stamp edge weights (see
 :mod:`repro.engine`).  ``solve_prepared(prepare_howard(g), g.weight)``
 is bit-identical to the one-shot call by construction.
+
+Warm starts
+-----------
+Policy iteration converges from *any* initial policy, and on
+slowly-varying weight sequences (a mapping-search neighborhood, a sweep
+of nearby instances) the previous converged policy is usually one or two
+improvement rounds away from the new fixed point.  Pass a mutable
+:class:`HowardState` to :func:`solve_prepared` to carry the converged
+policy from solve to solve:
+
+>>> g = RatioGraph(2, [(0, 1, 3.0, 1), (1, 0, 5.0, 1), (0, 0, 7.0, 1)])
+>>> plan = prepare_howard(g)
+>>> state = HowardState()
+>>> solve_prepared(plan, g.weight, state=state).value
+7.0
+>>> solve_prepared(plan, g.weight, state=state).n_rounds  # policy reused
+1
+
+The returned *value* is the exact maximum cycle ratio either way — only
+the number of rounds and, on ties between equally-critical cycles, the
+*extracted* cycle may differ from a cold start.  That is why the batch
+engine exposes warm starting as an opt-in flag rather than the default
+(see :class:`repro.engine.BatchEngine`).
 """
 
 from __future__ import annotations
@@ -46,6 +69,7 @@ from .graph import RatioGraph
 __all__ = [
     "HowardResult",
     "HowardPlan",
+    "HowardState",
     "prepare_howard",
     "solve_prepared",
     "max_cycle_ratio_howard",
@@ -76,6 +100,22 @@ class HowardResult:
     cycle_nodes: tuple[int, ...]
     cycle_edges: tuple[int, ...]
     n_rounds: int
+
+
+@dataclass
+class HowardState:
+    """Mutable warm-start carrier for repeated solves on one plan.
+
+    Holds the last converged policy of each multi-node SCC (CSR edge
+    positions, aligned with :attr:`HowardPlan.components`).  A state is
+    bound to the plan that produced it: policies index that plan's CSR
+    layouts, so never share one state across different topologies.
+
+    ``policies`` starts as ``None`` and is allocated on the first solve;
+    singleton components (whose "policy" is trivial) store ``None``.
+    """
+
+    policies: list[np.ndarray | None] | None = None
 
 
 @dataclass(frozen=True)
@@ -174,14 +214,29 @@ def prepare_howard(graph: RatioGraph) -> HowardPlan:
     )
 
 
-def _scc_howard_csr(scc: _PreparedScc, weight: np.ndarray, tol: float) -> HowardResult:
-    """Policy iteration inside one prepared SCC (CSR edge order)."""
+def _scc_howard_csr(
+    scc: _PreparedScc,
+    weight: np.ndarray,
+    tol: float,
+    policy0: np.ndarray | None = None,
+) -> tuple[HowardResult, np.ndarray]:
+    """Policy iteration inside one prepared SCC (CSR edge order).
+
+    ``policy0`` warm-starts the iteration from a previously converged
+    policy of the *same* prepared SCC; any valid policy converges to the
+    same ``lambda*``.  Returns the result and the converged policy.
+    """
     n = scc.n
     e = int(weight.size)
     src, dst, tokens, start, order = scc.src, scc.dst, scc.tokens, scc.start, scc.order
 
-    # Initial policy: first out-edge of each node (CSR positions).
-    policy = start[:n].copy()
+    if policy0 is not None and policy0.shape == (n,):
+        # Warm start from the carried policy (copied: the caller's state
+        # must stay intact if this solve fails to converge).
+        policy = policy0.copy()
+    else:
+        # Cold start: first out-edge of each node (CSR positions).
+        policy = start[:n].copy()
     edge_pos = np.arange(e, dtype=np.int64)
     seg_starts = start[:n]
     # Plain-Python mirrors for the sequential evaluation walk below —
@@ -282,7 +337,7 @@ def _scc_howard_csr(scc: _PreparedScc, weight: np.ndarray, tol: float) -> Howard
                 cycle_nodes=tuple(int(v) for v in cycle_nodes),
                 cycle_edges=tuple(cycle_edges),
                 n_rounds=round_no,
-            )
+            ), policy
         policy = np.where(phase1, first_g, np.where(phase2, first_r, policy))
 
     raise SolverError(
@@ -292,7 +347,10 @@ def _scc_howard_csr(scc: _PreparedScc, weight: np.ndarray, tol: float) -> Howard
 
 
 def solve_prepared(
-    plan: HowardPlan, weight: np.ndarray, tol: float | None = None
+    plan: HowardPlan,
+    weight: np.ndarray,
+    tol: float | None = None,
+    state: HowardState | None = None,
 ) -> HowardResult:
     """Run policy iteration on a prepared plan with fresh edge weights.
 
@@ -304,6 +362,14 @@ def solve_prepared(
         Edge weights aligned with the original graph's edge indices.
     tol:
         Improvement tolerance; defaults to ``1e-9`` times the weight scale.
+    state:
+        Optional warm-start carrier.  When given, each SCC's policy
+        iteration starts from the policy the *previous* solve with this
+        state converged to, and the converged policies are written back.
+        The state must only ever be used with the plan it was first
+        solved on.  The returned ``value`` is the exact maximum cycle
+        ratio regardless; on exact ties between distinct critical cycles
+        the extracted cycle may differ from a cold start's.
 
     Raises
     ------
@@ -315,8 +381,11 @@ def solve_prepared(
         scale = float(np.abs(weight).max()) if plan.n_edges else 1.0
         tol = 1e-9 * max(scale, 1.0)
 
+    if state is not None and state.policies is None:
+        state.policies = [None] * len(plan.components)
+
     best: HowardResult | None = None
-    for comp in plan.components:
+    for ci, comp in enumerate(plan.components):
         if isinstance(comp, _PreparedSingleton):
             ratios = [
                 (float(weight[i]) / int(plan.tokens[i]), i)
@@ -326,7 +395,12 @@ def solve_prepared(
             val, eidx = max(ratios)
             cand = HowardResult(val, (comp.node,), (eidx,), 0)
         else:
-            res = _scc_howard_csr(comp, weight[comp.edge_map][comp.order], tol)
+            policy0 = state.policies[ci] if state is not None else None
+            res, policy = _scc_howard_csr(
+                comp, weight[comp.edge_map][comp.order], tol, policy0=policy0
+            )
+            if state is not None:
+                state.policies[ci] = policy
             cand = HowardResult(
                 value=res.value,
                 cycle_nodes=tuple(comp.node_map[v] for v in res.cycle_nodes),

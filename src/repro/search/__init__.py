@@ -1,0 +1,38 @@
+"""Mapping-space search at scale: the multi-start portfolio subsystem.
+
+The layers below answer the paper's question — the exact period of a
+*given* replicated mapping (:mod:`repro.core`, :mod:`repro.petri`,
+:mod:`repro.maxplus`) at batch throughput (:mod:`repro.engine`).  This
+package sits on top and attacks the NP-hard outer problem of *choosing*
+the mapping (Benoit & Robert, JPDC 2008; Benoit, Rehn-Sonigo & Robert,
+2007):
+
+* :class:`~repro.search.budget.EvaluationBudget` — the shared
+  oracle-call pool that makes heuristics comparable at equal cost;
+* :func:`~repro.search.portfolio.portfolio_search` — diversified
+  greedy / random / perturbed-elite restarts of
+  :func:`~repro.extensions.mapping_opt.local_search_mapping` over one
+  shared :class:`~repro.engine.batch.BatchEngine`, with deterministic
+  ``crc32``-keyed seeding, per-restart traces and optional Howard warm
+  starting.
+
+Exposed on the CLI as ``repro-workflow optimize``; see
+``benchmarks/bench_portfolio.py`` for the equal-budget comparison
+against single-start local search.
+"""
+
+from .budget import EvaluationBudget
+from .portfolio import (
+    PortfolioResult,
+    RestartRecord,
+    portfolio_search,
+    portfolio_seeds,
+)
+
+__all__ = [
+    "EvaluationBudget",
+    "PortfolioResult",
+    "RestartRecord",
+    "portfolio_search",
+    "portfolio_seeds",
+]

@@ -72,8 +72,12 @@ def format_time(t: float, digits: int = 6) -> str:
     """Human-friendly rendering of a time value.
 
     Integers print without a decimal point (``189`` not ``189.0``) which
-    keeps tables aligned with the paper's own notation.
+    keeps tables aligned with the paper's own notation.  Non-finite
+    values (a budget-starved search reports ``period=inf``) render as
+    ``inf``/``nan`` instead of raising.
     """
+    if not math.isfinite(t):
+        return str(t)
     r = round(t)
     if abs(t - r) < 10 ** (-digits):
         return str(int(r))

@@ -98,6 +98,36 @@ class TestOtherCommands:
         assert "refined period" in out
         assert "input mapping" in out
 
+    def test_optimize(self, tmp_path, capsys):
+        json_path = tmp_path / "portfolio.json"
+        csv_path = tmp_path / "restarts.csv"
+        assert main(["optimize", "b", "--restarts", "3", "--budget", "120",
+                     "--json", str(json_path), "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "best period" in out
+        assert "greedy" in out
+        assert "input mapping" in out
+        data = json.loads(json_path.read_text())
+        assert data["evaluations"] <= 120
+        assert csv_path.read_text().startswith("index,kind,seed,period")
+
+    def test_optimize_zero_budget_degrades_gracefully(self, capsys):
+        assert main(["optimize", "b", "--budget", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "budget exhausted before any restart" in out
+        assert "inf" in out
+
+    def test_optimize_warm_start_same_best_period(self, capsys):
+        assert main(["optimize", "b", "--model", "strict", "--restarts", "2",
+                     "--budget", "60", "--max-rows", "200"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["optimize", "b", "--model", "strict", "--restarts", "2",
+                     "--budget", "60", "--max-rows", "200",
+                     "--warm-start"]) == 0
+        warm = capsys.readouterr().out
+        pick = lambda s: [l for l in s.splitlines() if "best period" in l]
+        assert pick(cold) == pick(warm)
+
     def test_table2_tiny(self, capsys):
         assert main(["table2", "--scale", "0.002", "--models", "overlap",
                      "--jobs", "1"]) == 0

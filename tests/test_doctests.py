@@ -20,6 +20,7 @@ MODULES = [
     "repro.core.throughput",
     "repro.core.latency",
     "repro.maxplus.cycle_ratio",
+    "repro.maxplus.howard",
     "repro.petri.builder",
     "repro.petri.reduction",
     "repro.algorithms.overlap_poly",
@@ -27,6 +28,9 @@ MODULES = [
     "repro.experiments.examples_paper",
     "repro.engine.signature",
     "repro.engine.batch",
+    "repro.extensions.mapping_opt",
+    "repro.search.budget",
+    "repro.search.portfolio",
     "repro.utils",
 ]
 

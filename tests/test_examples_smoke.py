@@ -18,6 +18,7 @@ FAST = [
     "paper_examples.py",
     "video_transcoding.py",
     "latency_throughput.py",
+    "optimize_mapping.py",
 ]
 SLOW = [
     "mapping_search.py",
@@ -52,6 +53,15 @@ def test_quickstart_shows_both_models(capsys):
     assert "OVERLAP ONE-PORT" in out
     assert "STRICT ONE-PORT" in out
     assert "round-robin paths" in out
+
+
+def test_optimize_mapping_reports_portfolio(capsys):
+    """The docs' worked portfolio example keeps its promises."""
+    out = _run("optimize_mapping.py", capsys)
+    assert "best of 10 random mappings" in out
+    assert "perturbed-elite" in out
+    assert "best period" in out
+    assert "critical resource" in out  # final compute_period summary
 
 
 def test_paper_examples_reproduce_headline_numbers(capsys):
