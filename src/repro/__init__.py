@@ -46,6 +46,10 @@ Sub-packages
     Mapping-space optimization: the multi-start portfolio
     (``portfolio_search``) with diversified restarts, a shared
     evaluation budget and deterministic seeding.
+``repro.campaign``
+    Durable experiment campaigns: declarative JSON/TOML scenario specs,
+    a content-addressed SQLite result store and a resumable streaming
+    executor (``CampaignSpec`` / ``ResultStore`` / ``run_campaign``).
 ``repro.extensions``
     Beyond-paper extras: mapping heuristics and stochastic platforms.
 """
@@ -79,6 +83,7 @@ from .errors import (
     ReproError,
     SimulationError,
     SolverError,
+    StoreCorruptionError,
     ValidationError,
 )
 
@@ -117,4 +122,5 @@ __all__ = [
     "SolverError",
     "ReplicationExplosionError",
     "SimulationError",
+    "StoreCorruptionError",
 ]

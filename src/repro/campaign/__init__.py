@@ -1,0 +1,79 @@
+"""Durable, resumable experiment campaigns.
+
+The layer above :mod:`repro.engine` and :mod:`repro.experiments` that
+turns one-shot, in-memory sweeps into declarative campaigns:
+
+* :mod:`~repro.campaign.spec` — :class:`CampaignSpec`, a JSON/TOML-
+  loadable grid over applications, platform heterogeneity regimes,
+  replication policies and communication models, expanded
+  deterministically through crc32-keyed ``SeedSequence`` trees;
+* :mod:`~repro.campaign.store` — :class:`ResultStore`, a
+  content-addressed SQLite store keyed by a stable digest of
+  ``(instance, model, schema version)``: duplicate points are never
+  recomputed and interrupted campaigns resume where they stopped;
+* :mod:`~repro.campaign.executor` — :func:`run_campaign`, the streaming
+  runner that drains a spec through one shared
+  :class:`~repro.engine.BatchEngine`, ordering evaluation by topology
+  signature *and* sweep adjacency so skeleton caches and Howard warm
+  starts hit, plus byte-deterministic JSON/CSV exports.
+
+Quick start::
+
+    from repro.campaign import CampaignSpec, ResultStore, run_campaign
+
+    spec = CampaignSpec.from_file("campaign.json")   # or .toml
+    with ResultStore("results.sqlite") as store:
+        report = run_campaign(spec, store)           # resumable
+        print(report.evaluated, "new points,", report.hits, "reused")
+
+The ``repro-workflow campaign run/status/export`` CLI wraps the same
+calls, and :func:`repro.experiments.runner.run_family` /
+:func:`repro.experiments.table2.run_table2` accept a ``store=`` to
+route the Table 2 harness through the same cache.
+"""
+
+from .executor import (
+    CampaignReport,
+    campaign_rows,
+    campaign_status,
+    export_campaign_csv,
+    export_campaign_json,
+    order_for_engine,
+    run_campaign,
+)
+from .spec import (
+    ApplicationAxis,
+    CampaignPoint,
+    CampaignSpec,
+    PlatformAxis,
+    ReplicationAxis,
+)
+from .store import (
+    RESULT_SCHEMA_VERSION,
+    ResultStore,
+    StoreStats,
+    instance_digest,
+    payload_from_result,
+    record_from_payload,
+)
+
+__all__ = [
+    "ApplicationAxis",
+    "PlatformAxis",
+    "ReplicationAxis",
+    "CampaignPoint",
+    "CampaignSpec",
+    "ResultStore",
+    "StoreStats",
+    "RESULT_SCHEMA_VERSION",
+    "instance_digest",
+    "payload_from_result",
+    "record_from_payload",
+    "CampaignReport",
+    "run_campaign",
+    "order_for_engine",
+    "campaign_status",
+    "campaign_rows",
+    "export_campaign_json",
+    "export_campaign_csv",
+]

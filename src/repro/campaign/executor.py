@@ -1,0 +1,392 @@
+"""Streaming campaign executor: resume, warm-start-friendly ordering, export.
+
+:func:`run_campaign` drains a :class:`~repro.campaign.spec.CampaignSpec`
+through one shared :class:`~repro.engine.BatchEngine`:
+
+1. **Expand + dedupe** — the spec expands deterministically; every
+   point's digest is looked up in the store and already-computed points
+   are skipped (this is both the resume path and the duplicate guard).
+2. **Order** — pending points are regrouped by
+   :func:`~repro.engine.signature.topology_signature` (groups in
+   first-seen order) while *preserving sweep order inside each group*.
+   Grouping maximizes skeleton-cache and Howard warm-start hits; the
+   preserved sweep adjacency keeps consecutive same-topology instances
+   similar, so the carried policy is typically one improvement round
+   from each new fixed point (see ``benchmarks/bench_campaign.py``,
+   which asserts this ordering beats PR-1's plain contiguous chunking).
+3. **Evaluate + checkpoint** — results stream into the store with a
+   commit every ``commit_every`` points (serial) or per worker span as
+   each span *finishes* (parallel), so a killed serial run loses at
+   most ``commit_every`` points and a killed parallel run at most the
+   spans still in flight — never committed work.  Parallel runs split
+   the *ordered* stream into one contiguous span per worker — never
+   round-robin chunks, which would interleave sweep neighbors away
+   from each other's engines.
+
+Evaluation runs ``warm_start=True``: period values are identical to
+cold start (pinned by ``tests/test_warm_start.py``), and stored
+payloads carry only values — so interrupted, resumed, serial and
+parallel runs all export byte-identical artifacts.
+
+:func:`export_campaign_json` / :func:`export_campaign_csv` join the
+(re-expanded) spec with the store and emit byte-deterministic files via
+:func:`repro.experiments.io.canonical_json` conventions.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..core.instance import Instance
+from ..engine import BatchEngine, topology_signature
+from ..errors import ValidationError
+from ..experiments.io import canonical_json
+from .spec import CampaignPoint, CampaignSpec
+from .store import ResultStore, instance_digest, payload_from_result
+
+__all__ = [
+    "CampaignReport",
+    "run_campaign",
+    "order_for_engine",
+    "campaign_status",
+    "campaign_rows",
+    "export_campaign_json",
+    "export_campaign_csv",
+]
+
+#: Serial checkpoint cadence (points per store commit).
+DEFAULT_COMMIT_EVERY = 32
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` invocation.
+
+    Attributes
+    ----------
+    spec_name:
+        The campaign.
+    total:
+        Points the spec expands to.
+    hits:
+        Points already in the store when the run started (resume skips).
+    evaluated:
+        Points computed (and stored) by this run.
+    remaining:
+        Points still missing afterwards (non-zero only when the run was
+        truncated by ``max_points``).
+    groups:
+        Distinct TPN topology groups among the evaluated points.
+    """
+
+    spec_name: str
+    total: int
+    hits: int
+    evaluated: int
+    remaining: int
+    groups: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether every point of the spec is now stored."""
+        return self.remaining == 0
+
+
+def order_for_engine(
+    pairs: Sequence[tuple[Instance, str]]
+) -> list[int]:
+    """Engine-friendly evaluation order of ``(instance, model)`` pairs.
+
+    Returns indices grouped by topology signature — groups in order of
+    first appearance, original (sweep) order preserved *within* each
+    group.  Stable and deterministic: a pure function of the input
+    sequence.
+
+    Examples
+    --------
+    >>> from repro import Application, Platform, Mapping, Instance
+    >>> app = Application(works=[1, 1], file_sizes=[1])
+    >>> plat = Platform.homogeneous(4)
+    >>> a = Instance(app, plat, Mapping([(0,), (1,)]))
+    >>> b = Instance(app, plat, Mapping([(0,), (1, 2)]))
+    >>> order_for_engine([(a, "strict"), (b, "strict"), (a, "strict")])
+    [0, 2, 1]
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i, (inst, model) in enumerate(pairs):
+        groups.setdefault(topology_signature(inst, model), []).append(i)
+    return [i for members in groups.values() for i in members]
+
+
+def _split_spans(order: list[int], n_spans: int) -> list[list[int]]:
+    """Cut an ordered index list into contiguous, near-equal spans."""
+    n_spans = max(1, min(n_spans, len(order)))
+    base, extra = divmod(len(order), n_spans)
+    spans, start = [], 0
+    for s in range(n_spans):
+        size = base + (1 if s < extra else 0)
+        spans.append(order[start: start + size])
+        start += size
+    return [s for s in spans if s]
+
+
+def _evaluate_span(
+    args: tuple[list[tuple[str, Instance, str]], int],
+) -> list[tuple[str, dict]]:
+    """Worker: evaluate one contiguous span with a warm-started engine."""
+    items, max_rows = args
+    engine = BatchEngine(max_rows=max_rows, warm_start=True)
+    out: list[tuple[str, dict]] = []
+    for digest, inst, model in items:
+        result = engine.evaluate(inst, model)
+        out.append((digest, payload_from_result(inst, result)))
+    return out
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    n_jobs: int | None = None,
+    max_points: int | None = None,
+    commit_every: int = DEFAULT_COMMIT_EVERY,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignReport:
+    """Run (or resume) a campaign against a content-addressed store.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to drain.
+    store:
+        Result store; points whose digest is already present are never
+        re-evaluated, which is both the resume path and the cross-run
+        dedupe.
+    n_jobs:
+        ``None``/``1`` — serial, one shared engine, streaming commits;
+        ``k > 1`` — the ordered stream splits into ``k`` contiguous
+        spans, one long-lived engine per worker (``0`` = all cores).
+        Stored values are identical either way.
+    max_points:
+        Evaluate at most this many *new* points, then stop with
+        ``remaining > 0`` — a deterministic stand-in for an interrupted
+        run (used by tests and the CI resume smoke).
+    commit_every:
+        Serial checkpoint cadence.
+    progress:
+        Optional ``callback(done_new_points, pending_total)``.
+    """
+    points = spec.expand()
+    instances = [pt.instance() for pt in points]
+    digests = [instance_digest(inst, pt.model)
+               for pt, inst in zip(points, instances)]
+
+    seen: set[str] = set()
+    pending: list[int] = []
+    for i, digest in enumerate(digests):
+        if digest in seen:
+            continue
+        # existence probe only — never fetch/parse payloads during resume
+        if digest not in store:
+            pending.append(i)
+            seen.add(digest)
+    hits = len(points) - len(pending)
+
+    order = order_for_engine(
+        [(instances[i], points[i].model) for i in pending]
+    )
+    ordered = [pending[j] for j in order]
+    if max_points is not None:
+        ordered = ordered[:max_points]
+
+    n_groups = len({
+        topology_signature(instances[i], points[i].model) for i in ordered
+    })
+    max_rows = spec.max_paths + 1
+
+    if n_jobs is None or n_jobs == 1 or len(ordered) < 2:
+        engine = BatchEngine(max_rows=max_rows, warm_start=True)
+        for done, i in enumerate(ordered, start=1):
+            result = engine.evaluate(instances[i], points[i].model)
+            store.put(digests[i], payload_from_result(instances[i], result),
+                      commit=False)
+            if done % commit_every == 0:
+                store.commit()
+                if progress is not None:
+                    progress(done, len(ordered))
+        store.commit()
+        if progress is not None and ordered:
+            progress(len(ordered), len(ordered))
+    else:
+        import os as _os
+
+        workers = (_os.cpu_count() or 1) if n_jobs == 0 else n_jobs
+        spans = _split_spans(ordered, workers)
+        payloads = [
+            ([(digests[i], instances[i], points[i].model) for i in span],
+             max_rows)
+            for span in spans
+        ]
+        done = 0
+        with ProcessPoolExecutor(max_workers=len(spans)) as pool:
+            futures = [pool.submit(_evaluate_span, p) for p in payloads]
+            # Commit spans the moment they finish (not in submission
+            # order): a kill loses at most the in-flight spans, never a
+            # finished one stuck behind a slow predecessor.
+            for fut in as_completed(futures):
+                results = fut.result()
+                for digest, payload in results:
+                    store.put(digest, payload, commit=False)
+                store.commit()
+                done += len(results)
+                if progress is not None:
+                    progress(done, len(ordered))
+
+    return CampaignReport(
+        spec_name=spec.name,
+        total=len(points),
+        hits=hits,
+        evaluated=len(ordered),
+        remaining=len(pending) - len(ordered),
+        groups=n_groups,
+    )
+
+
+# ----------------------------------------------------------------------
+# status and exports
+# ----------------------------------------------------------------------
+def campaign_rows(
+    spec: CampaignSpec, store: ResultStore
+) -> tuple[list[dict], list[CampaignPoint]]:
+    """Join the expanded spec with the store.
+
+    Returns ``(rows, missing)``: one plain-data row per stored point in
+    spec order (point identity + payload values), plus the points whose
+    results are not stored yet.
+    """
+    rows: list[dict] = []
+    missing: list[CampaignPoint] = []
+    for pt in spec.expand():
+        inst = pt.instance()
+        digest = instance_digest(inst, pt.model)
+        payload = store.get(digest)
+        if payload is None:
+            missing.append(pt)
+            continue
+        row = {
+            "point": pt.index,
+            "application": pt.application.label,
+            "platform": pt.platform.label,
+            "replication": pt.replication.label,
+            "model": pt.model,
+            "draw": pt.draw,
+            "seed": pt.seed,
+            "digest": digest,
+        }
+        # "replication" in a payload means the counts vector; the row's
+        # "replication" is the axis label, so the counts get their own key.
+        row.update(
+            ("replication_counts" if k == "replication" else k, v)
+            for k, v in payload.items() if k not in ("schema", "model")
+        )
+        rows.append(row)
+    return rows, missing
+
+
+def campaign_status(spec: CampaignSpec, store: ResultStore) -> dict:
+    """Progress summary: total/done/pending plus per-cell done counts."""
+    done_by_cell: dict[tuple, int] = {}
+    total_by_cell: dict[tuple, int] = {}
+    done = 0
+    points = spec.expand()
+    for pt in points:
+        total_by_cell[pt.cell] = total_by_cell.get(pt.cell, 0) + 1
+        if instance_digest(pt.instance(), pt.model) in store:
+            done += 1
+            done_by_cell[pt.cell] = done_by_cell.get(pt.cell, 0) + 1
+    return {
+        "campaign": spec.name,
+        "total": len(points),
+        "done": done,
+        "pending": len(points) - done,
+        "cells": [
+            {
+                "application": cell[0], "platform": cell[1],
+                "replication": cell[2], "model": cell[3],
+                "done": done_by_cell.get(cell, 0), "total": total,
+            }
+            for cell, total in total_by_cell.items()
+        ],
+    }
+
+
+def _require_complete(
+    missing: list[CampaignPoint], allow_partial: bool
+) -> None:
+    if missing and not allow_partial:
+        raise ValidationError(
+            f"campaign export is missing {len(missing)} of its points "
+            f"(first missing point index {missing[0].index}); run the "
+            f"campaign to completion or pass allow_partial=True"
+        )
+
+
+def export_campaign_json(
+    spec: CampaignSpec,
+    store: ResultStore,
+    path: str | Path | None = None,
+    allow_partial: bool = False,
+) -> str:
+    """Byte-deterministic JSON artifact of a campaign; writes ``path``.
+
+    The payload embeds the spec itself (sorted keys), so an artifact is
+    self-describing and reproducible from its own bytes.
+    """
+    rows, missing = campaign_rows(spec, store)
+    _require_complete(missing, allow_partial)
+    text = canonical_json(
+        {"campaign": spec.name, "spec": spec.to_dict(), "rows": rows},
+        indent=2,
+    ) + "\n"
+    if path is not None:
+        Path(path).write_text(text, newline="")
+    return text
+
+
+#: Fixed CSV column order (point identity, then payload values).
+_CSV_COLUMNS = [
+    "point", "application", "platform", "replication", "model", "draw",
+    "seed", "digest", "method", "n_stages", "n_procs", "replication_counts",
+    "m", "period", "mct", "critical", "gap",
+]
+
+
+def export_campaign_csv(
+    spec: CampaignSpec,
+    store: ResultStore,
+    path: str | Path | None = None,
+    allow_partial: bool = False,
+) -> str:
+    """Byte-deterministic CSV artifact (``repr`` floats, ``\\n`` rows)."""
+    rows, missing = campaign_rows(spec, store)
+    _require_complete(missing, allow_partial)
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(_CSV_COLUMNS)
+    for row in rows:
+        writer.writerow([
+            row["point"], row["application"], row["platform"],
+            row["replication"], row["model"], row["draw"], row["seed"],
+            row["digest"], row["method"], row["n_stages"], row["n_procs"],
+            " ".join(str(c) for c in row["replication_counts"]),
+            row["m"], repr(row["period"]), repr(row["mct"]),
+            int(row["critical"]), repr(row["gap"]),
+        ])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text, newline="")
+    return text

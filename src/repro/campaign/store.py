@@ -1,0 +1,326 @@
+"""Content-addressed SQLite store of period-evaluation results.
+
+The store maps a **content digest** — SHA-256 over the canonical JSON of
+``(instance.to_dict(), model, schema version)`` — to the plain-data
+outcome of evaluating that pair (period, ``M_ct``, classification).
+Keying on content rather than on campaign/point identity has two
+consequences the campaign subsystem is built on:
+
+* **Resumability**: re-running a spec re-materializes the same
+  instances (expansion is deterministic), re-derives the same digests,
+  and skips every point already present — an interrupted campaign
+  resumes exactly where it stopped, and a *grown* campaign (more draws,
+  extra axes) only computes the new points.
+* **Cross-harness sharing**: :func:`repro.experiments.runner.run_family`
+  and :func:`~repro.experiments.table2.run_table2` route their record
+  creation through the same API, so a Table 2 sweep and a campaign that
+  happen to draw the same instance share one stored evaluation.
+
+Payloads are value-only (no config/seed identity): callers attach their
+own context when reassembling records
+(:func:`record_from_payload`).  All serialization goes through
+:func:`repro.experiments.io.canonical_json`, so the stored bytes — and
+any export derived from them — are deterministic.
+
+The schema version is baked into every digest: bump
+:data:`RESULT_SCHEMA_VERSION` whenever the payload layout or the
+evaluation semantics change, and stale entries simply stop matching
+instead of silently poisoning new runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..core.instance import Instance
+from ..core.models import CommModel
+from ..core.throughput import PeriodResult
+from ..errors import StoreCorruptionError
+from ..experiments.io import canonical_json
+from ..experiments.runner import ExperimentRecord
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "StoreStats",
+    "ResultStore",
+    "instance_digest",
+    "payload_from_result",
+    "record_from_payload",
+]
+
+#: Bump when the payload layout or evaluation semantics change; digests
+#: include it, so old entries become invisible rather than wrong.
+RESULT_SCHEMA_VERSION = 1
+
+#: Keys every stored payload must carry (recovery drops rows without).
+_REQUIRED_KEYS = frozenset({
+    "schema", "model", "method", "period", "mct", "critical", "gap",
+    "m", "n_stages", "n_procs", "replication",
+})
+
+
+def instance_digest(
+    inst: Instance,
+    model: CommModel | str,
+    schema: int = RESULT_SCHEMA_VERSION,
+) -> str:
+    """Stable content digest of one ``(instance, model)`` evaluation.
+
+    SHA-256 over canonical JSON (sorted keys, ``repr`` floats), so the
+    digest is identical across interpreters and platforms for equal
+    values.
+
+    Examples
+    --------
+    >>> from repro.experiments.examples_paper import example_a
+    >>> d1 = instance_digest(example_a(), "overlap")
+    >>> d1 == instance_digest(example_a(), "overlap")
+    True
+    >>> d1 == instance_digest(example_a(), "strict")
+    False
+    """
+    payload = {
+        "instance": inst.to_dict(),
+        "model": CommModel.parse(model).value,
+        "schema": schema,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def payload_from_result(inst: Instance, result: PeriodResult) -> dict:
+    """Value-only payload of one evaluation (JSON-plain, digestable)."""
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "model": result.model.value,
+        "method": result.method,
+        "period": result.period,
+        "mct": result.mct,
+        "critical": result.has_critical_resource,
+        "gap": result.relative_gap,
+        "m": result.m,
+        "n_stages": inst.n_stages,
+        "n_procs": inst.platform.n_processors,
+        "replication": list(inst.replication_counts),
+    }
+
+
+def record_from_payload(
+    config_name: str, model: CommModel | str, seed: int, payload: dict
+) -> ExperimentRecord:
+    """Reattach caller context to a stored payload.
+
+    The inverse of what :func:`repro.experiments.runner.run_family`
+    does when it stores a fresh evaluation: payloads carry only content
+    (results + instance shape), the family name and seed are the
+    caller's identity.  Records rebuilt this way are equal to records
+    computed live — floats round-trip exactly through canonical JSON.
+    """
+    return ExperimentRecord(
+        config_name=config_name,
+        model=CommModel.parse(model).value,
+        seed=seed,
+        n_stages=int(payload["n_stages"]),
+        n_procs=int(payload["n_procs"]),
+        replication=tuple(int(c) for c in payload["replication"]),
+        m=int(payload["m"]),
+        period=float(payload["period"]),
+        mct=float(payload["mct"]),
+        critical=bool(payload["critical"]),
+        gap=float(payload["gap"]),
+    )
+
+
+@dataclass
+class StoreStats:
+    """Lookup counters of one store handle (diagnostics and tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+
+class ResultStore:
+    """Content-addressed result store backed by a single SQLite file.
+
+    Parameters
+    ----------
+    path:
+        Database file (created if missing), or ``":memory:"`` for an
+        ephemeral store (tests, dry runs).
+    check:
+        Run ``PRAGMA quick_check`` on open and raise
+        :class:`~repro.errors.StoreCorruptionError` if the file is
+        damaged (pass ``False`` only from :meth:`recover`).
+
+    Notes
+    -----
+    Writes default to immediate commit; bulk writers (the campaign
+    executor) pass ``commit=False`` and call :meth:`commit` at chunk
+    boundaries, so a hard kill loses at most the uncommitted tail —
+    never already-committed work, and never the file's integrity
+    (SQLite journals the transaction).
+
+    Examples
+    --------
+    >>> store = ResultStore(":memory:")
+    >>> store.put("abc", {"schema": 1, "period": 2.0})
+    True
+    >>> store.get("abc")["period"]
+    2.0
+    >>> store.get("missing") is None
+    True
+    >>> len(store)
+    1
+    """
+
+    def __init__(self, path: str | Path, check: bool = True) -> None:
+        self.path = str(path)
+        self.stats = StoreStats()
+        self._conn = sqlite3.connect(self.path)
+        try:
+            if check and self.path != ":memory:":
+                row = self._conn.execute("PRAGMA quick_check").fetchone()
+                if row is None or row[0] != "ok":
+                    raise StoreCorruptionError(
+                        f"store {self.path!r} failed its integrity check: "
+                        f"{row[0] if row else 'no result'}; use "
+                        f"ResultStore.recover() to salvage readable rows"
+                    )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " digest TEXT PRIMARY KEY,"
+                " payload TEXT NOT NULL)"
+            )
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            # Release the handle: recover() renames the file, which an
+            # open connection would block on some platforms.
+            self._conn.close()
+            raise StoreCorruptionError(
+                f"store {self.path!r} is not a readable SQLite database "
+                f"({exc}); use ResultStore.recover() to salvage what is "
+                f"left or delete the file to start fresh"
+            ) from exc
+        except StoreCorruptionError:
+            self._conn.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # digests (re-exported for callers holding only a store)
+    # ------------------------------------------------------------------
+    digest = staticmethod(instance_digest)
+
+    # ------------------------------------------------------------------
+    # lookups and writes
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> dict | None:
+        """The stored payload, or ``None`` (counted in :attr:`stats`)."""
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE digest = ?", (digest,)
+        ).fetchone()
+        if row is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return json.loads(row[0])
+
+    def put(self, digest: str, payload: dict, commit: bool = True) -> bool:
+        """Store a payload under its digest; ``False`` if already present.
+
+        Content-addressed stores never overwrite: two writers racing on
+        the same digest computed the same values (or one of them is
+        wrong, which a digest collision cannot repair).
+        """
+        cur = self._conn.execute(
+            "INSERT OR IGNORE INTO results (digest, payload) VALUES (?, ?)",
+            (digest, canonical_json(payload)),
+        )
+        if commit:
+            self._conn.commit()
+        inserted = cur.rowcount == 1
+        if inserted:
+            self.stats.puts += 1
+        return inserted
+
+    def commit(self) -> None:
+        """Flush pending ``put(..., commit=False)`` writes to disk."""
+        self._conn.commit()
+
+    def __contains__(self, digest: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE digest = ?", (digest,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        )
+
+    def items(self) -> Iterator[tuple[str, dict]]:
+        """All ``(digest, payload)`` pairs, digest-ordered (stable)."""
+        for digest, payload in self._conn.execute(
+            "SELECT digest, payload FROM results ORDER BY digest"
+        ):
+            yield digest, json.loads(payload)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Commit and close the underlying connection."""
+        self._conn.commit()
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # corruption recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, path: str | Path) -> tuple["ResultStore", int]:
+        """Salvage a damaged store file into a fresh one.
+
+        Every row that still reads back as valid JSON with the current
+        schema version and the required payload keys is copied into a
+        new database at ``path``; the damaged original is set aside as
+        ``<path>.corrupt``.  Returns the fresh store and the number of
+        salvaged rows.  Rows that are lost are simply recomputed by the
+        next campaign run — content addressing makes recovery safe.
+        """
+        path = Path(path)
+        salvaged: list[tuple[str, dict]] = []
+        if path.exists():
+            conn = sqlite3.connect(str(path))
+            try:
+                for digest, payload in conn.execute(
+                    "SELECT digest, payload FROM results"
+                ):
+                    try:
+                        data = json.loads(payload)
+                    except (TypeError, ValueError):
+                        continue
+                    if (isinstance(data, dict)
+                            and data.get("schema") == RESULT_SCHEMA_VERSION
+                            and _REQUIRED_KEYS <= data.keys()):
+                        salvaged.append((str(digest), data))
+            except sqlite3.DatabaseError:
+                pass  # nothing (more) readable; keep what we got
+            finally:
+                conn.close()
+            os.replace(path, f"{path}.corrupt")
+        store = cls(path, check=False)
+        for digest, data in salvaged:
+            store.put(digest, data, commit=False)
+        store.commit()
+        return store, len(salvaged)

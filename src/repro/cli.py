@@ -12,6 +12,7 @@ Subcommands
 ``sweep``      run one experiment family through the batch engine
 ``search``     greedy + local-search mapping optimization (extension)
 ``optimize``   multi-start portfolio mapping search (repro.search)
+``campaign``   durable, resumable scenario campaigns (repro.campaign)
 ``example``    dump one of the paper's examples (A/B/C) as JSON
 
 Instances are JSON files in the :meth:`repro.core.instance.Instance.to_dict`
@@ -48,6 +49,17 @@ def _load_instance(path: str) -> Instance:
     if path.lower() in _EXAMPLES:
         return _EXAMPLES[path.lower()]()
     return Instance.from_json(Path(path))
+
+
+def _open_store(path: str | None):
+    """Context manager over an optional ``--store`` flag (None when unset)."""
+    if not path:
+        from contextlib import nullcontext
+
+        return nullcontext(None)
+    from .campaign import ResultStore
+
+    return ResultStore(path)
 
 
 def _cmd_period(args: argparse.Namespace) -> int:
@@ -243,9 +255,10 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    rows = run_table2(scale=args.scale, models=tuple(args.models),
-                      n_jobs=args.jobs, root_seed=args.seed,
-                      engine=args.engine)
+    with _open_store(args.store) as store:
+        rows = run_table2(scale=args.scale, models=tuple(args.models),
+                          n_jobs=args.jobs, root_seed=args.seed,
+                          engine=args.engine, store=store)
     print(format_table2(rows))
     return 0
 
@@ -259,10 +272,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     config = TABLE2_CONFIGS[args.family]
-    records = run_family(
-        config, args.model, count=args.count, root_seed=args.seed,
-        n_jobs=args.jobs, engine=args.engine,
-    )
+    with _open_store(args.store) as store:
+        records = run_family(
+            config, args.model, count=args.count, root_seed=args.seed,
+            n_jobs=args.jobs, engine=args.engine, store=store,
+        )
     no_crit = [r for r in records if not r.critical]
     print(f"family         : {config.name}")
     print(f"model / engine : {args.model} / {args.engine}")
@@ -275,6 +289,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         records_to_csv(records, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignSpec,
+        ResultStore,
+        campaign_status,
+        export_campaign_csv,
+        export_campaign_json,
+        run_campaign,
+    )
+
+    spec = CampaignSpec.from_file(args.spec)
+    with ResultStore(args.store) as store:
+        if args.action == "run":
+            def show(done: int, total: int) -> None:
+                print(f"  ... {done}/{total} new points evaluated",
+                      file=sys.stderr)
+
+            report = run_campaign(
+                spec, store,
+                n_jobs=args.jobs if args.jobs != 1 else None,
+                max_points=args.max_points,
+                progress=show if args.verbose else None,
+            )
+            print(f"campaign       : {report.spec_name}")
+            print(f"points         : {report.total}")
+            print(f"store hits     : {report.hits} (resumed, not recomputed)")
+            print(f"evaluated      : {report.evaluated} "
+                  f"({report.groups} topology groups)")
+            print(f"remaining      : {report.remaining}"
+                  + ("" if report.complete else "  (rerun to continue)"))
+        elif args.action == "status":
+            status = campaign_status(spec, store)
+            print(f"campaign       : {status['campaign']}")
+            print(f"done           : {status['done']} / {status['total']}")
+            for cell in status["cells"]:
+                print(f"  {cell['application']} | {cell['platform']} | "
+                      f"{cell['replication']} | {cell['model']:<7} : "
+                      f"{cell['done']}/{cell['total']}")
+        # run/export both honor --json/--csv; status has no artifacts.
+        if args.action in ("run", "export"):
+            # A truncated run (--max-points) exporting right away is
+            # explicit enough; standalone export is strict by default.
+            partial = (True if args.action == "run"
+                       else getattr(args, "allow_partial", False))
+            if args.json_out:
+                export_campaign_json(spec, store, args.json_out,
+                                     allow_partial=partial)
+                print(f"wrote {args.json_out}")
+            if args.csv:
+                export_campaign_csv(spec, store, args.csv,
+                                    allow_partial=partial)
+                print(f"wrote {args.csv}")
+            if args.action == "export" and not (args.json_out or args.csv):
+                print("error: export needs --json and/or --csv",
+                      file=sys.stderr)
+                return 1
     return 0
 
 
@@ -417,6 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=20090302)
     p.add_argument("--engine", default="batch", choices=["batch", "percall"],
                    help="evaluation engine (identical records either way)")
+    p.add_argument("--store", default=None,
+                   help="content-addressed result store (SQLite path); "
+                        "already-stored points are reused, new ones saved")
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser(
@@ -437,7 +513,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=20090302)
     p.add_argument("--csv", default=None,
                    help="also write the records to this CSV path")
+    p.add_argument("--store", default=None,
+                   help="content-addressed result store (SQLite path); "
+                        "already-stored points are reused, new ones saved")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="durable, resumable scenario campaigns (repro.campaign)")
+    p.add_argument("action", choices=["run", "status", "export"],
+                   help="run (resumable), inspect progress, or export "
+                        "stored results")
+    p.add_argument("spec", help="campaign spec file (.json or .toml)")
+    p.add_argument("--store", required=True,
+                   help="content-addressed result store (SQLite path)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for run (0 = all cores, "
+                        "1 = serial; stored values are identical)")
+    p.add_argument("--max-points", type=int, default=None,
+                   help="evaluate at most this many new points then stop "
+                        "(deterministic interruption; rerun to resume)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print progress while running")
+    p.add_argument("--json", dest="json_out", default=None,
+                   help="write the joined results as deterministic JSON")
+    p.add_argument("--csv", default=None,
+                   help="write the joined results as deterministic CSV")
+    p.add_argument("--allow-partial", action="store_true",
+                   help="export even when some points are missing")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("example", help="dump a paper example as JSON")
     p.add_argument("which", choices=["a", "b", "c", "A", "B", "C"])

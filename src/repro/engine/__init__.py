@@ -55,6 +55,7 @@ Guarantees
 """
 
 from .batch import BatchEngine, EngineStats, evaluate_batch, evaluate_stream
+from .classify import CycleTimePlan, build_cycle_time_plan
 from .signature import topology_signature
 from .skeleton import TpnSkeleton, build_skeleton
 
@@ -66,4 +67,6 @@ __all__ = [
     "topology_signature",
     "TpnSkeleton",
     "build_skeleton",
+    "CycleTimePlan",
+    "build_cycle_time_plan",
 ]

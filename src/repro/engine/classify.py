@@ -1,0 +1,218 @@
+"""Cached cycle-time plans: vectorized ``M_ct`` with byte-stable sums.
+
+``classify_critical_resource`` re-enumerates every processor's in/out
+communication windows in Python on each call — after PR 1 removed the
+structural TPN work from the batched path, that classification became
+~30% of batched evaluation time.  Like the TPN skeleton, the *structure*
+of the cycle-time computation (which processor sums which transfer
+terms, over which round-robin window) depends only on
+``(model, mapping.assignments)``; only the time values change per
+instance.
+
+:class:`CycleTimePlan` caches that structure as flat index arrays so one
+instance's ``M_ct`` is a handful of vectorized expressions.
+
+Bit-identity contract
+---------------------
+Every float operation mirrors the scalar path
+(:func:`repro.core.cycle_time.cycle_times`) in IEEE-754 order:
+
+* ``C_comp = (w_i / Pi_u) / m_i`` — two elementwise double divisions,
+  exactly like ``inst.comp_time(stage, u) / m_i``;
+* in/out port totals accumulate with :func:`numpy.add.at`, whose
+  unbuffered in-place semantics apply additions **in term order** —
+  the same left-to-right ``0.0 + t_0 + t_1 + ...`` as the scalar
+  ``sum(...)``, never pairwise/tree summation (the byte-stable
+  summation order the batched path requires);
+* transfer durations are ``delta_i / b_{u,v}`` with infinite-bandwidth
+  links contributing exactly ``+0.0`` like ``Platform.comm_time``;
+* STRICT aggregation is the left-associated ``(cin + ccomp) + cout``;
+  OVERLAP is the elementwise maximum.
+
+``tests/test_engine_classify.py`` pins equality (``==`` on floats, not
+approx) against the scalar classifier across random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.bounds import DEFAULT_REL_TOL
+from ..core.instance import Instance
+from ..core.models import CommModel
+from ..utils import lcm_all
+
+__all__ = ["CycleTimePlan", "build_cycle_time_plan"]
+
+
+@dataclass(frozen=True)
+class CycleTimePlan:
+    """Index-array formulation of ``cycle_times`` for one topology group.
+
+    One entry per *used* processor, in the scalar path's
+    stage-then-replica order.  Term arrays are laid out entry-major and,
+    within an entry, in the scalar path's ``j``-increasing window order,
+    so sequential accumulation reproduces the scalar sums byte for byte.
+
+    Attributes
+    ----------
+    model:
+        Communication model the aggregation uses.
+    entry_proc, entry_stage:
+        Processor / stage of each entry.
+    entry_m:
+        Replication count ``m_i`` of the entry's stage (the ``C_comp``
+        divisor), as float.
+    in_entry, in_src, in_file, in_window / out_entry, out_dst,
+    out_file, out_window:
+        Flattened transfer terms of the input (resp. output) port sums:
+        owning entry, peer processor, file index, and the per-entry
+        round-robin window divisor (1.0 for entries with no terms, whose
+        total stays ``+0.0``).
+    """
+
+    model: CommModel
+    entry_proc: np.ndarray
+    entry_stage: np.ndarray
+    entry_m: np.ndarray
+    in_entry: np.ndarray
+    in_src: np.ndarray
+    in_file: np.ndarray
+    in_window: np.ndarray
+    out_entry: np.ndarray
+    out_dst: np.ndarray
+    out_file: np.ndarray
+    out_window: np.ndarray
+
+    @property
+    def n_entries(self) -> int:
+        """Number of used processors (= scalar report entries)."""
+        return int(self.entry_proc.size)
+
+    def components(
+        self, inst: Instance
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-entry ``(cin, ccomp, cout)`` of ``inst`` (vectorized).
+
+        Bit-identical to the scalar
+        :class:`~repro.core.cycle_time.ProcessorCycleTime` fields.
+        """
+        works = np.asarray(inst.application.works, dtype=float)
+        speeds = inst.platform.speeds
+        ccomp = works[self.entry_stage] / speeds[self.entry_proc] / self.entry_m
+
+        n = self.n_entries
+        sizes = np.asarray(inst.application.file_sizes, dtype=float)
+        bw = inst.platform.bandwidths
+
+        cin = np.zeros(n)
+        if self.in_entry.size:
+            # size / inf == +0.0, matching Platform.comm_time's fast-link
+            # branch; np.add.at accumulates in term order (left to right
+            # per entry), matching the scalar sum() byte for byte.
+            terms = sizes[self.in_file] / bw[self.in_src, self.entry_proc[self.in_entry]]
+            np.add.at(cin, self.in_entry, terms)
+        cin = cin / self.in_window
+
+        cout = np.zeros(n)
+        if self.out_entry.size:
+            terms = sizes[self.out_file] / bw[self.entry_proc[self.out_entry], self.out_dst]
+            np.add.at(cout, self.out_entry, terms)
+        cout = cout / self.out_window
+        return cin, ccomp, cout
+
+    def mct(self, inst: Instance) -> float:
+        """``M_ct`` of ``inst`` — equals ``cycle_times(inst, model).mct``."""
+        cin, ccomp, cout = self.components(inst)
+        if self.model.overlap:
+            cexec = np.maximum(np.maximum(cin, ccomp), cout)
+        else:
+            cexec = (cin + ccomp) + cout
+        return float(cexec.max())
+
+    def verdict(self, inst: Instance, period: float,
+                rel_tol: float = DEFAULT_REL_TOL) -> tuple[float, bool, float]:
+        """``(mct, has_critical_resource, relative_gap)`` for a period.
+
+        Same formulas as
+        :func:`repro.algorithms.bounds.classify_critical_resource`, minus
+        the per-resource report object the batched path never reads.
+        """
+        mct = self.mct(inst)
+        gap = (period - mct) / mct if mct > 0 else 0.0
+        return mct, gap <= rel_tol, gap
+
+
+def build_cycle_time_plan(
+    inst: Instance, model: CommModel | str
+) -> CycleTimePlan:
+    """Extract the cycle-time index arrays from one representative.
+
+    Any instance of the topology group works: the entry list, term
+    layout and window divisors depend only on the mapping's assignments
+    (and the model, which only affects aggregation).
+    """
+    model = CommModel.parse(model)
+    mapping = inst.mapping
+    n_stages = inst.n_stages
+
+    entry_proc: list[int] = []
+    entry_stage: list[int] = []
+    entry_m: list[float] = []
+    in_entry: list[int] = []
+    in_src: list[int] = []
+    in_file: list[int] = []
+    in_window: list[float] = []
+    out_entry: list[int] = []
+    out_dst: list[int] = []
+    out_file: list[int] = []
+    out_window: list[float] = []
+
+    for stage in range(n_stages):
+        procs = mapping.processors_of(stage)
+        m_i = len(procs)
+        for replica, u in enumerate(procs):
+            entry = len(entry_proc)
+            entry_proc.append(u)
+            entry_stage.append(stage)
+            entry_m.append(float(m_i))
+
+            win_in = 1.0
+            if stage > 0:
+                senders = mapping.processors_of(stage - 1)
+                window = lcm_all([len(senders), m_i])
+                win_in = float(window)
+                for j in range(replica, window, m_i):
+                    in_entry.append(entry)
+                    in_src.append(senders[j % len(senders)])
+                    in_file.append(stage - 1)
+            in_window.append(win_in)
+
+            win_out = 1.0
+            if stage < n_stages - 1:
+                receivers = mapping.processors_of(stage + 1)
+                window = lcm_all([m_i, len(receivers)])
+                win_out = float(window)
+                for j in range(replica, window, m_i):
+                    out_entry.append(entry)
+                    out_dst.append(receivers[j % len(receivers)])
+                    out_file.append(stage)
+            out_window.append(win_out)
+
+    as_i = lambda xs: np.asarray(xs, dtype=np.int64)  # noqa: E731
+    return CycleTimePlan(
+        model=model,
+        entry_proc=as_i(entry_proc),
+        entry_stage=as_i(entry_stage),
+        entry_m=np.asarray(entry_m),
+        in_entry=as_i(in_entry),
+        in_src=as_i(in_src),
+        in_file=as_i(in_file),
+        in_window=np.asarray(in_window),
+        out_entry=as_i(out_entry),
+        out_dst=as_i(out_dst),
+        out_file=as_i(out_file),
+        out_window=np.asarray(out_window),
+    )

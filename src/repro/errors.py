@@ -15,6 +15,7 @@ __all__ = [
     "SolverError",
     "ReplicationExplosionError",
     "SimulationError",
+    "StoreCorruptionError",
 ]
 
 
@@ -78,3 +79,14 @@ class ReplicationExplosionError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator was given inconsistent arguments."""
+
+
+class StoreCorruptionError(ReproError):
+    """A campaign result store failed its integrity check on open.
+
+    Raised by :class:`repro.campaign.store.ResultStore` when the SQLite
+    file is unreadable or fails ``PRAGMA quick_check`` — typically after
+    a hard kill mid-write or a truncated copy.
+    :meth:`~repro.campaign.store.ResultStore.recover` salvages every
+    readable row into a fresh store and sets the damaged file aside.
+    """

@@ -5,6 +5,13 @@ lets analyses (gap histograms, per-family breakdowns) run without
 re-sweeping.  The format is plain CSV with a header, one row per
 experiment.
 
+Every exporter in this module is **byte-deterministic**: JSON payloads
+are dumped with sorted keys (:func:`canonical_json`), floats use
+Python's shortest round-trip ``repr``, and CSV rows end in ``"\\n"`` on
+every platform.  Two runs that produce equal values produce equal
+bytes, so campaign artifacts diff cleanly and the content-addressed
+store (:mod:`repro.campaign.store`) can digest them stably.
+
 Portfolio runs (:func:`repro.search.portfolio_search`) persist two
 artifacts: the full result as JSON (:func:`portfolio_to_json` — best
 mapping plus every restart's trace, round-trippable through
@@ -18,6 +25,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
@@ -27,11 +35,33 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search -> engine)
     from ..search.portfolio import PortfolioResult
 
 __all__ = [
+    "canonical_json",
     "records_to_csv",
     "records_from_csv",
     "portfolio_to_json",
     "restarts_to_csv",
 ]
+
+
+def canonical_json(obj: object, indent: int | None = None) -> str:
+    """Byte-deterministic JSON text of a plain-data object.
+
+    Keys are sorted at every nesting level and floats render with
+    ``repr`` (shortest round-trip, platform-independent), so equal
+    values always produce equal bytes — the property the campaign
+    store's content digests and diffable artifacts rely on.  ``NaN`` /
+    ``inf`` are rejected: digested payloads must round-trip through
+    standard JSON.
+
+    ``indent=None`` gives the compact separators used for digests;
+    pass ``indent=2`` for human-readable artifact files.
+    """
+    separators = (",", ":") if indent is None else (",", ": ")
+    return json.dumps(
+        obj, sort_keys=True, separators=separators, indent=indent,
+        allow_nan=False,
+    )
+
 
 _COLUMNS = [
     "config_name",
@@ -51,9 +81,12 @@ _COLUMNS = [
 def records_to_csv(
     records: Iterable[ExperimentRecord], path: str | Path | None = None
 ) -> str:
-    """Serialize records to CSV text; also writes ``path`` when given."""
+    """Serialize records to CSV text; also writes ``path`` when given.
+
+    Byte-deterministic: ``repr`` floats, ``"\\n"`` row terminators.
+    """
     buf = io.StringIO()
-    writer = csv.writer(buf)
+    writer = csv.writer(buf, lineterminator="\n")
     writer.writerow(_COLUMNS)
     for r in records:
         writer.writerow([
@@ -71,7 +104,7 @@ def records_to_csv(
         ])
     text = buf.getvalue()
     if path is not None:
-        Path(path).write_text(text)
+        Path(path).write_text(text, newline="")
     return text
 
 
@@ -128,7 +161,7 @@ def portfolio_to_json(
     """
     text = result.to_json()
     if path is not None:
-        Path(path).write_text(text)
+        Path(path).write_text(text, newline="")
     return text
 
 
@@ -156,5 +189,5 @@ def restarts_to_csv(
         ])
     text = buf.getvalue()
     if path is not None:
-        Path(path).write_text(text)
+        Path(path).write_text(text, newline="")
     return text

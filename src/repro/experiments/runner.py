@@ -31,8 +31,12 @@ import os
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - layering: campaign sits above
+    from ..campaign.store import ResultStore
 
 from ..core.instance import Instance
 from ..core.models import CommModel
@@ -171,6 +175,7 @@ def run_family(
     n_jobs: int | None = None,
     max_paths: int = DEFAULT_MAX_PATHS,
     engine: str = "batch",
+    store: "ResultStore | None" = None,
 ) -> list[ExperimentRecord]:
     """Run ``count`` experiments of one family under one model.
 
@@ -190,21 +195,39 @@ def run_family(
         :func:`repro.engine.evaluate_batch` (topology-cached, sharded);
         ``"percall"`` keeps the historical one-call-per-seed path.
         Records are bit-identical either way.
+    store:
+        Optional content-addressed
+        :class:`~repro.campaign.store.ResultStore` (batch engine only):
+        already-stored evaluations are loaded instead of recomputed and
+        fresh ones are written back, so repeated sweeps — or a sweep
+        overlapping a campaign — cost only the missing points.  Records
+        are bit-identical with or without a store.
     """
     model = CommModel.parse(model)
     if count is None:
         count = config.count
     seeds = family_seeds(config, model, count, root_seed=root_seed)
 
+    if store is not None and engine != "batch":
+        raise ValidationError(
+            "store routing requires engine='batch' (the per-call path "
+            "predates the content-addressed store)"
+        )
+
     if engine == "batch":
         instances = [_draw_instance(config, s, max_paths) for s in seeds]
-        results = evaluate_batch(
-            instances, model, max_rows=max_paths + 1, n_jobs=n_jobs
+        if store is None:
+            results = evaluate_batch(
+                instances, model, max_rows=max_paths + 1, n_jobs=n_jobs
+            )
+            return [
+                _record_from(config, model, s, inst, res)
+                for s, inst, res in zip(seeds, instances, results)
+            ]
+        return _run_family_stored(
+            config, model, seeds, instances, store,
+            max_paths=max_paths, n_jobs=n_jobs,
         )
-        return [
-            _record_from(config, model, s, inst, res)
-            for s, inst, res in zip(seeds, instances, results)
-        ]
     if engine != "percall":
         raise ValidationError(
             f"unknown engine {engine!r}; expected 'batch' or 'percall'"
@@ -216,3 +239,47 @@ def run_family(
     workers = os.cpu_count() if n_jobs == 0 else n_jobs
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(_run_single_args, tasks, chunksize=8))
+
+
+def _run_family_stored(
+    config: ExperimentConfig,
+    model: CommModel,
+    seeds: list[int],
+    instances: list[Instance],
+    store: "ResultStore",
+    max_paths: int,
+    n_jobs: int | None,
+) -> list[ExperimentRecord]:
+    """Batch sweep through a content-addressed store.
+
+    Stored digests are served from the store; only the missing
+    instances go through :func:`evaluate_batch`, and their payloads are
+    written back so the next overlapping sweep or campaign reuses them.
+    """
+    # Function-level import: experiments.io imports this module, and
+    # campaign.store imports experiments.io — importing at module scope
+    # would close the cycle.
+    from ..campaign.store import instance_digest, payload_from_result, \
+        record_from_payload
+
+    digests = [instance_digest(inst, model) for inst in instances]
+    payloads: dict[int, dict] = {}
+    miss_idx: list[int] = []
+    for i, digest in enumerate(digests):
+        payload = store.get(digest)
+        if payload is None:
+            miss_idx.append(i)
+        else:
+            payloads[i] = payload
+    results = evaluate_batch(
+        [instances[i] for i in miss_idx], model,
+        max_rows=max_paths + 1, n_jobs=n_jobs,
+    )
+    for i, res in zip(miss_idx, results):
+        payloads[i] = payload_from_result(instances[i], res)
+        store.put(digests[i], payloads[i], commit=False)
+    store.commit()
+    return [
+        record_from_payload(config.name, model, seeds[i], payloads[i])
+        for i in range(len(seeds))
+    ]

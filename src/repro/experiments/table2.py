@@ -17,10 +17,14 @@ full campaign (scale=1.0) reproduces the paper's 5152 experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.models import CommModel
 from .generator import TABLE2_CONFIGS, ExperimentConfig
 from .runner import DEFAULT_MAX_PATHS, ExperimentRecord, run_family
+
+if TYPE_CHECKING:  # pragma: no cover - layering: campaign sits above
+    from ..campaign.store import ResultStore
 
 __all__ = ["Table2Row", "run_table2", "format_table2"]
 
@@ -62,6 +66,7 @@ def run_table2(
     n_jobs: int | None = None,
     max_paths: int = DEFAULT_MAX_PATHS,
     engine: str = "batch",
+    store: "ResultStore | None" = None,
 ) -> list[Table2Row]:
     """Run the full campaign (or a scaled-down version).
 
@@ -76,6 +81,10 @@ def run_table2(
     engine:
         Evaluation engine passed to :func:`run_family` (``"batch"`` or
         ``"percall"``; identical records either way).
+    store:
+        Optional content-addressed store passed to :func:`run_family`:
+        re-running Table 2 (or scaling it up) only computes the points
+        not already stored.
     """
     rows: list[Table2Row] = []
     for model in models:
@@ -90,6 +99,7 @@ def run_table2(
                 n_jobs=n_jobs,
                 max_paths=max_paths,
                 engine=engine,
+                store=store,
             )
             no_crit = [r for r in records if not r.critical]
             rows.append(

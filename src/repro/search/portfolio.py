@@ -172,8 +172,12 @@ class PortfolioResult:
         }
 
     def to_json(self, indent: int | None = 2) -> str:
-        """Serialize to strict JSON text (``allow_nan=False`` enforced)."""
-        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+        """Serialize to strict JSON text (``allow_nan=False`` enforced).
+
+        Keys are sorted so equal results are byte-identical files.
+        """
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False,
+                          sort_keys=True)
 
 
 def portfolio_seeds(

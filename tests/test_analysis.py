@@ -1,0 +1,116 @@
+"""Tests for :mod:`repro.experiments.analysis` aggregates.
+
+``summarize`` / ``gap_histogram`` / ``feature_report`` post-process
+:class:`ExperimentRecord` lists; these tests pin their arithmetic on
+hand-built records (exact expected values) and their behavior on live
+sweep output and edge cases (empty input, all-critical groups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import TABLE2_CONFIGS, run_family
+from repro.experiments.analysis import (
+    FamilySummary,
+    feature_report,
+    gap_histogram,
+    summarize,
+)
+from repro.experiments.runner import ExperimentRecord
+
+
+def _record(config="fam", model="strict", seed=1, replication=(1, 2),
+            m=2, period=10.0, mct=10.0, critical=True, gap=0.0):
+    return ExperimentRecord(
+        config_name=config, model=model, seed=seed, n_stages=2,
+        n_procs=3, replication=replication, m=m, period=period,
+        mct=mct, critical=critical, gap=gap,
+    )
+
+
+class TestSummarize:
+    def test_exact_aggregates(self):
+        records = [
+            _record(seed=1, critical=True, gap=0.0, m=2),
+            _record(seed=2, critical=False, gap=0.04, m=4),
+            _record(seed=3, critical=False, gap=0.08, m=6),
+        ]
+        (summary,) = summarize(records)
+        assert summary == FamilySummary(
+            config_name="fam", model="strict", total=3, no_critical=2,
+            max_gap=0.08, mean_gap=float(np.mean([0.04, 0.08])),
+            mean_m=float(np.mean([2, 4, 6])),
+        )
+
+    def test_groups_by_family_and_model_sorted(self):
+        records = [
+            _record(config="b", model="strict"),
+            _record(config="a", model="strict"),
+            _record(config="a", model="overlap"),
+        ]
+        keys = [(s.config_name, s.model) for s in summarize(records)]
+        assert keys == [("a", "overlap"), ("a", "strict"), ("b", "strict")]
+
+    def test_all_critical_group_has_zero_gaps(self):
+        (summary,) = summarize([_record(), _record(seed=2)])
+        assert summary.no_critical == 0
+        assert summary.max_gap == 0.0
+        assert summary.mean_gap == 0.0
+
+    def test_empty(self):
+        assert summarize([]) == []
+
+    def test_live_sweep_consistency(self):
+        records = run_family(TABLE2_CONFIGS[4], "strict", count=6, n_jobs=1)
+        (summary,) = summarize(records)
+        assert summary.total == 6
+        assert summary.no_critical == sum(1 for r in records if not r.critical)
+        assert summary.mean_m == float(np.mean([r.m for r in records]))
+
+
+class TestGapHistogram:
+    def test_no_exceptions_message(self):
+        text = gap_histogram([_record()])
+        assert text == "(no cases without critical resource)"
+
+    def test_counts_cover_all_exceptions(self):
+        records = [
+            _record(seed=i, critical=False, gap=g)
+            for i, g in enumerate([0.01, 0.02, 0.03, 0.09])
+        ]
+        text = gap_histogram(records, n_bins=4)
+        assert "over 4 no-critical cases" in text
+        # one header + one line per bin
+        assert len(text.splitlines()) == 5
+        counts = [int(line.split("|")[1].split()[0])
+                  for line in text.splitlines()[1:]]
+        assert sum(counts) == 4
+
+    def test_bins_span_max_gap(self):
+        records = [_record(seed=1, critical=False, gap=0.25)]
+        text = gap_histogram(records, n_bins=2)
+        assert "25.00%" in text
+
+
+class TestFeatureReport:
+    def test_contrasts_both_groups(self):
+        records = [
+            _record(seed=1, critical=True, replication=(1, 1), m=1),
+            _record(seed=2, critical=False, replication=(2, 3), m=6),
+        ]
+        text = feature_report(records)
+        assert "n=1" in text
+        assert "every no-critical case has a replicated stage: True" in text
+
+    def test_empty_no_critical_side(self):
+        text = feature_report([_record()])
+        assert "n=0" in text
+        assert "replicated stage" not in text
+
+    def test_replication_invariant_on_live_records(self):
+        # Section 2: without replication the bound is always attained,
+        # so every no-critical record must have a replicated stage.
+        records = run_family(TABLE2_CONFIGS[4], "strict", count=10, n_jobs=1)
+        text = feature_report(records)
+        assert "False" not in text

@@ -1,0 +1,191 @@
+"""Tests for the content-addressed result store.
+
+Round-trips, digest stability/sensitivity, record reconstruction
+equality, and corruption recovery.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.campaign import (
+    RESULT_SCHEMA_VERSION,
+    ResultStore,
+    instance_digest,
+    payload_from_result,
+    record_from_payload,
+)
+from repro.core.instance import Instance
+from repro.core.mapping import Mapping
+from repro.core.throughput import compute_period
+from repro.errors import StoreCorruptionError
+from repro.experiments import TABLE2_CONFIGS, run_family
+from repro.experiments.examples_paper import example_a
+from repro.experiments.runner import _draw_instance, family_seeds
+
+
+class TestDigest:
+    def test_stable_across_calls(self):
+        assert instance_digest(example_a(), "overlap") == \
+               instance_digest(example_a(), "overlap")
+
+    def test_sensitive_to_model_and_schema(self):
+        inst = example_a()
+        d = instance_digest(inst, "overlap")
+        assert d != instance_digest(inst, "strict")
+        assert d != instance_digest(inst, "overlap", schema=2)
+
+    def test_sensitive_to_instance_content(self):
+        inst = example_a()
+        other = Instance(
+            inst.application, inst.platform,
+            Mapping([tuple(reversed(s)) if len(s) > 1 else s
+                     for s in inst.mapping.assignments]),
+        )
+        assert instance_digest(inst, "overlap") != \
+               instance_digest(other, "overlap")
+
+    def test_known_format(self):
+        digest = instance_digest(example_a(), "overlap")
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        inst = example_a()
+        result = compute_period(inst, "overlap")
+        payload = payload_from_result(inst, result)
+        digest = instance_digest(inst, "overlap")
+        with ResultStore(path) as store:
+            assert store.get(digest) is None
+            assert store.put(digest, payload)
+            assert digest in store
+            assert len(store) == 1
+        # floats survive the file round trip bit-exactly
+        with ResultStore(path) as store:
+            loaded = store.get(digest)
+            assert loaded == payload
+            assert loaded["period"] == result.period
+
+    def test_put_never_overwrites(self):
+        store = ResultStore(":memory:")
+        assert store.put("d", {"schema": 1, "period": 1.0})
+        assert not store.put("d", {"schema": 1, "period": 2.0})
+        assert store.get("d")["period"] == 1.0
+
+    def test_stats_counters(self):
+        store = ResultStore(":memory:")
+        store.get("missing")
+        store.put("d", {"schema": 1})
+        store.get("d")
+        assert (store.stats.misses, store.stats.hits, store.stats.puts) == \
+               (1, 1, 1)
+
+    def test_items_sorted_by_digest(self):
+        store = ResultStore(":memory:")
+        store.put("bb", {"schema": 1})
+        store.put("aa", {"schema": 1})
+        assert [d for d, _ in store.items()] == ["aa", "bb"]
+
+
+class TestRecordReconstruction:
+    def test_records_identical_with_and_without_store(self, tmp_path):
+        config = TABLE2_CONFIGS[4]
+        plain = run_family(config, "strict", count=6, n_jobs=1)
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            first = run_family(config, "strict", count=6, n_jobs=1,
+                               store=store)
+            assert store.stats.puts == 6
+            again = run_family(config, "strict", count=6, n_jobs=1,
+                               store=store)
+            assert store.stats.puts == 6  # all hits the second time
+            assert store.stats.hits >= 6
+        assert first == plain
+        assert again == plain
+
+    def test_payload_to_record_fields(self):
+        config = TABLE2_CONFIGS[4]
+        seed = family_seeds(config, "strict", 1)[0]
+        inst = _draw_instance(config, seed, 3000)
+        result = compute_period(inst, "strict", max_rows=3001)
+        payload = payload_from_result(inst, result)
+        record = record_from_payload(config.name, "strict", seed, payload)
+        assert record.period == result.period
+        assert record.mct == result.mct
+        assert record.replication == inst.replication_counts
+        assert record.seed == seed
+
+    def test_store_requires_batch_engine(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            run_family(TABLE2_CONFIGS[4], "strict", count=2,
+                       engine="percall", store=ResultStore(":memory:"))
+
+
+class TestCorruptionRecovery:
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "bad.sqlite"
+        path.write_bytes(b"this is not a database at all")
+        with pytest.raises(StoreCorruptionError):
+            ResultStore(path)
+
+    def test_recover_from_garbage_starts_empty(self, tmp_path):
+        path = tmp_path / "bad.sqlite"
+        path.write_bytes(b"garbage" * 100)
+        store, salvaged = ResultStore.recover(path)
+        assert salvaged == 0
+        assert len(store) == 0
+        assert (tmp_path / "bad.sqlite.corrupt").exists()
+        store.put("d", {"schema": 1})
+        store.close()
+        # the fresh file is a healthy store
+        assert len(ResultStore(path)) == 1
+
+    def test_recover_salvages_valid_rows(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        inst = example_a()
+        payload = payload_from_result(inst, compute_period(inst, "overlap"))
+        digest = instance_digest(inst, "overlap")
+        store = ResultStore(path)
+        store.put(digest, payload)
+        store.close()
+        # inject rows recovery must drop: broken JSON and a stale schema
+        conn = sqlite3.connect(path)
+        conn.execute("INSERT INTO results VALUES ('bad', '{not json')")
+        conn.execute(
+            "INSERT INTO results VALUES ('old', ?)",
+            (f'{{"schema": {RESULT_SCHEMA_VERSION + 1}}}',),
+        )
+        conn.commit()
+        conn.close()
+        recovered, salvaged = ResultStore.recover(path)
+        assert salvaged == 1
+        assert recovered.get(digest) == payload
+        assert "bad" not in recovered
+        assert "old" not in recovered
+        recovered.close()
+
+    def test_truncated_file_detected_or_recovered(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = ResultStore(path)
+        for i in range(50):
+            store.put(f"digest-{i:03}", {"schema": 1, "i": i})
+        store.close()
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        try:
+            ResultStore(path)
+            detected = False
+        except StoreCorruptionError:
+            detected = True
+        assert detected
+        recovered, salvaged = ResultStore.recover(path)
+        assert 0 <= salvaged <= 50
+        recovered.put("fresh", {"schema": 1})
+        assert "fresh" in recovered
+        recovered.close()

@@ -28,6 +28,9 @@ MODULES = [
     "repro.experiments.examples_paper",
     "repro.engine.signature",
     "repro.engine.batch",
+    "repro.campaign.spec",
+    "repro.campaign.store",
+    "repro.campaign.executor",
     "repro.extensions.mapping_opt",
     "repro.search.budget",
     "repro.search.portfolio",

@@ -19,6 +19,7 @@ FAST = [
     "video_transcoding.py",
     "latency_throughput.py",
     "optimize_mapping.py",
+    "run_campaign.py",
 ]
 SLOW = [
     "mapping_search.py",
