@@ -1,0 +1,187 @@
+"""Run the required benchmarks and write a machine-readable BENCH_4.json.
+
+The perf trajectory of this repo lives in its benchmarks, but until
+PR 4 their numbers evaporated with the CI logs.  This harness runs each
+required benchmark's comparison function, collects the stats dicts
+(speedup ratios, policy-round counts, cache counters, identity flags),
+and serializes everything to one JSON artifact that CI uploads — the
+seed of a cross-PR performance history.
+
+Wall-clock ratios (``engine_batch``, ``howard_many``) can flake on
+shared runners with no code defect, so each benchmark records its
+assertion outcome instead of aborting the whole report; the exit code
+is non-zero only if a *deterministic* benchmark (identity flags, round
+counts) fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--output BENCH_4.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as _platform
+import sys
+from pathlib import Path
+
+#: Schema version of the emitted JSON.
+SCHEMA = 1
+
+
+def _jsonable(obj):
+    """Best-effort conversion of benchmark stats to plain JSON data."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "__dict__"):  # e.g. EngineStats
+        return {k: _jsonable(v) for k, v in vars(obj).items()}
+    return repr(obj)
+
+
+def _run(name: str, fn, check) -> dict:
+    """Run one benchmark comparison; capture stats and verdict."""
+    entry: dict = {"name": name}
+    try:
+        stats = fn()
+        entry["stats"] = _jsonable(stats)
+        try:
+            check(stats)
+            entry["passed"] = True
+        except AssertionError as exc:
+            entry["passed"] = False
+            entry["error"] = str(exc)
+    except Exception as exc:  # noqa: BLE001 - recorded, not raised
+        entry["passed"] = False
+        entry["error"] = f"{type(exc).__name__}: {exc}"
+    return entry
+
+
+def collect() -> dict:
+    """Run every required benchmark and assemble the report."""
+    import bench_campaign
+    import bench_engine_batch
+    import bench_howard_many
+    import bench_portfolio
+
+    benchmarks = [
+        # (name, stats function, assertion, deterministic?)
+        (
+            "howard_many",
+            bench_howard_many.run_comparison,
+            lambda s: [
+                _assert(s["identical"], "group results diverged"),
+                _assert(s["rounds_scalar"] == s["rounds_lockstep"],
+                        "lockstep trajectory diverged"),
+                _assert(s["speedup"] >= bench_howard_many.MIN_SPEEDUP,
+                        f"speedup {s['speedup']:.2f}x below "
+                        f"{bench_howard_many.MIN_SPEEDUP}x"),
+            ],
+            False,
+        ),
+        (
+            "howard_many_identity",
+            bench_howard_many.check_identity,
+            lambda s: _assert(s["identical"], "bit-identity broke"),
+            True,
+        ),
+        (
+            "engine_batch",
+            bench_engine_batch.run_comparison,
+            lambda s: [
+                _assert(s["identical"], "batched results diverged"),
+                _assert(s["speedup"] >= bench_engine_batch.MIN_SPEEDUP,
+                        f"speedup {s['speedup']:.2f}x below "
+                        f"{bench_engine_batch.MIN_SPEEDUP}x"),
+            ],
+            False,
+        ),
+        (
+            "campaign_ordering",
+            bench_campaign.run_comparison,
+            lambda s: [
+                _assert(s["identical"], "values diverged between layouts"),
+                _assert(s["reduction"] >= bench_campaign.MIN_ROUND_REDUCTION,
+                        f"round reduction {s['reduction']:.2f}x below floor"),
+            ],
+            True,
+        ),
+        (
+            "portfolio_vs_single_start",
+            bench_portfolio.run_comparison,
+            lambda s: _assert(s["wins"], "portfolio lost to single start"),
+            True,
+        ),
+        (
+            "warm_start_rounds",
+            bench_portfolio.run_warm_start_rounds,
+            lambda s: [
+                _assert(s["identical"], "warm values diverged"),
+                _assert(s["reduction"] >= bench_portfolio.MIN_ROUND_REDUCTION,
+                        f"round reduction {s['reduction']:.2f}x below floor"),
+            ],
+            True,
+        ),
+    ]
+
+    report = {
+        "schema": SCHEMA,
+        "pr": 4,
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "benchmarks": {},
+        "deterministic_failures": [],
+    }
+    for name, fn, check, deterministic in benchmarks:
+        entry = _run(name, fn, check)
+        entry["deterministic"] = deterministic
+        report["benchmarks"][name] = entry
+        if deterministic and not entry["passed"]:
+            report["deterministic_failures"].append(name)
+    return report
+
+
+def _assert(cond: bool, message: str) -> None:
+    # Explicit raise, not `assert`: the contract gates must survive -O.
+    if not cond:
+        raise AssertionError(message)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_4.json",
+                        help="path of the JSON artifact (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = collect()
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    Path(args.output).write_text(text)
+
+    for name, entry in report["benchmarks"].items():
+        status = "ok" if entry["passed"] else f"FAIL ({entry.get('error')})"
+        kind = "deterministic" if entry["deterministic"] else "wall-clock"
+        print(f"{name:28s} [{kind:13s}] {status}")
+    print(f"wrote {args.output}")
+
+    if report["deterministic_failures"]:
+        print("deterministic failures:",
+              ", ".join(report["deterministic_failures"]))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    raise SystemExit(main())

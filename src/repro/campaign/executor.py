@@ -21,7 +21,11 @@ through one shared :class:`~repro.engine.BatchEngine`:
    spans still in flight — never committed work.  Parallel runs split
    the *ordered* stream into one contiguous span per worker — never
    round-robin chunks, which would interleave sweep neighbors away
-   from each other's engines.
+   from each other's engines.  Because the stream is signature-ordered,
+   both paths drain through ``BatchEngine.evaluate_many``: each
+   same-topology run is stamped into one ``(B, E)`` weight matrix and
+   solved in lockstep (:func:`repro.maxplus.howard.solve_prepared_many`)
+   instead of point by point.
 
 Evaluation runs ``warm_start=True``: period values are identical to
 cold start (pinned by ``tests/test_warm_start.py``), and stored
@@ -138,14 +142,20 @@ def _split_spans(order: list[int], n_spans: int) -> list[list[int]]:
 def _evaluate_span(
     args: tuple[list[tuple[str, Instance, str]], int],
 ) -> list[tuple[str, dict]]:
-    """Worker: evaluate one contiguous span with a warm-started engine."""
+    """Worker: evaluate one contiguous span with a warm-started engine.
+
+    The span is signature-ordered (see :func:`order_for_engine`), so
+    ``evaluate_many`` turns it into a handful of lockstep group solves.
+    """
     items, max_rows = args
     engine = BatchEngine(max_rows=max_rows, warm_start=True)
-    out: list[tuple[str, dict]] = []
-    for digest, inst, model in items:
-        result = engine.evaluate(inst, model)
-        out.append((digest, payload_from_result(inst, result)))
-    return out
+    results = engine.evaluate_many(
+        [inst for _, inst, _ in items], [model for _, _, model in items]
+    )
+    return [
+        (digest, payload_from_result(inst, result))
+        for (digest, inst, _), result in zip(items, results)
+    ]
 
 
 def run_campaign(
@@ -210,17 +220,24 @@ def run_campaign(
 
     if n_jobs is None or n_jobs == 1 or len(ordered) < 2:
         engine = BatchEngine(max_rows=max_rows, warm_start=True)
-        for done, i in enumerate(ordered, start=1):
-            result = engine.evaluate(instances[i], points[i].model)
-            store.put(digests[i], payload_from_result(instances[i], result),
-                      commit=False)
-            if done % commit_every == 0:
-                store.commit()
-                if progress is not None:
-                    progress(done, len(ordered))
-        store.commit()
-        if progress is not None and ordered:
-            progress(len(ordered), len(ordered))
+        # Drain in commit-sized slices: each slice is signature-ordered,
+        # so evaluate_many locksteps it as a few whole-group solves, and
+        # a kill still loses at most ``commit_every`` points.
+        done = 0
+        for start in range(0, len(ordered), commit_every):
+            chunk = ordered[start: start + commit_every]
+            results = engine.evaluate_many(
+                [instances[i] for i in chunk],
+                [points[i].model for i in chunk],
+            )
+            for i, result in zip(chunk, results):
+                store.put(digests[i],
+                          payload_from_result(instances[i], result),
+                          commit=False)
+            store.commit()
+            done += len(chunk)
+            if progress is not None:
+                progress(done, len(ordered))
     else:
         import os as _os
 

@@ -19,10 +19,14 @@ This package amortizes that hot path:
 * :class:`~repro.engine.batch.BatchEngine` — skeleton cache plus a
   drop-in ``evaluate`` returning the same
   :class:`~repro.core.throughput.PeriodResult` values as the scalar
-  path, bit-identical;
+  path, bit-identical; its ``evaluate_many`` locksteps consecutive
+  same-topology runs through
+  :func:`repro.maxplus.howard.solve_prepared_many` — one ``(B, E)``
+  weight matrix, one policy iteration for the whole group;
 * :func:`~repro.engine.batch.evaluate_batch` /
   :func:`~repro.engine.batch.evaluate_stream` — batch entry points with
-  deterministic chunk sharding across a ``ProcessPoolExecutor`` and
+  deterministic chunk sharding across a ``ProcessPoolExecutor`` (a
+  bounded in-flight submission window keeps streaming memory flat) and
   streaming, submission-ordered results.
 
 Quick start::
@@ -54,7 +58,14 @@ Guarantees
   round-count saving on slowly-varying neighborhoods.
 """
 
-from .batch import BatchEngine, EngineStats, evaluate_batch, evaluate_stream
+from .batch import (
+    MAX_GROUP_ROWS,
+    MIN_GROUP_ROWS,
+    BatchEngine,
+    EngineStats,
+    evaluate_batch,
+    evaluate_stream,
+)
 from .classify import CycleTimePlan, build_cycle_time_plan
 from .signature import topology_signature
 from .skeleton import TpnSkeleton, build_skeleton
@@ -64,6 +75,8 @@ __all__ = [
     "EngineStats",
     "evaluate_batch",
     "evaluate_stream",
+    "MIN_GROUP_ROWS",
+    "MAX_GROUP_ROWS",
     "topology_signature",
     "TpnSkeleton",
     "build_skeleton",

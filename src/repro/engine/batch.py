@@ -1,4 +1,4 @@
-"""Batch evaluation: skeleton cache, deterministic sharding, streaming.
+"""Batch evaluation: skeleton cache, group lockstep solves, streaming.
 
 :class:`BatchEngine` is the per-process cache of
 :class:`~repro.engine.skeleton.TpnSkeleton` objects keyed by
@@ -6,21 +6,39 @@
 :func:`evaluate_batch` / :func:`evaluate_stream` are the module-level
 entry points that shard large batches across worker processes.
 
+**Group evaluation** is the hot path: consecutive TPN-method pairs that
+share a topology signature are stamped into one ``(B, E)`` weight
+matrix and solved in lockstep by
+:func:`repro.maxplus.howard.solve_prepared_many`
+(:meth:`BatchEngine.evaluate_many` does the run detection;
+:meth:`BatchEngine.evaluate_group` is the explicit entry point).  It
+kicks in for runs of at least :data:`MIN_GROUP_ROWS` same-signature
+pairs and slabs huge groups at :data:`MAX_GROUP_ROWS` rows to bound the
+weight-matrix footprint.  Cold group results are bit-identical to
+per-pair :meth:`BatchEngine.evaluate` calls.
+
 Sharding is deterministic: the input order is cut into contiguous
 chunks of ``chunk_size`` pairs, chunks are dispatched in order to a
-``ProcessPoolExecutor``, and results stream back in submission order.
-Contiguous chunks deliberately preserve the caller's grouping — a sweep
-that emits instances topology-by-topology gets near-perfect skeleton
-cache hit rates inside every worker.  Each worker process keeps one
-long-lived :class:`BatchEngine`, so the cache survives across chunks of
-the same batch (and across batches, for repeated calls inside one
-worker lifetime).
+``ProcessPoolExecutor`` through a **bounded in-flight window** (a
+handful of chunks per worker are pickled/buffered at any moment, so
+streaming a huge batch keeps memory flat), and results stream back in
+submission order.  Contiguous chunks deliberately preserve the caller's
+grouping — a sweep that emits instances topology-by-topology gets
+near-perfect skeleton cache hit rates *and* full-chunk lockstep groups
+inside every worker.  Each worker process keeps one long-lived
+:class:`BatchEngine`, so the cache survives across chunks of the same
+batch (and across batches, for repeated calls inside one worker
+lifetime).  A caller-owned ``engine=`` is a serial-path feature;
+combining it with ``n_jobs`` parallelism raises
+:class:`~repro.errors.ValidationError` (worker processes cannot share
+the caller's cache).
 
 Every evaluation is a pure function of ``(instance, model, method)``:
 results are bit-identical whatever ``n_jobs`` or ``chunk_size``.  The
 one opt-in exception is ``warm_start=True``, which seeds Howard's policy
-iteration from the previous instance of a topology group: period
-*values* are unchanged, but the extracted critical cycle (and hence
+iteration from the previous instance (or, on the group path, the
+previous *group*) of a topology group: period *values* are unchanged,
+but the extracted critical cycle (and hence
 ``tpn_solution.ratio.cycle_nodes``) may depend on evaluation history —
 see :class:`BatchEngine`.
 """
@@ -28,9 +46,12 @@ see :class:`BatchEngine`.
 from __future__ import annotations
 
 import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from ..algorithms.general_tpn import TpnSolution
 from ..algorithms.overlap_poly import OverlapBreakdown, overlap_period
@@ -44,10 +65,34 @@ from .classify import CycleTimePlan, build_cycle_time_plan
 from .signature import topology_signature
 from .skeleton import TpnSkeleton, build_skeleton
 
-__all__ = ["BatchEngine", "EngineStats", "evaluate_batch", "evaluate_stream"]
+__all__ = [
+    "BatchEngine",
+    "EngineStats",
+    "evaluate_batch",
+    "evaluate_stream",
+    "MIN_GROUP_ROWS",
+    "MAX_GROUP_ROWS",
+    "MIN_PARALLEL_BATCH",
+]
 
-#: Below this many pairs a process pool costs more than it saves.
-_MIN_PARALLEL_BATCH = 4
+#: Below this many pairs a process pool costs more than it saves; the
+#: stream falls back to the serial path.  Public so callers that must
+#: decide between a caller-owned engine and worker sharding (e.g. the
+#: mapping-search neighborhood scan) can mirror the dispatch.
+MIN_PARALLEL_BATCH = 4
+
+#: Smallest same-signature run routed through the lockstep group solver;
+#: a single pair goes through the scalar path (identical results, no
+#: batch setup cost).
+MIN_GROUP_ROWS = 2
+
+#: Largest number of rows stamped into one lockstep solve.  Bounds the
+#: ``(B, E)`` weight matrix (and the serial stream's grouping buffer);
+#: longer runs are solved in consecutive slabs of this size.
+MAX_GROUP_ROWS = 256
+
+#: In-flight chunks per worker on the parallel streaming path.
+_INFLIGHT_PER_WORKER = 2
 
 
 @dataclass
@@ -211,6 +256,145 @@ class BatchEngine:
             tpn_solution=solution,
         )
 
+    def evaluate_group(
+        self,
+        instances: Sequence[Instance],
+        model: CommModel | str,
+        method: str = "auto",
+    ) -> list[PeriodResult]:
+        """Evaluate one topology group through the lockstep solver.
+
+        Every instance must share ``topology_signature(inst, model)``
+        with the first (callers that may mix topologies should use
+        :meth:`evaluate_many`, which detects same-signature runs).  The
+        TPN method stamps the whole group into one ``(B, E)`` weight
+        matrix and runs
+        :func:`~repro.maxplus.howard.solve_prepared_many`; other methods
+        fall back to per-pair :meth:`evaluate`.  Cold results are
+        bit-identical to per-pair evaluation; with ``warm_start=True``
+        all rows seed from the group's carried policy (values unchanged,
+        see :class:`~repro.maxplus.howard.HowardState`).
+        """
+        model = CommModel.parse(model)
+        if method == "auto":
+            method = "polynomial" if model.overlap else "tpn"
+        if method != "tpn" or len(instances) < MIN_GROUP_ROWS:
+            return [self.evaluate(i, model, method=method) for i in instances]
+        key = topology_signature(instances[0], model)
+        for inst in instances[1:]:
+            if topology_signature(inst, model) != key:
+                # A mismatched instance would be stamped through the
+                # first instance's skeleton and return plausible but
+                # wrong numbers — fail loudly instead.
+                raise ValidationError(
+                    "evaluate_group requires every instance to share one "
+                    "topology signature (model + mapping assignments); "
+                    "use evaluate_many for mixed batches"
+                )
+        out: list[PeriodResult] = []
+        for i in range(0, len(instances), MAX_GROUP_ROWS):
+            out.extend(
+                self._evaluate_tpn_group(key, instances[i: i + MAX_GROUP_ROWS], model)
+            )
+        return out
+
+    def _evaluate_tpn_group(
+        self, key: tuple, instances: Sequence[Instance], model: CommModel
+    ) -> list[PeriodResult]:
+        """One lockstep slab: stamp, solve, classify, package."""
+        B = len(instances)
+        self.stats.evaluated += B
+        sk = self._skeleton_for(key, instances[0], model)
+        # Cache-lookup parity with B scalar evaluations of the group.
+        self.stats.hits += B - 1
+        sk.check_budget(self.max_rows)
+        state = self._warm_states.setdefault(key, HowardState()) \
+            if self.warm_start else None
+        ratios = sk.solve_many(list(instances), state=state)
+        periods = [r.value / sk.m for r in ratios]
+        ct_plan = self._ct_plan_for(key, instances[0], model)
+        mcts, crits, _ = ct_plan.verdict_many(
+            list(instances), np.asarray(periods)
+        )
+        out = []
+        for b, inst in enumerate(instances):
+            period = periods[b]
+            out.append(PeriodResult(
+                period=period,
+                throughput=1.0 / period if period > 0 else float("inf"),
+                model=model,
+                method="tpn",
+                m=sk.m,  # == inst.num_paths for every group member
+                mct=float(mcts[b]),
+                has_critical_resource=bool(crits[b]),
+                breakdown=None,
+                tpn_solution=TpnSolution(period=period, ratio=ratios[b], net=None),
+            ))
+        return out
+
+    def evaluate_many(
+        self,
+        instances: Sequence[Instance] | Iterable[Instance],
+        models: CommModel | str | Sequence[CommModel | str],
+        method: str = "auto",
+        n_firings: int | None = None,
+    ) -> list[PeriodResult]:
+        """Evaluate pairs in order, locksteping same-topology runs.
+
+        The drop-in batched counterpart of calling :meth:`evaluate` in a
+        loop: consecutive pairs whose ``(model, signature)`` match form
+        a group and go through :meth:`evaluate_group`; everything else
+        (singleton runs, polynomial/simulation methods) takes the scalar
+        path.  Results align with the input and are bit-identical to the
+        per-pair loop on a cold engine.
+        """
+        pairs = _normalize_pairs(instances, models)
+        out: list[PeriodResult] = []
+        for i, j, model, key in _signature_runs(pairs, method):
+            if key is None or j - i < MIN_GROUP_ROWS:
+                out.extend(
+                    self.evaluate(inst, model, method=method,
+                                  n_firings=n_firings)
+                    for inst, _ in pairs[i:j]
+                )
+            else:
+                group = [p[0] for p in pairs[i:j]]
+                for k in range(0, len(group), MAX_GROUP_ROWS):
+                    out.extend(self._evaluate_tpn_group(
+                        key, group[k: k + MAX_GROUP_ROWS], model
+                    ))
+        return out
+
+
+def _signature_runs(
+    pairs: list[tuple[Instance, CommModel]], method: str
+) -> Iterator[tuple[int, int, CommModel, tuple | None]]:
+    """Contiguous ``[i, j)`` segments of a pair list, for group dispatch.
+
+    TPN-method pairs extend their segment while model and topology
+    signature match (``key`` is the shared signature); other methods
+    yield singleton segments with ``key = None``.  The single owner of
+    the run-boundary predicate for :meth:`BatchEngine.evaluate_many`
+    and the serial :func:`evaluate_stream` path.
+    """
+    i = 0
+    while i < len(pairs):
+        inst, model = pairs[i]
+        resolved = method
+        if resolved == "auto":
+            resolved = "polynomial" if model.overlap else "tpn"
+        if resolved != "tpn":
+            yield i, i + 1, model, None
+            i += 1
+            continue
+        key = topology_signature(inst, model)
+        j = i + 1
+        while j < len(pairs) and pairs[j][1] == model \
+                and topology_signature(pairs[j][0], model) == key:
+            j += 1
+        yield i, j, model, key
+        i = j
+
 
 def _normalize_pairs(
     instances: Sequence[Instance] | Iterable[Instance],
@@ -250,7 +434,9 @@ def _evaluate_chunk(
     ):
         _WORKER_ENGINE = BatchEngine(max_rows=max_rows, warm_start=warm_start)
     engine = _WORKER_ENGINE
-    return [engine.evaluate(inst, model, method=method) for inst, model in chunk]
+    return engine.evaluate_many(
+        [inst for inst, _ in chunk], [model for _, model in chunk], method=method
+    )
 
 
 def evaluate_stream(
@@ -279,37 +465,71 @@ def evaluate_stream(
         TPN row budget (per evaluation, like the scalar path).
     n_jobs:
         ``None``/``1`` evaluates serially in-process (results stream
-        per instance); ``0`` uses all cores; ``k > 1`` uses ``k`` worker
-        processes (results stream per chunk, still in order).
+        per same-topology run, lockstep-solved); ``0`` uses all cores;
+        ``k > 1`` uses ``k`` worker processes (results stream per
+        chunk, still in order).
     chunk_size:
         Pairs per worker task; default balances ~4 chunks per worker.
         Chunks are contiguous, so keep topology groups adjacent in the
-        input for best cache locality.
+        input for best cache locality *and* full-chunk lockstep groups.
     engine:
         Serial path only: reuse a caller-owned :class:`BatchEngine`
         (e.g. to share its cache across successive sweeps).  When given,
         the engine's own ``warm_start`` flag governs, not this call's.
+        Combining ``engine=`` with a parallel ``n_jobs`` raises
+        :class:`~repro.errors.ValidationError` — worker processes
+        cannot share the caller's cache, and silently ignoring the
+        engine (the old behavior) hid the mistake.
     warm_start:
         Opt-in Howard warm starting inside each evaluating engine (see
         :class:`BatchEngine`).  Period values are identical to cold
         start; extracted critical cycles may depend on chunk boundaries.
     """
+    if engine is not None and n_jobs not in (None, 1):
+        raise ValidationError(
+            f"engine= is a serial-path option but n_jobs={n_jobs} requests "
+            f"worker processes, which cannot share the caller's engine "
+            f"cache; drop engine= or run with n_jobs=1"
+        )
     pairs = _normalize_pairs(instances, models)
-    if n_jobs is None or n_jobs == 1 or len(pairs) < _MIN_PARALLEL_BATCH:
+    if n_jobs is None or n_jobs == 1 or len(pairs) < MIN_PARALLEL_BATCH:
         eng = engine if engine is not None else BatchEngine(
             max_rows=max_rows, warm_start=warm_start)
-        for inst, model in pairs:
-            yield eng.evaluate(inst, model, method=method)
+        # Yield at same-topology run boundaries: runs of >= MIN_GROUP_ROWS
+        # solve in lockstep (per MAX_GROUP_ROWS slab), while a stream of
+        # distinct topologies still yields per evaluation.
+        for i, j, model, key in _signature_runs(pairs, method):
+            if key is None or j - i < MIN_GROUP_ROWS:
+                for inst, _ in pairs[i:j]:
+                    yield eng.evaluate(inst, model, method=method)
+            else:
+                group = [p[0] for p in pairs[i:j]]
+                for k in range(0, len(group), MAX_GROUP_ROWS):
+                    yield from eng._evaluate_tpn_group(
+                        key, group[k: k + MAX_GROUP_ROWS], model
+                    )
         return
 
     workers = (os.cpu_count() or 1) if n_jobs == 0 else n_jobs
     if chunk_size is None:
         chunk_size = max(1, -(-len(pairs) // (workers * 4)))
-    chunks = [pairs[i: i + chunk_size] for i in range(0, len(pairs), chunk_size)]
-    payloads = [(chunk, method, max_rows, warm_start) for chunk in chunks]
+    payloads = (
+        (pairs[i: i + chunk_size], method, max_rows, warm_start)
+        for i in range(0, len(pairs), chunk_size)
+    )
+    # Bounded in-flight window: submit a few chunks per worker, then
+    # one-in-one-out in submission order — a huge batch never has more
+    # than `window` chunks pickled or buffered at once.
+    window = workers * _INFLIGHT_PER_WORKER
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for results in pool.map(_evaluate_chunk, payloads):
-            yield from results
+        inflight: deque = deque()
+        for payload in payloads:
+            inflight.append(pool.submit(_evaluate_chunk, payload))
+            if len(inflight) < window:
+                continue
+            yield from inflight.popleft().result()
+        while inflight:
+            yield from inflight.popleft().result()
 
 
 def evaluate_batch(

@@ -14,6 +14,11 @@ group that does not depend on the instance's times:
   the liveness check, Tarjan's SCC pass, subgraph extraction and the
   per-SCC edge sort.
 
+:meth:`TpnSkeleton.solve_many` is the group fast path: it stamps every
+instance of a topology group into one ``(B, E)`` weight matrix and runs
+:func:`repro.maxplus.howard.solve_prepared_many` — lockstep policy
+iteration across the whole batch — instead of ``B`` scalar solves.
+
 Bit-identical contract: the duration formulas mirror
 :meth:`repro.core.platform.Platform.comp_time` / ``comm_time``
 (elementwise IEEE-754 double divisions in the same order), the edge
@@ -35,7 +40,13 @@ from ..core.models import CommModel
 from ..errors import ReplicationExplosionError, SolverError
 from ..maxplus.cycle_ratio import CycleRatioResult
 from ..maxplus.graph import RatioGraph
-from ..maxplus.howard import HowardPlan, HowardState, prepare_howard, solve_prepared
+from ..maxplus.howard import (
+    HowardPlan,
+    HowardState,
+    prepare_howard,
+    solve_prepared,
+    solve_prepared_many,
+)
 from ..maxplus.lawler import max_cycle_ratio_lawler
 from ..petri.builder import DEFAULT_MAX_ROWS, build_tpn
 
@@ -148,6 +159,85 @@ class TpnSkeleton:
             return CycleRatioResult(
                 max_cycle_ratio_lawler(self._graph(weights)), (), (), "lawler"
             )
+
+    def stamp_durations_many(self, instances: list[Instance]) -> np.ndarray:
+        """``(B, n_transitions)`` firing-duration matrix of a whole group.
+
+        Row ``b`` equals ``stamp_durations(instances[b])`` bit for bit:
+        the stacked formulation performs the same elementwise IEEE-754
+        divisions, just over a batch axis.  Falls back to per-row
+        stamping when the group's platforms disagree in size (legal —
+        the signature only pins the *used* processor indices).
+        """
+        dur = np.empty((len(instances), self.n_transitions))
+        try:
+            works = np.stack(
+                [np.asarray(i.application.works, dtype=float) for i in instances]
+            )
+            speeds = np.stack([i.platform.speeds for i in instances])
+        except ValueError:  # ragged platforms: stamp row by row
+            for b, inst in enumerate(instances):
+                dur[b] = self.stamp_durations(inst)
+            return dur
+        cm = self.comp_mask
+        dur[:, cm] = works[:, self.stage_or_file[cm]] / speeds[:, self.proc_u[cm]]
+        comm = ~cm
+        if comm.any():
+            sizes = np.stack(
+                [np.asarray(i.application.file_sizes, dtype=float) for i in instances]
+            )
+            bw = np.stack([i.platform.bandwidths for i in instances])
+            dur[:, comm] = sizes[:, self.stage_or_file[comm]] / bw[
+                :, self.proc_u[comm], self.proc_v[comm]
+            ]
+        return dur
+
+    def stamp_weights_many(self, instances: list[Instance]) -> np.ndarray:
+        """``(B, n_edges)`` cycle-ratio weight matrix of a whole group."""
+        return self.stamp_durations_many(instances)[:, self.edge_src]
+
+    def solve_many(
+        self,
+        instances: list[Instance],
+        solver: str = "auto",
+        state: HowardState | None = None,
+    ) -> list[CycleRatioResult]:
+        """Maximum cycle ratios for a whole topology group, in lockstep.
+
+        Stamps every instance's weights into one ``(B, E)`` matrix and
+        runs :func:`~repro.maxplus.howard.solve_prepared_many` — policy
+        iteration for all rows simultaneously.  Cold results are
+        bit-identical to per-instance :meth:`solve` calls.
+
+        ``state`` optionally carries one shared
+        :class:`~repro.maxplus.howard.HowardState`: every row seeds from
+        the state's current policy and the state leaves with the last
+        row's converged policy, so consecutive group solves chain like
+        consecutive scalar solves.  Values are unchanged (warm starts
+        never change values), but round counts and exact-tie cycle
+        extraction follow the group seeding rather than the scalar
+        instance-to-instance chaining.
+
+        Any :class:`~repro.errors.SolverError` from the lockstep path
+        (non-convergence, acyclic graph) falls back to per-instance
+        :meth:`solve` so errors and Lawler dispatch behave exactly like
+        the scalar path, row by row.
+        """
+        if solver == "lawler":
+            return [self.solve(inst, solver="lawler") for inst in instances]
+        if solver not in ("auto", "howard"):
+            raise ValueError(f"unknown method {solver!r}")
+        try:
+            weights = self.stamp_weights_many(instances)
+            many = solve_prepared_many(self.plan, weights, state=state)
+            return [
+                CycleRatioResult(r.value, r.cycle_nodes, r.cycle_edges, "howard")
+                for r in many
+            ]
+        except SolverError:
+            return [
+                self.solve(inst, solver=solver, state=state) for inst in instances
+            ]
 
     def _graph(self, weights: np.ndarray) -> RatioGraph:
         """Materialize the full ratio graph (Lawler fallback only)."""

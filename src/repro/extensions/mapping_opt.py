@@ -20,6 +20,9 @@ to share its topology cache across searches): re-proposed mappings hit
 the skeleton cache instead of rebuilding their TPN, and
 :func:`local_search_mapping` can fan a whole neighborhood out to worker
 processes with ``n_jobs`` while preserving the serial search trajectory.
+Small neighborhoods evaluate through the engine's ``evaluate_many``,
+which locksteps any same-topology runs among the candidates through the
+batched Howard solver (see :func:`repro.maxplus.howard.solve_prepared_many`).
 
 Restart hooks
 -------------
@@ -49,6 +52,7 @@ from ..core.mapping import Mapping
 from ..core.models import CommModel
 from ..core.platform import Platform
 from ..engine import BatchEngine, evaluate_batch
+from ..engine.batch import MIN_PARALLEL_BATCH
 from ..errors import ValidationError
 from ..experiments.generator import random_replication
 
@@ -372,13 +376,18 @@ def local_search_mapping(
             feasible = [(k, m2) for k, m2 in scan
                         if m2.num_paths <= max_paths]
             insts = [Instance(app, plat, m2) for _, m2 in feasible]
-            # `engine=eng` only reaches the serial fallback (small
-            # neighborhoods); sharded evaluations use per-worker caches
-            # that live for one evaluate_batch call, inheriting the
-            # shared engine's warm-start mode.
-            results = evaluate_batch(insts, model, max_rows=max_paths + 1,
-                                     n_jobs=n_jobs, engine=eng,
-                                     warm_start=eng.warm_start)
+            # engine= and n_jobs are mutually exclusive in evaluate_batch
+            # (workers cannot share the caller's cache), so pick the path
+            # explicitly: shard big neighborhoods across fresh per-worker
+            # caches inheriting the warm-start mode, keep small ones on
+            # the shared engine — whose evaluate_many locksteps any
+            # same-topology runs the move generator proposes.
+            if len(insts) >= MIN_PARALLEL_BATCH:
+                results = evaluate_batch(insts, model, max_rows=max_paths + 1,
+                                         n_jobs=n_jobs,
+                                         warm_start=eng.warm_start)
+            else:
+                results = eng.evaluate_many(insts, model)
             values = {k: float("inf") for k, _ in scan}
             values.update({k: r.period for (k, _), r in zip(feasible, results)})
             by_move = dict(scan)

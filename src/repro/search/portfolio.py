@@ -21,10 +21,13 @@ budget across several basins and keeps the best incumbent:
 
 All restarts share one :class:`~repro.engine.batch.BatchEngine`, so a
 mapping topology proposed twice — common, neighborhoods overlap heavily
-— reuses its TPN skeleton and Howard plan; pass ``warm_start=True`` to
-additionally seed policy iteration from the previous evaluation of each
-topology group (period values are unchanged; see
-:class:`~repro.engine.batch.BatchEngine`).  A shared
+— reuses its TPN skeleton and Howard plan; neighborhood scans route
+through the engine's ``evaluate_many``, which locksteps any
+same-topology candidate runs through the batched Howard solver
+(:func:`repro.maxplus.howard.solve_prepared_many`).  Pass
+``warm_start=True`` to additionally seed policy iteration from the
+previous evaluation of each topology group (period values are
+unchanged; see :class:`~repro.engine.batch.BatchEngine`).  A shared
 :class:`~repro.search.budget.EvaluationBudget` meters every oracle call,
 so the portfolio is comparable to any other heuristic at equal cost.
 
