@@ -60,13 +60,13 @@ def bench_solvers_agree_on_example_b(benchmark):
 
     def all_three():
         h = max_cycle_ratio_howard(graph).value
-        l = max_cycle_ratio_lawler(graph)
+        law = max_cycle_ratio_lawler(graph)
         m = period_by_matrix(net) * net.n_rows
-        return h, l, m
+        return h, law, m
 
-    h, l, m = benchmark(all_three)
+    h, law, m = benchmark(all_three)
     assert h == pytest.approx(3500.0)
-    assert l == pytest.approx(3500.0, rel=1e-7)
+    assert law == pytest.approx(3500.0, rel=1e-7)
     assert m == pytest.approx(3500.0)
     report(benchmark, "Ablation: three solvers on Example B overlap",
            [("Howard", 3500, round(h, 4)),

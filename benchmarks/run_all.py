@@ -1,21 +1,26 @@
-"""Run the required benchmarks and write a machine-readable BENCH_4.json.
+"""Run the required benchmarks; write and compare BENCH_<pr>.json.
 
 The perf trajectory of this repo lives in its benchmarks, but until
 PR 4 their numbers evaporated with the CI logs.  This harness runs each
 required benchmark's comparison function, collects the stats dicts
 (speedup ratios, policy-round counts, cache counters, identity flags),
-and serializes everything to one JSON artifact that CI uploads — the
-seed of a cross-PR performance history.
+and serializes everything to one JSON artifact.  Since PR 5 the reports
+are **committed** (``BENCH_4.json``, ``BENCH_5.json``, ...) so the
+trajectory accumulates in-repo, and ``--compare PREV.json`` turns the
+previous report into a regression gate.
 
 Wall-clock ratios (``engine_batch``, ``howard_many``) can flake on
 shared runners with no code defect, so each benchmark records its
 assertion outcome instead of aborting the whole report; the exit code
 is non-zero only if a *deterministic* benchmark (identity flags, round
-counts) fails.
+counts, seeded search periods) fails — and, under ``--compare``, if a
+deterministic contract that held in the previous report regressed
+(:data:`CONTRACTS`; wall-clock numbers are recorded but never gated).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--output BENCH_4.json]
+    PYTHONPATH=src python benchmarks/run_all.py \\
+        [--output BENCH_5.json] [--compare BENCH_4.json]
 """
 
 from __future__ import annotations
@@ -27,7 +32,29 @@ import sys
 from pathlib import Path
 
 #: Schema version of the emitted JSON.
-SCHEMA = 1
+SCHEMA = 2
+
+#: The PR this harness currently reports for.
+PR = 5
+
+#: Cross-report deterministic contracts: ``--compare`` fails when the
+#: current value is worse than the previous report's.  Direction
+#: ``"<="`` means lower-or-equal is required (counts, seeded periods),
+#: ``">="`` higher-or-equal (boolean flags — an improvement from False
+#: to True never regresses).  Metrics missing on either side are
+#: skipped, so reports from different PRs stay comparable.
+CONTRACTS = [
+    ("howard_many_identity", "identical", ">="),
+    ("campaign_ordering", "identical", ">="),
+    ("campaign_ordering", "campaign_rounds", "<="),
+    ("campaign_ordering", "campaign_builds", "<="),
+    ("warm_start_rounds", "identical", ">="),
+    ("warm_start_rounds", "warm_rounds", "<="),
+    ("portfolio_vs_single_start", "wins", ">="),
+    ("portfolio_vs_single_start", "portfolio_period", "<="),
+    ("portfolio_three_way", "racing_never_worse", ">="),
+    ("portfolio_three_way", "racing_beats_fair_on_rugged", ">="),
+]
 
 
 def _jsonable(obj):
@@ -125,6 +152,20 @@ def collect() -> dict:
             True,
         ),
         (
+            "portfolio_three_way",
+            bench_portfolio.run_three_way,
+            lambda s: [
+                _assert(s["rugged_seeds_are_rugged"],
+                        "RUGGED_SEEDS drifted"),
+                _assert(s["racing_never_worse"],
+                        "racing lost to fair-share at equal budget"),
+                _assert(s["racing_beats_fair_on_rugged"],
+                        "racing did not strictly beat fair-share on a "
+                        "rugged seed"),
+            ],
+            True,
+        ),
+        (
             "warm_start_rounds",
             bench_portfolio.run_warm_start_rounds,
             lambda s: [
@@ -138,7 +179,7 @@ def collect() -> dict:
 
     report = {
         "schema": SCHEMA,
-        "pr": 4,
+        "pr": PR,
         "python": sys.version.split()[0],
         "machine": _platform.machine(),
         "benchmarks": {},
@@ -159,10 +200,50 @@ def _assert(cond: bool, message: str) -> None:
         raise AssertionError(message)
 
 
+def compare_reports(prev: dict, curr: dict) -> list[str]:
+    """Deterministic regressions of ``curr`` against a previous report.
+
+    Two classes of failure, both restricted to deterministic contracts
+    (wall-clock ratios are recorded in the artifacts but never gated):
+
+    * a deterministic benchmark that **passed** in the previous report
+      now fails or has disappeared;
+    * a :data:`CONTRACTS` metric moved in the regressing direction
+      (more policy rounds, a worse seeded search period, a True flag
+      turned False).
+    """
+    errors: list[str] = []
+    for name, entry in prev.get("benchmarks", {}).items():
+        if not entry.get("deterministic") or not entry.get("passed"):
+            continue
+        cur = curr.get("benchmarks", {}).get(name)
+        if cur is None:
+            errors.append(f"{name}: deterministic benchmark disappeared "
+                          f"from the report")
+        elif not cur.get("passed"):
+            errors.append(f"{name}: passed in the previous report, now "
+                          f"fails ({cur.get('error')})")
+    for name, key, direction in CONTRACTS:
+        prev_stats = prev.get("benchmarks", {}).get(name, {}).get("stats", {})
+        curr_stats = curr.get("benchmarks", {}).get(name, {}).get("stats", {})
+        if key not in prev_stats or key not in curr_stats:
+            continue
+        p, c = prev_stats[key], curr_stats[key]
+        ok = c <= p if direction == "<=" else c >= p
+        if not ok:
+            errors.append(f"{name}.{key}: regressed from {p!r} to {c!r} "
+                          f"(required {direction} previous)")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_4.json",
+    parser.add_argument("--output", default=f"BENCH_{PR}.json",
                         help="path of the JSON artifact (default: %(default)s)")
+    parser.add_argument("--compare", default=None, metavar="PREV",
+                        help="previous report (e.g. BENCH_4.json); exit "
+                             "non-zero if a deterministic contract that "
+                             "held there regressed")
     args = parser.parse_args(argv)
 
     report = collect()
@@ -175,11 +256,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:28s} [{kind:13s}] {status}")
     print(f"wrote {args.output}")
 
+    failed = bool(report["deterministic_failures"])
     if report["deterministic_failures"]:
         print("deterministic failures:",
               ", ".join(report["deterministic_failures"]))
-        return 1
-    return 0
+
+    if args.compare is not None:
+        prev = json.loads(Path(args.compare).read_text())
+        regressions = compare_reports(prev, report)
+        for err in regressions:
+            print(f"REGRESSION vs {args.compare}: {err}")
+        if not regressions:
+            print(f"no deterministic regressions vs {args.compare} "
+                  f"(pr {prev.get('pr')} -> {report['pr']})")
+        failed = failed or bool(regressions)
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,76 @@
+"""Race budget allocators on one mapping problem at equal oracle cost.
+
+The portfolio's evaluation budget can be dealt two ways: *fair-share*
+caps every restart at an even split of the remaining pool, *racing*
+(successive halving) truncates all restarts early, then repeatedly
+promotes the best half with doubled slices — paused climbs resume from
+their ``SearchCheckpoint`` exactly where they stopped, so no progress
+is lost to the truncation.  On rugged platforms the fair-share
+controller can lose to one lucky deep climb; racing keeps the deep
+climb *and* the diversity.
+
+Run:  PYTHONPATH=src python examples/racing_portfolio.py
+"""
+
+import numpy as np
+
+from repro import Application, Platform
+from repro.search import portfolio_search
+
+# The bench problem of benchmarks/bench_portfolio.py: restart seeds are
+# keyed by the application name, so keeping it reproduces the bench
+# trajectories exactly.
+APP = Application(
+    works=[2.0, 11.0, 5.0, 14.0, 3.0],
+    file_sizes=[3.0, 2.0, 2.0, 1.0],
+    name="bench-portfolio",
+)
+
+#: Equal oracle allowance for both allocators (the bench setting of
+#: ``benchmarks/bench_portfolio.py``, where platform seed 17 is one of
+#: the two rugged seeds racing must win).
+BUDGET = 1200
+
+
+def make_platform(seed: int = 17, n: int = 14) -> Platform:
+    """A strongly heterogeneous cluster (speeds 0.5-8, bandwidths 1-10)."""
+    rng = np.random.default_rng(seed)
+    speeds = rng.uniform(0.5, 8.0, n)
+    bw = rng.uniform(1.0, 10.0, (n, n))
+    np.fill_diagonal(bw, 0.0)
+    return Platform(speeds, bw, name="rugged-cluster")
+
+
+def main() -> None:
+    plat = make_platform()
+    results = {}
+    for allocator in ("fair-share", "racing"):
+        results[allocator] = portfolio_search(
+            APP,
+            plat,
+            "overlap",
+            n_restarts=5,
+            budget=BUDGET,
+            max_iters=10_000,
+            allocator=allocator,
+        )
+
+    for allocator, res in results.items():
+        print(f"{allocator} allocator ({res.evaluations}/{BUDGET} evaluations):")
+        for r in res.restarts:
+            rungs = "+".join(str(n) for n in r.rungs)
+            print(
+                f"  restart {r.index:>2} {r.kind:<16} "
+                f"P = {r.period:8.4f}  ({rungs} evals over "
+                f"{len(r.rungs)} rung{'s' if len(r.rungs) != 1 else ''})"
+            )
+        print(f"  best period : {res.period:.4f}\n")
+
+    fair = results["fair-share"].period
+    racing = results["racing"].period
+    assert racing <= fair, (racing, fair)
+    print(f"racing {racing:.4f} <= fair-share {fair:.4f} at equal budget")
+
+
+if __name__ == "__main__":
+    main()

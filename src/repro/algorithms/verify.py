@@ -25,7 +25,6 @@ import numpy as np
 from ..core.instance import Instance
 from ..core.models import CommModel
 from ..errors import SolverError
-from ..maxplus.graph import RatioGraph
 from ..maxplus.howard import max_cycle_ratio_howard
 from ..maxplus.spectral import potentials
 from ..petri.builder import DEFAULT_MAX_ROWS, build_tpn

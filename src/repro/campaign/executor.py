@@ -100,6 +100,22 @@ class CampaignReport:
         """Whether every point of the spec is now stored."""
         return self.remaining == 0
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the CLI's ``run --summary-json`` payload).
+
+        Plain scalars only, so CI scripts can assert on parsed fields
+        instead of grepping the human-formatted run summary.
+        """
+        return {
+            "campaign": self.spec_name,
+            "total": self.total,
+            "hits": self.hits,
+            "evaluated": self.evaluated,
+            "remaining": self.remaining,
+            "groups": self.groups,
+            "complete": self.complete,
+        }
+
 
 def order_for_engine(
     pairs: Sequence[tuple[Instance, str]]

@@ -164,14 +164,16 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         max_iters=args.iters, max_paths=args.max_rows,
         n_jobs=args.jobs if args.jobs != 1 else None,
         warm_start=args.warm_start,
+        allocator=args.allocator,
     )
     print(f"portfolio      : {args.restarts} restarts, "
           f"budget {args.budget} evaluations "
-          f"({result.evaluations} spent)")
-    print(f"{'restart':>7} {'kind':>16} {'evals':>6} {'period':>12}")
+          f"({result.evaluations} spent, {result.allocator} allocator)")
+    print(f"{'restart':>7} {'kind':>16} {'evals':>6} {'rungs':>6} "
+          f"{'period':>12}")
     for r in result.restarts:
         print(f"{r.index:>7} {r.kind:>16} {r.evaluations:>6} "
-              f"{format_time(r.period):>12}")
+              f"{len(r.rungs):>6} {format_time(r.period):>12}")
     print(f"best mapping   : {[list(s) for s in result.mapping.assignments]}")
     best = result.best_restart
     provenance = f" (restart {best.index}, {best.kind})" if best else \
@@ -292,6 +294,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_machine_json(path: str, payload: dict) -> None:
+    """Canonical JSON to a file, or stdout when ``path`` is ``-``."""
+    from .experiments.io import canonical_json
+
+    text = canonical_json(payload, indent=2) + "\n"
+    if path == "-":
+        sys.stdout.write(text)
+    else:
+        Path(path).write_text(text, newline="")
+        print(f"wrote {path}")
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
         CampaignSpec,
@@ -322,14 +336,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                   f"({report.groups} topology groups)")
             print(f"remaining      : {report.remaining}"
                   + ("" if report.complete else "  (rerun to continue)"))
+            if args.summary_json:
+                # Machine-readable twin of the summary above: CI asserts
+                # on parsed fields, immune to human-format reflowing.
+                _write_machine_json(args.summary_json, report.to_dict())
         elif args.action == "status":
             status = campaign_status(spec, store)
-            print(f"campaign       : {status['campaign']}")
-            print(f"done           : {status['done']} / {status['total']}")
-            for cell in status["cells"]:
-                print(f"  {cell['application']} | {cell['platform']} | "
-                      f"{cell['replication']} | {cell['model']:<7} : "
-                      f"{cell['done']}/{cell['total']}")
+            if args.json_out:
+                _write_machine_json(args.json_out, status)
+            else:
+                print(f"campaign       : {status['campaign']}")
+                print(f"done           : {status['done']} / {status['total']}")
+                for cell in status["cells"]:
+                    print(f"  {cell['application']} | {cell['platform']} | "
+                          f"{cell['replication']} | {cell['model']:<7} : "
+                          f"{cell['done']}/{cell['total']}")
         # run/export both honor --json/--csv; status has no artifacts.
         if args.action in ("run", "export"):
             # A truncated run (--max-points) exporting right away is
@@ -445,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed Howard's policy iteration from the previous "
                         "instance of each topology group (period values "
                         "unchanged; extracted cycles may differ)")
+    p.add_argument("--allocator", default="fair-share",
+                   choices=["fair-share", "racing"],
+                   help="budget allocation across restarts: even splits "
+                        "(fair-share) or successive halving over resumable "
+                        "climbs (racing)")
     p.add_argument("--json", dest="json_out", default=None,
                    help="write the full result (restart traces) as JSON")
     p.add_argument("--csv", default=None,
@@ -536,7 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print progress while running")
     p.add_argument("--json", dest="json_out", default=None,
-                   help="write the joined results as deterministic JSON")
+                   help="run/export: write the joined results as "
+                        "deterministic JSON; status: write the progress "
+                        "summary as canonical JSON ('-' for stdout)")
+    p.add_argument("--summary-json", dest="summary_json", default=None,
+                   help="run: write the run summary (points/hits/evaluated/"
+                        "remaining) as canonical JSON ('-' for stdout)")
     p.add_argument("--csv", default=None,
                    help="write the joined results as deterministic CSV")
     p.add_argument("--allow-partial", action="store_true",

@@ -14,7 +14,7 @@ paper's parameterization of experiments by time ranges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -147,6 +147,7 @@ _RESTART_COLUMNS = [
     "evaluations",
     "trace",
     "assignments",
+    "rungs",
 ]
 
 
@@ -170,7 +171,8 @@ def restarts_to_csv(
 ) -> str:
     """One CSV row per restart of a portfolio; writes ``path`` if given.
 
-    ``trace`` is space-separated (``repr`` floats, lossless); stages of
+    ``trace`` and ``rungs`` (per-grant evaluation counts) are
+    space-separated (``repr`` floats for the trace, lossless); stages of
     ``assignments`` are ``|``-separated with space-separated processor
     indices, e.g. ``"0|1 2|3"``.
     """
@@ -186,6 +188,7 @@ def restarts_to_csv(
             r.evaluations,
             " ".join(repr(t) for t in r.trace),
             "|".join(" ".join(str(u) for u in s) for s in r.assignments),
+            " ".join(str(n) for n in r.rungs),
         ])
     text = buf.getvalue()
     if path is not None:

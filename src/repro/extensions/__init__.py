@@ -10,6 +10,7 @@ the exact period oracle of :mod:`repro.core.throughput`.
 from .dynamic import DynamicPlatformModel, ThroughputDistribution, simulate_dynamic
 from .mapping_opt import (
     MappingSearchResult,
+    SearchCheckpoint,
     greedy_mapping,
     local_search_mapping,
     perturb_mapping,
@@ -22,6 +23,7 @@ __all__ = [
     "perturb_mapping",
     "random_mapping",
     "MappingSearchResult",
+    "SearchCheckpoint",
     "DynamicPlatformModel",
     "ThroughputDistribution",
     "simulate_dynamic",

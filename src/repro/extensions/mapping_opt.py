@@ -37,6 +37,16 @@ a fixed oracle allowance:
 * :func:`perturb_mapping` — a seeded kick of an elite mapping (random
   swap/move/rotate moves) used to diversify restarts around the current
   best solution.
+* ``checkpoint=`` — resume a climb that a budget slice truncated.  When
+  the pool dries mid-climb, :func:`local_search_mapping` returns a
+  :class:`SearchCheckpoint` (incumbent mapping, RNG state, neighborhood
+  scan cursor) on the result; passing it back resumes the climb exactly
+  where it paused.  The **resume invariant**: a climb paused and resumed
+  any number of times visits the same evaluations, accepts the same
+  moves and reaches the same incumbent as one uninterrupted climb given
+  the same total grant — racing allocators
+  (:class:`repro.search.allocator.RacingAllocator`) rely on this to
+  truncate restarts without losing their progress.
 """
 
 from __future__ import annotations
@@ -58,6 +68,7 @@ from ..experiments.generator import random_replication
 
 __all__ = [
     "MappingSearchResult",
+    "SearchCheckpoint",
     "random_mapping",
     "greedy_mapping",
     "local_search_mapping",
@@ -88,6 +99,62 @@ def _charge(budget: _Budget | None, n: int = 1) -> int:
 
 
 @dataclass(frozen=True)
+class SearchCheckpoint:
+    """Resumable state of a budget-paused :func:`local_search_mapping`.
+
+    Captures everything the climb needs to continue exactly where a
+    truncated budget slice stopped it: the incumbent mapping, the RNG
+    state (*after* the current neighborhood permutation was drawn), and
+    the scan cursor into that shuffled neighborhood.  Passing the
+    checkpoint back via ``local_search_mapping(checkpoint=...)`` resumes
+    the climb bit-identically: the interrupted-and-resumed trajectory
+    equals the uninterrupted one at equal total grants.
+
+    Attributes
+    ----------
+    assignments:
+        The climb's current mapping (incumbent once ``started``).
+    period:
+        Best period reached so far (``inf`` before the first
+        evaluation completed).
+    evaluations:
+        Cumulative oracle calls across all grants of this climb.
+    trace:
+        Cumulative accepted-period trace across all grants.
+    iteration:
+        Completed improving iterations (counts against ``max_iters``).
+    cursor:
+        Next position to evaluate in the current neighborhood's
+        shuffled candidate list.
+    order:
+        The current neighborhood's shuffled scan order (``None`` when
+        paused before the first iteration's permutation draw).
+    rng_state:
+        ``numpy`` bit-generator state to restore on resume.
+    started:
+        Whether the start mapping's own evaluation completed (a climb
+        can starve before its very first oracle call).
+    """
+
+    assignments: tuple[tuple[int, ...], ...]
+    period: float
+    evaluations: int
+    trace: tuple[float, ...]
+    iteration: int
+    cursor: int
+    order: tuple[int, ...] | None
+    rng_state: dict
+    started: bool
+
+
+def _restore_rng(state: dict) -> np.random.Generator:
+    """Rebuild a Generator from a stored bit-generator state dict."""
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+@dataclass(frozen=True)
 class MappingSearchResult:
     """Outcome of a mapping search.
 
@@ -98,16 +165,24 @@ class MappingSearchResult:
     period:
         Its exact period.
     evaluations:
-        Number of period-oracle calls spent.
+        Number of period-oracle calls spent *by this call* (a resumed
+        climb reports only the evaluations of the resuming grant; the
+        checkpoint carries the cumulative count).
     trace:
         Periods of successive accepted solutions (monotone for the
-        hill-climbers; useful for convergence plots).
+        hill-climbers; useful for convergence plots).  Like
+        ``evaluations``, only this call's accepted moves.
+    checkpoint:
+        ``None`` when the climb finished (converged or hit
+        ``max_iters``); a :class:`SearchCheckpoint` when a budget dried
+        up mid-climb and the search can be resumed.
     """
 
     mapping: Mapping
     period: float
     evaluations: int
     trace: tuple[float, ...]
+    checkpoint: SearchCheckpoint | None = None
 
 
 def _evaluate(
@@ -268,6 +343,45 @@ def greedy_mapping(
     )
 
 
+def _neighborhood_moves(assign: list[list[int]]) -> list[list[list[int]]]:
+    """All candidate moves of one hill-climbing iteration, in the fixed
+    enumeration order the shuffled scan permutes.
+
+    Moves: (a) swap two processors between stages, (b) move a spare or
+    replicated processor to another stage, (c) rotate a stage's replica
+    order (changes round-robin phase, which matters for comm pairing).
+    """
+    n = len(assign)
+    moves: list[list[list[int]]] = []
+    # (a) swaps
+    for i in range(n):
+        for j in range(i + 1, n):
+            for a in range(len(assign[i])):
+                for b in range(len(assign[j])):
+                    trial = [list(s) for s in assign]
+                    trial[i][a], trial[j][b] = trial[j][b], trial[i][a]
+                    moves.append(trial)
+    # (b) moves of a replica (only from stages with >= 2 replicas)
+    for i in range(n):
+        if len(assign[i]) < 2:
+            continue
+        for a in range(len(assign[i])):
+            for j in range(n):
+                if j == i:
+                    continue
+                trial = [list(s) for s in assign]
+                proc = trial[i].pop(a)
+                trial[j].append(proc)
+                moves.append(trial)
+    # (c) rotations
+    for i in range(n):
+        if len(assign[i]) >= 2:
+            trial = [list(s) for s in assign]
+            trial[i] = trial[i][1:] + trial[i][:1]
+            moves.append(trial)
+    return moves
+
+
 def local_search_mapping(
     app: Application,
     plat: Platform,
@@ -279,6 +393,7 @@ def local_search_mapping(
     engine: BatchEngine | None = None,
     n_jobs: int | None = None,
     budget: _Budget | None = None,
+    checkpoint: SearchCheckpoint | None = None,
 ) -> MappingSearchResult:
     """First-improvement hill climbing over mapping neighborhoods.
 
@@ -303,76 +418,94 @@ def local_search_mapping(
     the first improving move.  Budgeted searches therefore charge — and
     stop — exactly like the serial search at any ``n_jobs``, and the
     incumbent is returned when the pool dries either way.
+
+    A search its budget paused mid-climb carries a
+    :class:`SearchCheckpoint` on the result; pass it back as
+    ``checkpoint=`` (with a fresh budget grant) to resume the climb
+    exactly where it stopped — ``rng`` and ``start`` are then taken
+    from the checkpoint and the arguments are ignored.  Pausing at any
+    grant boundary and resuming is bit-identical to one uninterrupted
+    climb given the same total grant, at any ``n_jobs``.
     """
     model = CommModel.parse(model)
     eng = _search_engine(engine, max_paths)
-    rng = rng if rng is not None else np.random.default_rng(0)
-    mapping = start if start is not None else random_mapping(app, plat, rng, max_paths)
+    if checkpoint is not None:
+        rng = _restore_rng(checkpoint.rng_state)
+        mapping = Mapping([tuple(s) for s in checkpoint.assignments],
+                          n_processors=plat.n_processors)
+        best = checkpoint.period
+        prior_evals = checkpoint.evaluations
+        prior_trace = checkpoint.trace
+        iteration = checkpoint.iteration
+        cursor = checkpoint.cursor
+        order = None if checkpoint.order is None else \
+            np.asarray(checkpoint.order, dtype=np.intp)
+        started = checkpoint.started
+    else:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        mapping = start if start is not None \
+            else random_mapping(app, plat, rng, max_paths)
+        best = float("inf")
+        prior_evals = 0
+        prior_trace = ()
+        iteration = 0
+        cursor = 0
+        order = None
+        started = False
 
-    evaluations = 0
+    evaluations = 0  # this grant only; the checkpoint carries the total
+    trace: list[float] = []
 
-    def period_of(m: Mapping) -> float:
-        nonlocal evaluations
-        _charge(budget)
+    def paused() -> MappingSearchResult:
+        """The incumbent plus a checkpoint to resume from (pool dried)."""
+        cp = SearchCheckpoint(
+            assignments=mapping.assignments,
+            period=best,
+            evaluations=prior_evals + evaluations,
+            trace=prior_trace + tuple(trace),
+            iteration=iteration,
+            cursor=cursor,
+            order=None if order is None else tuple(int(k) for k in order),
+            rng_state=rng.bit_generator.state,
+            started=started,
+        )
+        return MappingSearchResult(mapping=mapping, period=best,
+                                   evaluations=evaluations,
+                                   trace=tuple(trace), checkpoint=cp)
+
+    if not started:
+        if budget is not None and budget.take(1) == 0:
+            return paused()
         evaluations += 1
-        return _evaluate(app, plat, m, model, max_paths, eng)
+        best = _evaluate(app, plat, mapping, model, max_paths, eng)
+        started = True
+        trace.append(best)
 
-    try:
-        best = period_of(mapping)
-    except _BudgetExhausted:
-        return MappingSearchResult(mapping=mapping, period=float("inf"),
-                                   evaluations=evaluations, trace=())
-    trace = [best]
-    n = app.n_stages
-    for _ in range(max_iters):
-        improved = False
+    while iteration < max_iters:
         assign = [list(s) for s in mapping.assignments]
-        moves: list[list[list[int]]] = []
-        # (a) swaps
-        for i in range(n):
-            for j in range(i + 1, n):
-                for a in range(len(assign[i])):
-                    for b in range(len(assign[j])):
-                        trial = [list(s) for s in assign]
-                        trial[i][a], trial[j][b] = trial[j][b], trial[i][a]
-                        moves.append(trial)
-        # (b) moves of a replica (only from stages with >= 2 replicas)
-        for i in range(n):
-            if len(assign[i]) < 2:
+        moves = _neighborhood_moves(assign)
+        if order is None:
+            order = rng.permutation(len(moves))
+            cursor = 0
+        candidates: list[tuple[int, Mapping]] = []
+        for k in order:
+            try:
+                m2 = Mapping([tuple(s) for s in moves[int(k)]],
+                             n_processors=plat.n_processors)
+            except ValidationError:
                 continue
-            for a in range(len(assign[i])):
-                for j in range(n):
-                    if j == i:
-                        continue
-                    trial = [list(s) for s in assign]
-                    proc = trial[i].pop(a)
-                    trial[j].append(proc)
-                    moves.append(trial)
-        # (c) rotations
-        for i in range(n):
-            if len(assign[i]) >= 2:
-                trial = [list(s) for s in assign]
-                trial[i] = trial[i][1:] + trial[i][:1]
-                moves.append(trial)
-
-        order = rng.permutation(len(moves))
+            candidates.append((int(k), m2))
+        improved = False
+        pause = False
         if n_jobs is not None and n_jobs != 1:
-            # Batch path: evaluate the whole (valid) neighborhood at once,
-            # then accept the first improving move in shuffled order — the
-            # same move the serial scan would have accepted.
-            candidates: list[tuple[int, Mapping]] = []
-            for k in order:
-                try:
-                    m2 = Mapping([tuple(s) for s in moves[int(k)]],
-                                 n_processors=plat.n_processors)
-                except ValidationError:
-                    continue
-                candidates.append((int(k), m2))
+            # Batch path: evaluate the whole remaining (valid)
+            # neighborhood at once, then accept the first improving move
+            # in shuffled order — the same move the serial scan accepts.
             # Budget truncation keeps the shuffled scan prefix, so the
             # trajectory matches the serial search up to the dry point.
-            grant = len(candidates) if budget is None \
-                else budget.take(len(candidates))
-            scan = candidates[:grant]
+            todo = candidates[cursor:]
+            grant = len(todo) if budget is None else budget.take(len(todo))
+            scan = todo[:grant]
             feasible = [(k, m2) for k, m2 in scan
                         if m2.num_paths <= max_paths]
             insts = [Instance(app, plat, m2) for _, m2 in feasible]
@@ -406,24 +539,31 @@ def local_search_mapping(
                         charged = pos + 1
                     break
             evaluations += charged
+            if not improved and grant < len(todo):
+                cursor += grant
+                pause = True
         else:
-            try:
-                for k in order:
-                    trial = moves[int(k)]
-                    try:
-                        m2 = Mapping([tuple(s) for s in trial],
-                                     n_processors=plat.n_processors)
-                    except ValidationError:
-                        continue
-                    val = period_of(m2)
-                    if val < best * (1 - 1e-12):
-                        mapping, best = m2, val
-                        trace.append(best)
-                        improved = True
-                        break
-            except _BudgetExhausted:
-                pass  # pool dry mid-scan: no improvement found, stop below
+            pos = cursor
+            while pos < len(candidates):
+                k, m2 = candidates[pos]
+                if budget is not None and budget.take(1) == 0:
+                    cursor = pos
+                    pause = True
+                    break
+                evaluations += 1
+                val = _evaluate(app, plat, m2, model, max_paths, eng)
+                if val < best * (1 - 1e-12):
+                    mapping, best = m2, val
+                    trace.append(best)
+                    improved = True
+                    break
+                pos += 1
+        if pause:
+            return paused()
         if not improved:
             break
+        iteration += 1
+        order = None
+        cursor = 0
     return MappingSearchResult(mapping=mapping, period=best,
                                evaluations=evaluations, trace=tuple(trace))

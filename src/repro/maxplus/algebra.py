@@ -87,8 +87,15 @@ def mp_star(a: np.ndarray, max_iter: int | None = None) -> np.ndarray:
 
     Converges iff every cycle of ``a`` has non-positive weight; for the
     TPN usage the support of ``a`` is **acyclic** (the 0-token subgraph)
-    so ``a*`` is reached after at most ``n`` squarings.  Divergence is
-    detected (entry growth past ``n`` terms) and reported.
+    so ``a*`` is reached after at most ``⌈log2 n⌉ + 1`` squarings.
+    Divergence (a positive-weight cycle) is detected via the diagonal
+    once every path length is covered, not by an iteration cap alone:
+    repeated squaring re-associates the path sums, so floating-point
+    addition can keep nudging already-correct entries by one ulp for a
+    few extra rounds — the entries are monotone and bounded, so that
+    creep settles, and mistaking it for divergence would reject valid
+    acyclic inputs (found by hypothesis on a strict-model TPN whose
+    durations carried 1-ulp noise).
     """
     n = a.shape[0]
     acc = np.maximum(mp_eye(n), np.asarray(a, dtype=float))
@@ -98,9 +105,26 @@ def mp_star(a: np.ndarray, max_iter: int | None = None) -> np.ndarray:
         if np.array_equal(nxt, acc):
             return acc
         acc = nxt
+    # All path lengths <= n are covered now, so any positive-weight
+    # cycle has surfaced on the diagonal: that is true divergence.
+    if np.any(np.diag(acc) > 0):
+        raise SolverError(
+            "max-plus star did not converge: the matrix has a "
+            "positive-weight cycle (the 0-token subgraph of a TPN must "
+            "be acyclic)"
+        )
+    # Only floating-point re-association creep remains; entries are
+    # non-decreasing and bounded so the fixpoint is reached after a few
+    # more rounds (64 is a generous backstop, typical is 1-2).
+    for _ in range(64):
+        nxt = np.maximum(mp_eye(n), mp_matmul(acc, acc))
+        if np.array_equal(nxt, acc):
+            return acc
+        acc = nxt
     raise SolverError(
-        "max-plus star did not converge: the matrix has a positive-weight "
-        "cycle (the 0-token subgraph of a TPN must be acyclic)"
+        "max-plus star did not stabilize: entries kept changing after "
+        "every path length was covered and no positive-weight cycle "
+        "was found"
     )
 
 

@@ -214,7 +214,7 @@ def mp_eigenvector(a: np.ndarray, tol: float = 1e-9) -> tuple[float, np.ndarray]
         When the matrix is reducible (no finite eigenvector exists in
         general) — detected via strong connectivity of the support graph.
     """
-    from .algebra import matrix_to_graph, mp_matmul, mp_star
+    from .algebra import matrix_to_graph, mp_matmul
 
     a = np.asarray(a, dtype=float)
     n = a.shape[0]

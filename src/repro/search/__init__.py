@@ -9,18 +9,29 @@ the mapping (Benoit & Robert, JPDC 2008; Benoit, Rehn-Sonigo & Robert,
 
 * :class:`~repro.search.budget.EvaluationBudget` — the shared
   oracle-call pool that makes heuristics comparable at equal cost;
+* :mod:`repro.search.allocator` — pluggable budget-allocation
+  strategies over that pool: :class:`~repro.search.allocator.FairShareAllocator`
+  (even splits) and :class:`~repro.search.allocator.RacingAllocator`
+  (successive halving over checkpoint-resumable climbs);
 * :func:`~repro.search.portfolio.portfolio_search` — diversified
   greedy / random / perturbed-elite restarts of
   :func:`~repro.extensions.mapping_opt.local_search_mapping` over one
   shared :class:`~repro.engine.batch.BatchEngine`, with deterministic
-  ``crc32``-keyed seeding, per-restart traces and optional Howard warm
-  starting.
+  ``crc32``-keyed seeding, per-restart (and per-rung) traces and
+  optional Howard warm starting.
 
-Exposed on the CLI as ``repro-workflow optimize``; see
-``benchmarks/bench_portfolio.py`` for the equal-budget comparison
-against single-start local search.
+Exposed on the CLI as ``repro-workflow optimize [--allocator racing]``;
+see ``benchmarks/bench_portfolio.py`` for the equal-budget three-way
+comparison against single-start local search.
 """
 
+from .allocator import (
+    BudgetAllocator,
+    Climb,
+    FairShareAllocator,
+    RacingAllocator,
+    resolve_allocator,
+)
 from .budget import EvaluationBudget
 from .portfolio import (
     PortfolioResult,
@@ -30,9 +41,14 @@ from .portfolio import (
 )
 
 __all__ = [
+    "BudgetAllocator",
+    "Climb",
     "EvaluationBudget",
+    "FairShareAllocator",
     "PortfolioResult",
+    "RacingAllocator",
     "RestartRecord",
     "portfolio_search",
     "portfolio_seeds",
+    "resolve_allocator",
 ]

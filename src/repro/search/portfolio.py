@@ -16,8 +16,16 @@ budget across several basins and keeps the best incumbent:
   moves (:func:`repro.extensions.mapping_opt.perturb_mapping`) and climb
   from the neighbor — exploitation between the exploration draws;
 * a final **intensify** phase resumes the climb from the incumbent with
-  whatever budget the fair-share controller has left, so a promising
-  basin truncated by its slice is still driven to a local optimum.
+  whatever budget the allocator left unspent, so a promising basin
+  truncated by its slice is still driven to a local optimum.
+
+*How the shared budget is dealt* across the restarts is pluggable
+(``allocator=``, :mod:`repro.search.allocator`): ``"fair-share"`` caps
+every restart at an even split of the remaining pool (the original
+controller), ``"racing"`` runs successive halving — all restarts start
+on small slices, the best ⌈half⌉ (by incumbent period, ties to the
+earlier index) resume their checkpointed climbs with doubled slices
+each rung, and the last survivor drains the pool.
 
 All restarts share one :class:`~repro.engine.batch.BatchEngine`, so a
 mapping topology proposed twice — common, neighborhoods overlap heavily
@@ -58,6 +66,7 @@ from ..extensions.mapping_opt import (
     local_search_mapping,
     perturb_mapping,
 )
+from .allocator import BudgetAllocator, Climb, resolve_allocator
 from .budget import EvaluationBudget
 
 __all__ = [
@@ -92,11 +101,15 @@ class RestartRecord:
         Best period this restart reached (``inf`` if the budget dried
         up before its first evaluation completed).
     evaluations:
-        Oracle calls this restart was granted.
+        Oracle calls this restart was granted (summed over its rungs).
     trace:
         Periods of successive accepted solutions (monotone).
     assignments:
         The restart's best mapping.
+    rungs:
+        Evaluations spent in each budget grant of this restart.  A
+        fair-share restart runs in one rung; a racing restart that
+        survives ``k`` promotions records ``k + 1`` entries.
     """
 
     index: int
@@ -106,6 +119,7 @@ class RestartRecord:
     evaluations: int
     trace: tuple[float, ...]
     assignments: tuple[tuple[int, ...], ...]
+    rungs: tuple[int, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-ready representation (``period`` is ``None`` if starved)."""
@@ -117,6 +131,7 @@ class RestartRecord:
             "evaluations": self.evaluations,
             "trace": list(self.trace),
             "assignments": [list(s) for s in self.assignments],
+            "rungs": list(self.rungs),
         }
 
 
@@ -139,6 +154,9 @@ class PortfolioResult:
         Communication model value ("overlap"/"strict").
     restarts:
         Per-restart records, in schedule order.
+    allocator:
+        Name of the budget allocator that dealt the pool
+        (``"fair-share"`` / ``"racing"``).
     """
 
     mapping: Mapping
@@ -147,17 +165,26 @@ class PortfolioResult:
     budget: int | None
     model: str
     restarts: tuple[RestartRecord, ...]
+    allocator: str = "fair-share"
 
     @property
     def best_restart(self) -> RestartRecord | None:
         """The record that produced :attr:`mapping` (first on ties).
+
+        Provenance is matched on the mapping itself: racing rungs
+        interleave incumbent updates, so the lowest ``(period, index)``
+        record can be a *tied* climb that produced a different mapping —
+        records carrying :attr:`mapping`'s assignments take precedence.
 
         ``None`` when the portfolio was starved before any restart ran
         (``budget=0``) — the same runs whose :attr:`period` is ``inf``.
         """
         if not self.restarts:
             return None
-        return min(self.restarts, key=lambda r: (r.period, r.index))
+        produced = [r for r in self.restarts
+                    if r.assignments == self.mapping.assignments]
+        pool = produced or self.restarts
+        return min(pool, key=lambda r: (r.period, r.index))
 
     def to_dict(self) -> dict:
         """JSON-ready representation (see ``portfolio_to_json``).
@@ -167,6 +194,7 @@ class PortfolioResult:
         """
         return {
             "model": self.model,
+            "allocator": self.allocator,
             "period": _json_period(self.period),
             "evaluations": self.evaluations,
             "budget": self.budget,
@@ -212,13 +240,13 @@ def _restart_kind(index: int, has_elite: bool) -> str:
 
 
 class _BudgetSlice:
-    """One restart's fair share of the shared pool.
+    """One restart's slice of the shared pool.
 
     Without slicing, the first climb drains the whole pool and the
-    "portfolio" degenerates to single-start: each restart is therefore
-    capped at ``remaining / restarts_left`` grants, while still charging
-    the shared pool so under-spent slices (an early local optimum) roll
-    forward into later restarts' shares.
+    "portfolio" degenerates to single-start: the allocator therefore
+    caps each grant (an even split for fair-share, a rung slice for
+    racing), while still charging the shared pool so under-spent slices
+    (an early local optimum) roll forward into later grants.
     """
 
     def __init__(self, pool: EvaluationBudget, cap: int | None) -> None:
@@ -238,6 +266,113 @@ class _BudgetSlice:
         self._pool.refund(n)
 
 
+class _ClimbDriver:
+    """``portfolio_search``'s launch/resume services for allocators.
+
+    Owns the restart semantics (seed streams, greedy/random/elite
+    starts, the shared engine) and the incumbent; the allocator only
+    decides grant sizes and ordering.  Implements
+    :class:`repro.search.allocator.ClimbDriver`.
+    """
+
+    def __init__(self, app: Application, plat: Platform, model: CommModel,
+                 eng: BatchEngine, pool: EvaluationBudget, root_seed: int,
+                 n_restarts: int, max_iters: int, max_paths: int,
+                 perturbation_moves: int, n_jobs: int | None) -> None:
+        self.app = app
+        self.plat = plat
+        self.model = model
+        self.eng = eng
+        self.pool = pool
+        self.root_seed = root_seed
+        self.n_restarts = n_restarts
+        self.max_iters = max_iters
+        self.max_paths = max_paths
+        self.perturbation_moves = perturbation_moves
+        self.n_jobs = n_jobs
+        self.best_mapping: Mapping | None = None
+        self.best_period = float("inf")
+        self._children = portfolio_seeds(app, model, n_restarts + 1,
+                                         root_seed=root_seed)
+
+    def _seed(self, index: int) -> int:
+        """Seed entropy of restart ``index`` (lazily grown seed tree).
+
+        Children ``0 .. n_restarts - 1`` are the scheduled restarts and
+        child ``n_restarts`` drives the intensify phase; allocators that
+        launch extra restarts (racing brackets) get the children after
+        it — ``portfolio_seeds`` is prefix-stable, so growing the tree
+        never reshuffles earlier seeds.
+        """
+        child = index if index < self.n_restarts else index + 1
+        if child >= len(self._children):
+            self._children = portfolio_seeds(self.app, self.model, child + 1,
+                                             root_seed=self.root_seed)
+        return self._children[child]
+
+    def _note(self, climb: Climb) -> None:
+        """Track the incumbent (first achiever wins ties)."""
+        if climb.period < self.best_period and climb.mapping is not None:
+            self.best_period = climb.period
+            self.best_mapping = climb.mapping
+
+    def launch(self, index: int, cap: int | None) -> Climb:
+        """Run restart ``index`` under a budget cap (one rung)."""
+        seed = self._seed(index)
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        kind = _restart_kind(index, self.best_mapping is not None)
+        slice_budget = _BudgetSlice(self.pool, cap)
+
+        extra_evals = 0
+        extra_trace: tuple[float, ...] = ()
+        if kind == "greedy":
+            g = greedy_mapping(self.app, self.plat, self.model,
+                               max_paths=self.max_paths, engine=self.eng,
+                               budget=slice_budget)
+            start = g.mapping if np.isfinite(g.period) else None
+            extra_evals, extra_trace = g.evaluations, g.trace
+        elif kind == "perturbed-elite":
+            start = perturb_mapping(self.best_mapping, rng,
+                                    moves=self.perturbation_moves,
+                                    n_processors=self.plat.n_processors)
+        else:
+            start = None  # drawn uniformly inside local_search_mapping
+
+        res: MappingSearchResult = local_search_mapping(
+            self.app, self.plat, self.model, rng=rng, start=start,
+            max_iters=self.max_iters, max_paths=self.max_paths,
+            engine=self.eng, n_jobs=self.n_jobs, budget=slice_budget,
+        )
+        climb = Climb(index=index, kind=kind, seed=seed)
+        climb.period = min(res.period, *extra_trace) if extra_trace \
+            else res.period
+        climb.evaluations = extra_evals + res.evaluations
+        climb.trace = extra_trace + res.trace
+        climb.mapping = res.mapping
+        climb.checkpoint = res.checkpoint
+        climb.rungs = (climb.evaluations,)
+        self._note(climb)
+        return climb
+
+    def resume(self, climb: Climb, cap: int | None) -> None:
+        """Grant a paused climb another rung from its checkpoint."""
+        if climb.checkpoint is None:
+            return
+        slice_budget = _BudgetSlice(self.pool, cap)
+        res = local_search_mapping(
+            self.app, self.plat, self.model, checkpoint=climb.checkpoint,
+            max_iters=self.max_iters, max_paths=self.max_paths,
+            engine=self.eng, n_jobs=self.n_jobs, budget=slice_budget,
+        )
+        climb.period = min(climb.period, res.period)
+        climb.evaluations += res.evaluations
+        climb.trace = climb.trace + res.trace
+        climb.mapping = res.mapping
+        climb.checkpoint = res.checkpoint
+        climb.rungs = climb.rungs + (res.evaluations,)
+        self._note(climb)
+
+
 def portfolio_search(
     app: Application,
     plat: Platform,
@@ -251,6 +386,7 @@ def portfolio_search(
     engine: BatchEngine | None = None,
     n_jobs: int | None = None,
     warm_start: bool = False,
+    allocator: str | BudgetAllocator = "fair-share",
 ) -> PortfolioResult:
     """Multi-start local search under a shared evaluation budget.
 
@@ -268,10 +404,9 @@ def portfolio_search(
         mapping exists (fewer processors than stages).
     budget:
         Total period-oracle evaluations granted across all restarts
-        (``None`` = unlimited).  The controller deals each restart a
-        fair share — at most ``remaining / restarts_left`` — so one
-        deep climb cannot starve the rest of the schedule; slices a
-        restart leaves unspent (early local optimum) roll forward.
+        (``None`` = unlimited).  How the pool is dealt is the
+        ``allocator``'s business; slices a restart leaves unspent
+        (early local optimum) always roll forward.
     root_seed:
         Root entropy of the :func:`portfolio_seeds` tree.
     max_iters:
@@ -292,6 +427,12 @@ def portfolio_search(
         Enable Howard warm starting inside the default engine (ignored
         when ``engine`` is passed).  Off by default: period values are
         identical either way, only extracted critical cycles may differ.
+    allocator:
+        Budget-allocation strategy: ``"fair-share"`` (even split, the
+        default), ``"racing"`` (successive halving over checkpointed
+        climbs), or any :class:`~repro.search.allocator.BudgetAllocator`
+        instance.  Equal budget either way — only the spending schedule
+        differs.
 
     Examples
     --------
@@ -305,6 +446,7 @@ def portfolio_search(
     True
     """
     model = CommModel.parse(model)
+    alloc = resolve_allocator(allocator)
     if plat.n_processors < app.n_stages:
         # No valid replicated mapping exists at all (a processor runs at
         # most one stage, every stage needs one) — fail loudly up front.
@@ -318,55 +460,27 @@ def portfolio_search(
     # SeedSequence.spawn is prefix-stable, so seeds[:n_restarts] equals
     # portfolio_seeds(..., n_restarts); the extra child drives the final
     # intensify phase.
-    seeds = portfolio_seeds(app, model, n_restarts + 1, root_seed=root_seed)
-    final_seed = seeds.pop()
+    final_seed = portfolio_seeds(app, model, n_restarts + 1,
+                                 root_seed=root_seed)[-1]
 
-    best_mapping: Mapping | None = None
-    best_period = float("inf")
-    restarts: list[RestartRecord] = []
-
-    for index, seed in enumerate(seeds):
-        if pool.exhausted:
-            break
-        rng = np.random.default_rng(np.random.SeedSequence(seed))
-        kind = _restart_kind(index, best_mapping is not None)
-        # Fair-share controller: this restart may draw at most an even
-        # split of what is left (under-spent slices roll forward).
-        cap = None if pool.remaining is None else max(
-            1, pool.remaining // (n_restarts - index))
-        slice_budget = _BudgetSlice(pool, cap)
-
-        extra_evals = 0
-        extra_trace: tuple[float, ...] = ()
-        if kind == "greedy":
-            g = greedy_mapping(app, plat, model, max_paths=max_paths,
-                               engine=eng, budget=slice_budget)
-            start = g.mapping if np.isfinite(g.period) else None
-            extra_evals, extra_trace = g.evaluations, g.trace
-        elif kind == "perturbed-elite":
-            start = perturb_mapping(best_mapping, rng,
-                                    moves=perturbation_moves,
-                                    n_processors=plat.n_processors)
-        else:
-            start = None  # drawn uniformly inside local_search_mapping
-
-        res: MappingSearchResult = local_search_mapping(
-            app, plat, model, rng=rng, start=start, max_iters=max_iters,
-            max_paths=max_paths, engine=eng, n_jobs=n_jobs,
-            budget=slice_budget,
+    driver = _ClimbDriver(app, plat, model, eng, pool, root_seed, n_restarts,
+                          max_iters, max_paths, perturbation_moves, n_jobs)
+    climbs = alloc.allocate(driver)
+    restarts = [
+        RestartRecord(
+            index=c.index,
+            kind=c.kind,
+            seed=c.seed,
+            period=c.period,
+            evaluations=c.evaluations,
+            trace=c.trace,
+            assignments=c.mapping.assignments,
+            rungs=c.rungs,
         )
-        restarts.append(RestartRecord(
-            index=index,
-            kind=kind,
-            seed=seed,
-            period=min(res.period, *extra_trace) if extra_trace else res.period,
-            evaluations=extra_evals + res.evaluations,
-            trace=extra_trace + res.trace,
-            assignments=res.mapping.assignments,
-        ))
-        if restarts[-1].period < best_period:
-            best_period = restarts[-1].period
-            best_mapping = res.mapping
+        for c in climbs
+    ]
+    best_mapping = driver.best_mapping
+    best_period = driver.best_period
 
     if best_mapping is not None and not pool.exhausted and np.isfinite(best_period):
         # Intensify: resume from the incumbent with the leftover budget
@@ -377,14 +491,19 @@ def portfolio_search(
             max_iters=max_iters, max_paths=max_paths, engine=eng,
             n_jobs=n_jobs, budget=pool,
         )
+        # The next unused index: racing brackets may have launched extra
+        # restarts past n_restarts, and record indexes must stay unique.
+        intensify_index = max(
+            [n_restarts] + [c.index + 1 for c in climbs])
         restarts.append(RestartRecord(
-            index=n_restarts,
+            index=intensify_index,
             kind="intensify",
             seed=final_seed,
             period=res.period,
             evaluations=res.evaluations,
             trace=res.trace,
             assignments=res.mapping.assignments,
+            rungs=(res.evaluations,),
         ))
         if res.period < best_period:
             best_period = res.period
@@ -405,4 +524,5 @@ def portfolio_search(
         budget=budget,
         model=model.value,
         restarts=tuple(restarts),
+        allocator=alloc.name,
     )

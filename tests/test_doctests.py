@@ -32,6 +32,7 @@ MODULES = [
     "repro.campaign.store",
     "repro.campaign.executor",
     "repro.extensions.mapping_opt",
+    "repro.search.allocator",
     "repro.search.budget",
     "repro.search.portfolio",
     "repro.utils",

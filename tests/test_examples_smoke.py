@@ -25,6 +25,7 @@ SLOW = [
     "mapping_search.py",
     "dynamic_platform.py",
     "workload_survey.py",
+    "racing_portfolio.py",
 ]
 
 

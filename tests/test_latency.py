@@ -8,7 +8,7 @@ from repro import compute_period
 from repro.core.latency import measure_latency, path_latency_bound
 from repro.experiments import example_a
 
-from .conftest import make_instance, small_instances
+from .conftest import small_instances
 
 
 class TestPathBound:

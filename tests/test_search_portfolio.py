@@ -274,7 +274,8 @@ class TestPortfolioIO:
         path = tmp_path / "restarts.csv"
         text = restarts_to_csv(res, path)
         lines = path.read_text().strip().splitlines()
-        assert lines[0] == "index,kind,seed,period,evaluations,trace,assignments"
+        assert lines[0] == \
+            "index,kind,seed,period,evaluations,trace,assignments,rungs"
         assert len(lines) == 1 + len(res.restarts)
         assert text == path.read_text()
         # period column survives a float round trip losslessly (repr)

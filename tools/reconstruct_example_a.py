@@ -145,7 +145,6 @@ def batch_positive_cycle(W: np.ndarray, lam: float, src: np.ndarray,
     B, n = W.shape[0], 42
     order = np.argsort(dst, kind="stable")
     src_s, dst_s = src[order], dst[order]
-    starts = np.searchsorted(dst_s, np.arange(n))
     present = np.unique(dst_s)
     starts_present = np.searchsorted(dst_s, present)
     rw = W[:, src_s] - lam * tok[order]  # edge weight = dur(src transition)
