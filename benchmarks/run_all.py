@@ -9,13 +9,14 @@ are **committed** (``BENCH_4.json``, ``BENCH_5.json``, ...) so the
 trajectory accumulates in-repo, and ``--compare PREV.json`` turns the
 previous report into a regression gate.
 
-Wall-clock ratios (``engine_batch``, ``howard_many``) can flake on
-shared runners with no code defect, so each benchmark records its
-assertion outcome instead of aborting the whole report; the exit code
-is non-zero only if a *deterministic* benchmark (identity flags, round
-counts, seeded search periods) fails — and, under ``--compare``, if a
-deterministic contract that held in the previous report regressed
-(:data:`CONTRACTS`; wall-clock numbers are recorded but never gated).
+Since PR 6 every gated contract is deterministic (identity flags,
+policy-round ratios, skeleton-build counts, seeded search periods):
+BENCH_4/5.json record the old wall-clock speedup floors failing on CI
+hardware with no code defect, so wall-clock numbers are still
+*recorded* in the artifacts — the perf trajectory stays visible — but
+never gated.  The exit code is non-zero only if a deterministic
+contract fails, or, under ``--compare``, if one that held in the
+previous report regressed (:data:`CONTRACTS`).
 
 Usage::
 
@@ -35,7 +36,7 @@ from pathlib import Path
 SCHEMA = 2
 
 #: The PR this harness currently reports for.
-PR = 5
+PR = 6
 
 #: Cross-report deterministic contracts: ``--compare`` fails when the
 #: current value is worse than the previous report's.  Direction
@@ -45,6 +46,11 @@ PR = 5
 #: skipped, so reports from different PRs stay comparable.
 CONTRACTS = [
     ("howard_many_identity", "identical", ">="),
+    ("howard_many", "identical", ">="),
+    ("howard_many", "round_ratio", ">="),
+    ("howard_many", "rounds_lockstep_outer", "<="),
+    ("engine_batch", "identical", ">="),
+    ("engine_batch", "skeleton_builds", "<="),
     ("campaign_ordering", "identical", ">="),
     ("campaign_ordering", "campaign_rounds", "<="),
     ("campaign_ordering", "campaign_builds", "<="),
@@ -112,11 +118,12 @@ def collect() -> dict:
                 _assert(s["identical"], "group results diverged"),
                 _assert(s["rounds_scalar"] == s["rounds_lockstep"],
                         "lockstep trajectory diverged"),
-                _assert(s["speedup"] >= bench_howard_many.MIN_SPEEDUP,
-                        f"speedup {s['speedup']:.2f}x below "
-                        f"{bench_howard_many.MIN_SPEEDUP}x"),
+                _assert(s["round_ratio"] >= bench_howard_many.MIN_ROUND_RATIO,
+                        f"round ratio {s['round_ratio']:.1f} below the "
+                        f"deterministic "
+                        f"{bench_howard_many.MIN_ROUND_RATIO:g} floor"),
             ],
-            False,
+            True,
         ),
         (
             "howard_many_identity",
@@ -129,11 +136,11 @@ def collect() -> dict:
             bench_engine_batch.run_comparison,
             lambda s: [
                 _assert(s["identical"], "batched results diverged"),
-                _assert(s["speedup"] >= bench_engine_batch.MIN_SPEEDUP,
-                        f"speedup {s['speedup']:.2f}x below "
-                        f"{bench_engine_batch.MIN_SPEEDUP}x"),
+                _assert(s["skeleton_builds"] == 1,
+                        f"{s['skeleton_builds']} skeleton builds for one "
+                        f"shared topology (expected exactly 1)"),
             ],
-            False,
+            True,
         ),
         (
             "campaign_ordering",

@@ -1,0 +1,59 @@
+"""``repro.analysis`` — static determinism & numerical-safety analysis.
+
+Every reproducibility contract in this repo (bit-identical lockstep
+rows, byte-identical campaign exports, prefix-stable seed trees) was at
+some point defended only by after-the-fact debugging: PR 1's
+``hash()``-seeded sweeps, PR 3's fancy-index accumulation order, PR 5's
+``mp_star`` re-association divergence.  This package turns those
+incidents into an enforced rule pack: an AST analyzer (``repro-lint`` /
+``python -m repro.analysis``) that runs over ``src/``, ``tests/`` and
+``benchmarks/`` as a required CI gate, with per-line
+``# detlint: disable=RULE`` pragmas and a committed suppression
+baseline (``.detlint-baseline.toml``) restricted to vetted false
+positives.
+
+See ``repro-lint --list-rules`` for the pack and ``repro-lint
+--explain RULE`` for each rule's motivating incident; docs in
+ARCHITECTURE.md ("Static analysis"), whose rule table is validated
+against this registry by ``tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    Suppression,
+    apply_baseline,
+    format_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .checker import (
+    CRITICAL_PREFIXES,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_source_files,
+)
+from .cli import main
+from .rules import RULES, Finding, Rule, get_rule, rule_ids
+
+__all__ = [
+    "CRITICAL_PREFIXES",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "format_baseline",
+    "get_rule",
+    "iter_source_files",
+    "load_baseline",
+    "main",
+    "rule_ids",
+    "write_baseline",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — alias of the ``repro-lint`` script."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""Suppression baseline: vetted false positives, committed to the repo.
+
+The CI gate requires ``repro-lint`` to exit zero at HEAD, and the
+triage policy (CONTRIBUTING.md) requires every *true* positive to be
+fixed — so the committed ``.detlint-baseline.toml`` may contain only
+findings a human has vetted as false positives, each with a one-line
+justification.
+
+Entries key on ``(rule, path, content)`` where ``content`` is the
+stripped source line.  Keying on content instead of a line number means
+edits elsewhere in the file do not invalidate the entry, while any edit
+to the flagged line itself — which may well change the verdict —
+surfaces the finding again.  An entry that no longer matches anything
+is *stale* and reported, so the baseline can only shrink or be
+consciously re-vetted, never silently rot.
+
+The file format is TOML (readable with stdlib ``tomllib``; a minimal
+vendored parser keeps Python 3.10 working)::
+
+    [[suppression]]
+    rule = "NUM203"
+    path = "src/repro/maxplus/lawler.py"
+    content = "hi = float(np.maximum(w, 0.0).sum()) + 1.0"
+    reason = "binary-search bracket only; never exported or compared"
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .rules import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Suppression",
+    "apply_baseline",
+    "format_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Conventional location, relative to the repo root.
+DEFAULT_BASELINE = ".detlint-baseline.toml"
+
+
+@dataclass(frozen=True, order=True)
+class Suppression:
+    """One vetted false positive."""
+
+    rule: str
+    path: str
+    content: str
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and self.content == finding.content
+        )
+
+
+def _parse_entries(data: object, source: str) -> list[Suppression]:
+    if not isinstance(data, dict):
+        raise ValueError(f"{source}: baseline must be a TOML table")
+    entries = data.get("suppression", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"{source}: [[suppression]] must be an array of tables")
+    out: list[Suppression] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{source}: suppression #{index} is not a table")
+        try:
+            out.append(
+                Suppression(
+                    rule=str(entry["rule"]),
+                    path=str(entry["path"]),
+                    content=str(entry["content"]),
+                    reason=str(entry.get("reason", "")),
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"{source}: suppression #{index} is missing key {exc}"
+            ) from None
+    return out
+
+
+def _loads_toml_subset(text: str, source: str) -> dict[str, object]:
+    """Parse the exact TOML subset :func:`format_baseline` emits.
+
+    Python 3.10 has no ``tomllib``; since the baseline is written by
+    this module, round-tripping its own output (comments, blank lines,
+    ``[[suppression]]`` headers, ``key = "basic string"`` pairs) is all
+    the fallback needs.
+    """
+    entries: list[dict[str, object]] = []
+    current: dict[str, object] | None = None
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "[[suppression]]":
+            current = {}
+            entries.append(current)
+            continue
+        key, sep, value = line.partition("=")
+        key, value = key.strip(), value.strip()
+        if current is None or not sep or not value.startswith('"'):
+            raise ValueError(f"{source}:{number}: unsupported TOML: {line!r}")
+        try:
+            current[key] = json.loads(value)
+        except json.JSONDecodeError:
+            raise ValueError(
+                f"{source}:{number}: unsupported TOML string: {value!r}"
+            ) from None
+    return {"suppression": entries}
+
+
+def _loads_toml(text: str, source: str) -> dict[str, object]:
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python 3.10
+        return _loads_toml_subset(text, source)
+    return tomllib.loads(text)
+
+
+def load_baseline(path: str | Path) -> list[Suppression]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    return _parse_entries(_loads_toml(path.read_text(), str(path)), str(path))
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    suppressions: Sequence[Suppression],
+) -> tuple[list[Finding], list[Finding], list[Suppression]]:
+    """Split findings into (kept, suppressed) and return stale entries.
+
+    A suppression may match several findings (identical lines); it is
+    stale only when it matches none.
+    """
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    used: set[Suppression] = set()
+    for finding in findings:
+        match = next((s for s in suppressions if s.matches(finding)), None)
+        if match is None:
+            kept.append(finding)
+        else:
+            suppressed.append(finding)
+            used.add(match)
+    stale = sorted(s for s in suppressions if s not in used)
+    return kept, suppressed, stale
+
+
+def _toml_str(value: str) -> str:
+    # JSON string escaping is a valid TOML basic string for the
+    # characters that appear in rule ids, paths and source lines.
+    return json.dumps(value)  # detlint: disable=DET104 - escaper, not an export
+
+
+def format_baseline(
+    findings: Iterable[Finding],
+    reasons: dict[tuple[str, str, str], str] | None = None,
+) -> str:
+    """Render findings as baseline text (deterministic order).
+
+    ``reasons`` maps ``(rule, path, content)`` to the justification;
+    unvetted entries get an explicit TODO so review cannot miss them.
+    """
+    lines = [
+        "# detlint suppression baseline.",
+        "#",
+        "# Policy (CONTRIBUTING.md): true positives are fixed, never",
+        "# baselined.  Every entry below is a vetted false positive and",
+        "# carries a one-line justification in `reason`.",
+    ]
+    seen: set[tuple[str, str, str]] = set()
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path, finding.content)
+        if key in seen:
+            continue
+        seen.add(key)
+        reason = (reasons or {}).get(key, "TODO: vet and justify, or fix")
+        lines.append("")
+        lines.append("[[suppression]]")
+        lines.append(f"rule = {_toml_str(finding.rule)}")
+        lines.append(f"path = {_toml_str(finding.path)}")
+        lines.append(f"content = {_toml_str(finding.content)}")
+        lines.append(f"reason = {_toml_str(reason)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_baseline(
+    findings: Iterable[Finding],
+    path: str | Path,
+    reasons: dict[tuple[str, str, str], str] | None = None,
+) -> None:
+    """Write ``format_baseline`` output to ``path``."""
+    Path(path).write_text(format_baseline(findings, reasons), newline="")

@@ -1,0 +1,611 @@
+"""AST pass of the determinism & numerical-safety analyzer.
+
+One :class:`ast.NodeVisitor` walk per file implements every rule in
+:mod:`repro.analysis.rules`.  The checker is deliberately *local*: it
+resolves imported names to dotted module paths (``np.random.rand`` ->
+``numpy.random.rand``), tracks per-scope value kinds for the handful of
+inferences the rules need (which names hold sets, numpy arrays, or
+not-yet-written ``np.empty`` buffers), and otherwise judges each
+statement on its own.  No cross-module dataflow — a finding is cheap to
+verify by reading the flagged line, and anything the heuristics cannot
+prove is handled by the pragma/baseline layer rather than by guessing.
+
+Suppression happens at this layer too: a ``# detlint: disable=RULE``
+(comma-separated ids, or ``all``) comment on the flagged line drops the
+finding, and a ``# detlint: skip-file`` comment near the top of a file
+skips it entirely.  The committed baseline is applied later by
+:mod:`repro.analysis.baseline`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .rules import RULES, Finding, Rule
+
+__all__ = [
+    "CRITICAL_PREFIXES",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_source_files",
+]
+
+#: Modules under bit-identity contracts: rules with ``critical_only``
+#: (NUM203) fire only on files whose repo-relative path starts here.
+CRITICAL_PREFIXES = (
+    "src/repro/core/",
+    "src/repro/engine/",
+    "src/repro/maxplus/",
+    "src/repro/search/allocator.py",
+)
+
+_PRAGMA = re.compile(r"#\s*detlint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SKIP_FILE = re.compile(r"#\s*detlint:\s*skip-file")
+
+#: Wall-clock sources (DET105).
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Explicit-state constructors exempt from DET102.
+_RANDOM_OK = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+        "numpy.random.BitGenerator",
+        "random.Random",
+    }
+)
+
+#: Filesystem enumeration calls (DET106), by dotted name ...
+_FS_LISTING = frozenset(
+    {
+        "os.listdir",
+        "os.scandir",
+        "os.walk",
+        "glob.glob",
+        "glob.iglob",
+    }
+)
+#: ... and by method name on an arbitrary receiver (pathlib).
+_FS_METHODS = frozenset({"iterdir", "rglob", "glob"})
+
+#: Reductions accepting ``dtype=`` (NUM203), as methods ...
+_REDUCTION_NAMES = ("sum", "prod", "cumsum", "cumprod", "mean", "trace")
+_REDUCTION_METHODS = frozenset(_REDUCTION_NAMES)
+#: ... and as numpy module-level functions.
+_REDUCTION_FUNCS = frozenset("numpy." + name for name in _REDUCTION_NAMES)
+
+#: Mutable-default constructors (NUM204).
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "collections.defaultdict", "collections.OrderedDict"}
+)
+
+
+def _is_set_expr(node: ast.expr, checker: _ModuleChecker) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_array_expr(node: ast.expr, checker: _ModuleChecker) -> bool:
+    """Conservatively: the expression is a numpy call producing indices."""
+    # np.nonzero(mask)[0] and friends: unwrap constant subscripts.
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if not isinstance(node, ast.Call):
+        return False
+    dotted, rooted = checker.resolve(node.func)
+    if rooted and dotted is not None and dotted.startswith("numpy."):
+        return True
+    # Methods that yield index-like arrays from an existing array.
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr in ("nonzero", "argsort", "astype", "take", "repeat")
+    return False
+
+
+def _is_empty_expr(node: ast.expr, checker: _ModuleChecker) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted, rooted = checker.resolve(node.func)
+    return rooted and dotted in ("numpy.empty", "numpy.empty_like")
+
+
+@dataclass
+class _Scope:
+    """Name-kind facts for one function (or the module) body."""
+
+    node: ast.AST
+    set_names: set[str] = field(default_factory=set)
+    array_names: set[str] = field(default_factory=set)
+    empty_buffers: dict[str, ast.Call] = field(default_factory=dict)
+    written: set[str] = field(default_factory=set)
+
+
+def _iter_scope_statements(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class _ModuleChecker(ast.NodeVisitor):
+    """One-file visitor implementing the whole rule pack."""
+
+    def __init__(
+        self,
+        source: str,
+        path: str,
+        rules: dict[str, Rule],
+        critical: bool,
+    ) -> None:
+        self.source_lines = source.splitlines()
+        self.path = path
+        self.rules = rules
+        self.critical = critical
+        self.findings: list[Finding] = []
+        self.suppressed = 0
+        self.imports: dict[str, str] = {}
+        self._func_stack: list[str] = []
+        self._scope_stack: list[_Scope] = []
+        self._sorted_args: set[ast.expr] = set()
+
+    # -- plumbing ---------------------------------------------------
+
+    def resolve(self, node: ast.expr) -> tuple[str | None, bool]:
+        """Dotted name of an attribute chain, and whether its root is
+        an imported module/name (``np.random.rand`` -> (``"numpy.
+        random.rand"``, True); ``rng.random`` -> (``"rng.random"``,
+        False))."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None, False
+        parts.append(node.id)
+        parts.reverse()
+        target = self.imports.get(parts[0])
+        if target is None:
+            return ".".join(parts), False
+        return ".".join([target] + parts[1:]), True
+
+    def report(self, rule_id: str, node: ast.AST, detail: str = "") -> None:
+        rule = self.rules.get(rule_id)
+        if rule is None:
+            return
+        if rule.critical_only and not self.critical:
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        content = ""
+        if 1 <= line <= len(self.source_lines):
+            content = self.source_lines[line - 1].strip()
+        if self._pragma_disabled(line, rule_id):
+            self.suppressed += 1
+            return
+        message = rule.summary if not detail else f"{rule.summary}: {detail}"
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=line,
+                col=col,
+                rule=rule_id,
+                message=f"{message}.  {rule.fixit}",
+                severity=rule.severity,
+                content=content,
+            )
+        )
+
+    def _pragma_disabled(self, line: int, rule_id: str) -> bool:
+        if not 1 <= line <= len(self.source_lines):
+            return False
+        match = _PRAGMA.search(self.source_lines[line - 1])
+        if match is None:
+            return False
+        ids = {part.strip() for part in match.group(1).split(",")}
+        return rule_id in ids or "all" in ids
+
+    def _lookup(self, kind: str, name: str) -> bool:
+        for scope in reversed(self._scope_stack):
+            names: set[str] = getattr(scope, kind)
+            if name in names:
+                return True
+        return False
+
+    # -- scope collection -------------------------------------------
+
+    def _collect_scope(self, root: ast.AST) -> _Scope:
+        scope = _Scope(node=root)
+        tainted: set[str] = set()
+        for node in _iter_scope_statements(root):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                sole = targets[0] if len(targets) == 1 else None
+                if isinstance(sole, ast.Name):
+                    self._classify(scope, tainted, sole.id, node.value)
+                    continue
+                for target in targets:
+                    if isinstance(target, (ast.Tuple, ast.List)):
+                        elements: list[ast.expr] = list(target.elts)
+                    else:
+                        elements = [target]
+                    for element in elements:
+                        if isinstance(element, ast.Subscript):
+                            base = element.value
+                            if isinstance(base, ast.Name):
+                                scope.written.add(base.id)
+                        elif isinstance(element, ast.Name):
+                            tainted.add(element.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    self._classify(scope, tainted, node.target.id, node.value)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Subscript):
+                    base = node.target.value
+                    if isinstance(base, ast.Name):
+                        scope.written.add(base.id)
+            elif isinstance(node, ast.Call):
+                self._collect_call_writes(scope, node)
+        for name in sorted(tainted):
+            scope.set_names.discard(name)
+            scope.array_names.discard(name)
+            scope.empty_buffers.pop(name, None)
+        return scope
+
+    def _classify(
+        self,
+        scope: _Scope,
+        tainted: set[str],
+        name: str,
+        value: ast.expr,
+    ) -> None:
+        if _is_set_expr(value, self):
+            if name in scope.array_names or name in scope.empty_buffers:
+                tainted.add(name)
+            scope.set_names.add(name)
+        elif _is_empty_expr(value, self):
+            if name in scope.set_names:
+                tainted.add(name)
+            scope.empty_buffers.setdefault(name, value)  # type: ignore[arg-type]
+            scope.array_names.add(name)
+        elif _is_array_expr(value, self):
+            if name in scope.set_names:
+                tainted.add(name)
+            scope.array_names.add(name)
+        else:
+            # Reassigned to something we cannot classify: forget it.
+            tainted.add(name)
+
+    def _collect_call_writes(self, scope: _Scope, node: ast.Call) -> None:
+        # buf.fill(x) initializes; passing buf to any callable may
+        # initialize it (np.add.at(buf, ...), helper(buf), out=buf).
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.attr == "fill":
+                scope.written.add(func.value.id)
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name):
+                scope.written.add(arg.id)
+            elif isinstance(arg, ast.Starred) and isinstance(arg.value, ast.Name):
+                scope.written.add(arg.value.id)
+
+    def _finish_scope(self, scope: _Scope) -> None:
+        for name, call in sorted(scope.empty_buffers.items()):
+            if name not in scope.written:
+                self.report(
+                    "NUM202",
+                    call,
+                    f"buffer {name!r} is allocated uninitialized and "
+                    f"never written in this scope",
+                )
+
+    # -- visitors ----------------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._scope_stack.append(self._collect_scope(node))
+        self.generic_visit(node)
+        self._finish_scope(self._scope_stack.pop())
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                self.imports[alias.asname] = alias.name
+            else:
+                top = alias.name.split(".")[0]
+                self.imports[top] = top
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None and node.level == 0:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                self.imports[bound] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._func_stack.append(node.name)
+        self._scope_stack.append(self._collect_scope(node))
+        self.generic_visit(node)
+        self._finish_scope(self._scope_stack.pop())
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults: list[ast.expr] = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self.report("NUM204", default)
+            elif isinstance(default, ast.Call):
+                dotted, _ = self.resolve(default.func)
+                if dotted in _MUTABLE_CALLS:
+                    self.report("NUM204", default)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted, rooted = self.resolve(node.func)
+
+        # DET101: builtin hash() outside __hash__ implementations.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and "hash" not in self.imports
+            and "__hash__" not in self._func_stack
+        ):
+            self.report("DET101", node)
+
+        if rooted and dotted is not None:
+            # DET102: global-state RNG calls.
+            if (
+                dotted.startswith(("numpy.random.", "random."))
+                and dotted not in _RANDOM_OK
+            ):
+                self.report("DET102", node, dotted)
+            # DET104: unsorted JSON dumps.
+            if dotted in ("json.dump", "json.dumps"):
+                if not self._has_true_kwarg(node, "sort_keys"):
+                    self.report("DET104", node)
+            # DET105: wall-clock readings in library code.
+            if dotted in _WALL_CLOCK:
+                self.report("DET105", node, dotted)
+            # DET106 (module form) handled below with the method form.
+
+        self._check_fs_listing(node, dotted, rooted)
+        self._check_reduction(node, dotted, rooted)
+        self._check_set_pop(node)
+
+        # Mark `sorted(X)`'s first argument as order-sanctioned before
+        # descending, so DET103/DET106 skip it.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+            and "sorted" not in self.imports
+            and node.args
+        ):
+            self._sorted_args.add(node.args[0])
+
+        self.generic_visit(node)
+
+    def _has_true_kwarg(self, node: ast.Call, name: str) -> bool:
+        for kw in node.keywords:
+            if kw.arg == name:
+                if isinstance(kw.value, ast.Constant):
+                    return bool(kw.value.value)
+                return True  # non-literal: assume the caller means it
+            if kw.arg is None:
+                return True  # **kwargs may carry it; do not guess
+        return False
+
+    def _check_fs_listing(
+        self,
+        node: ast.Call,
+        dotted: str | None,
+        rooted: bool,
+    ) -> None:
+        listing = False
+        detail = ""
+        if rooted and dotted in _FS_LISTING:
+            listing, detail = True, str(dotted)
+        elif (
+            not rooted
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_METHODS
+        ):
+            listing, detail = True, f"Path.{node.func.attr}"
+        if listing and node not in self._sorted_args:
+            self.report("DET106", node, detail)
+
+    def _check_reduction(
+        self,
+        node: ast.Call,
+        dotted: str | None,
+        rooted: bool,
+    ) -> None:
+        reduction = False
+        if rooted and dotted in _REDUCTION_FUNCS:
+            reduction = True
+        elif (
+            not rooted
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REDUCTION_METHODS
+        ):
+            reduction = True
+        if reduction and not any(kw.arg == "dtype" for kw in node.keywords):
+            self.report("NUM203", node)
+
+    def _check_set_pop(self, node: ast.Call) -> None:
+        if node.args or node.keywords:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "pop"):
+            return
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and self._lookup("set_names", receiver.id):
+            self.report("DET107", node, f"{receiver.id}.pop()")
+        elif _is_set_expr(receiver, self):
+            self.report("DET107", node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self._check_completion_order(node)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if iter_node in self._sorted_args:
+            return
+        if _is_set_expr(iter_node, self):
+            self.report("DET103", iter_node)
+        elif isinstance(iter_node, ast.Name):
+            if self._lookup("set_names", iter_node.id):
+                self.report("DET103", iter_node, f"{iter_node.id} is a set")
+
+    def _check_completion_order(self, node: ast.For) -> None:
+        if not isinstance(node.iter, ast.Call):
+            return
+        dotted, rooted = self.resolve(node.iter.func)
+        if not rooted or dotted != "concurrent.futures.as_completed":
+            return
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "append"
+            ):
+                self.report("NUM205", sub, "append in an as_completed loop")
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        accumulating = isinstance(node.op, (ast.Add, ast.Sub))
+        if accumulating and isinstance(node.target, ast.Subscript):
+            index = node.target.slice
+            if isinstance(index, ast.Name):
+                if self._lookup("array_names", index.id):
+                    self.report("NUM201", node, f"index {index.id!r} is an array")
+            elif _is_array_expr(index, self):
+                self.report("NUM201", node, "index is a computed array")
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and _is_empty_expr(node.value, self):
+            self.report("NUM202", node.value, "returned directly")
+        self.generic_visit(node)
+
+
+# -- public API ------------------------------------------------------
+
+
+def _scope_of(path: str) -> str:
+    top = path.split("/", 1)[0]
+    return top if top in ("src", "tests", "benchmarks") else "src"
+
+
+def _is_critical(path: str) -> bool:
+    return path.startswith(CRITICAL_PREFIXES)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    scope: str | None = None,
+    critical: bool | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Analyze one file's text; returns sorted findings.
+
+    ``scope`` (``src``/``tests``/``benchmarks``) and ``critical`` are
+    derived from ``path`` when not given.  ``select`` limits the pack
+    to the given rule ids.
+    """
+    normalized = path.replace("\\", "/")
+    file_scope = scope if scope is not None else _scope_of(normalized)
+    file_critical = critical if critical is not None else _is_critical(normalized)
+    rules = {
+        rule_id: rule
+        for rule_id, rule in RULES.items()
+        if file_scope in rule.scopes and (select is None or rule_id in set(select))
+    }
+    if not rules:
+        return []
+    for line in source.splitlines()[:3]:
+        if _SKIP_FILE.search(line):
+            return []
+    tree = ast.parse(source, filename=path)
+    checker = _ModuleChecker(source, normalized, rules, file_critical)
+    checker.visit(tree)
+    return sorted(checker.findings)
+
+
+def analyze_file(
+    path: Path,
+    root: Path,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Analyze one file on disk, keyed by its ``root``-relative path."""
+    try:
+        relative = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relative = path.as_posix()
+    return analyze_source(path.read_text(), relative, select=select)
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """The ``.py`` files under ``paths``, sorted, vendored code skipped."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "_vendor" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    root: Path,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Analyze every python file under ``paths``; sorted findings."""
+    findings: list[Finding] = []
+    for path in iter_source_files(paths):
+        findings.extend(analyze_file(path, root, select=select))
+    return sorted(findings)

@@ -1,0 +1,206 @@
+"""``repro-lint`` — the analyzer's command line.
+
+Usage (from the repo root; ``python -m repro.analysis`` is identical)::
+
+    repro-lint                         # src/ tests/ benchmarks/, text
+    repro-lint --format json src/      # machine-readable findings
+    repro-lint --explain DET101        # rule doc + motivating incident
+    repro-lint --list-rules            # one line per registered rule
+    repro-lint --write-baseline        # snapshot findings (then vet!)
+
+Exit codes: 0 — clean (every finding pragma- or baseline-suppressed);
+1 — at least one un-suppressed finding; 2 — usage or input error.
+Stale baseline entries are reported on stderr but do not fail the run —
+they mean a finding was fixed and the entry should be deleted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    Suppression,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .checker import analyze_paths
+from .rules import RULES, Finding, get_rule
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & numerical-safety analyzer "
+        "with this repo's incident-derived rule pack.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to analyze (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="findings as human-readable text or canonical JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="suppression baseline file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline (report vetted false positives too)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0; "
+        "every new entry carries a TODO reason that must be vetted",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print a rule's documentation and motivating incident",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _print_text(findings: list[Finding], stale: int, n_baselined: int) -> None:
+    for finding in findings:
+        print(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} [{finding.severity}] {finding.message}"
+        )
+        if finding.content:
+            print(f"    {finding.content}")
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    print(
+        f"detlint: {len(findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s)); "
+        f"{n_baselined} baselined"
+        + (f", {stale} STALE baseline entr(y/ies)" if stale else "")
+    )
+
+
+def _print_json(
+    findings: list[Finding],
+    stale_entries: list[Suppression],
+    n_baselined: int,
+) -> None:
+    from ..utils import canonical_json
+
+    payload = {
+        "version": 1,
+        "findings": [f.to_dict() for f in findings],
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+        "baselined": n_baselined,
+        "stale_baseline": [vars(s) for s in stale_entries],
+    }
+    print(canonical_json(payload, indent=2))
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # pragma: no cover - e.g. `repro-lint | head`
+        # The downstream reader closed the pipe; exit quietly like grep
+        # does, and point stdout at devnull so the interpreter's shutdown
+        # flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            scope = "+".join(sorted(rule.scopes))
+            extra = " [critical-only]" if rule.critical_only else ""
+            print(
+                f"{rule.id}  {rule.name:24s} {rule.severity:7s} "
+                f"({scope}){extra}  {rule.summary}"
+            )
+        return 0
+
+    if args.explain is not None:
+        try:
+            print(get_rule(args.explain.strip().upper()).explain())
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+
+    select = None
+    if args.select is not None:
+        select = [part.strip().upper() for part in args.select.split(",") if part]
+        unknown = [rule_id for rule_id in select if rule_id not in RULES]
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    raw_paths = args.paths or ["src", "tests", "benchmarks"]
+    paths = [Path(p) for p in raw_paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        findings = analyze_paths(paths, Path.cwd(), select=select)
+    except (SyntaxError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        existing = [] if args.no_baseline else load_baseline(args.baseline)
+        reasons = {(s.rule, s.path, s.content): s.reason for s in existing}
+        write_baseline(findings, args.baseline, reasons)
+        print(f"wrote {len(findings)} suppression(s) to {args.baseline}")
+        return 0
+
+    suppressions = [] if args.no_baseline else load_baseline(args.baseline)
+    kept, baselined, stale = apply_baseline(findings, suppressions)
+
+    if args.format == "json":
+        _print_json(kept, list(stale), len(baselined))
+    else:
+        _print_text(kept, len(stale), len(baselined))
+    for entry in stale:
+        print(
+            f"stale baseline entry (fixed? delete it): "
+            f"{entry.rule} {entry.path}: {entry.content!r}",
+            file=sys.stderr,
+        )
+    return 1 if kept else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,380 @@
+"""Rule registry of the determinism & numerical-safety analyzer.
+
+Every rule in this pack encodes a hazard class that this repository has
+*actually shipped* (and later debugged) — the registry doubles as an
+incident log.  Each :class:`Rule` carries the machine-checkable facts
+(id, severity, which top-level directories it applies to) plus the
+human half: a fix-it message, the historical bug that motivated the
+rule, and a minimized bad/good example for ``repro-lint --explain``.
+
+Rule identifiers are stable API: the suppression baseline
+(:mod:`repro.analysis.baseline`), per-line ``# detlint: disable=RULE``
+pragmas, the ARCHITECTURE.md rule table (validated by
+``tools/check_docs.py``) and CONTRIBUTING.md all reference them.
+
+The two families:
+
+* ``DET1xx`` — determinism: a value that should be a pure function of
+  the inputs picks up interpreter, process, wall-clock or scheduling
+  state.
+* ``NUM2xx`` — numerical safety: floating-point results that must be
+  bit-identical across code paths are exposed to re-association,
+  uninitialized memory, or silent index-collision semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Rule", "RULES", "get_rule", "rule_ids"]
+
+#: Top-level directories a rule may apply to (the analyzer maps every
+#: file to one of these scopes; unknown locations default to ``src``,
+#: the strictest).
+SCOPES = ("src", "tests", "benchmarks")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule fired at a source location.
+
+    Ordering is (path, line, col, rule) so sorted findings give
+    byte-deterministic reports.  ``content`` is the stripped source
+    line — the suppression baseline keys on it instead of the line
+    number, so unrelated edits above a vetted finding do not invalidate
+    its baseline entry.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    severity: str = field(compare=False)
+    content: str = field(compare=False)
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-data form used by ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity,
+            "content": self.content,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One hazard class: detection scope plus the story behind it."""
+
+    id: str
+    name: str
+    severity: str
+    summary: str
+    fixit: str
+    incident: str
+    example: str
+    scopes: frozenset[str]
+    critical_only: bool = False
+
+    def explain(self) -> str:
+        """The ``--explain`` text: summary, incident, fix, example."""
+        where = ", ".join(sorted(self.scopes))
+        if self.critical_only:
+            where += " (bit-identity-critical modules only)"
+        return (
+            f"{self.id} ({self.name}) [{self.severity}] — {self.summary}\n"
+            f"\n"
+            f"Applies to: {where}\n"
+            f"\n"
+            f"Motivating incident:\n{self.incident}\n"
+            f"\n"
+            f"Fix:\n{self.fixit}\n"
+            f"\n"
+            f"Example:\n{self.example}"
+        )
+
+
+def _rule(
+    id: str,
+    name: str,
+    severity: str,
+    summary: str,
+    fixit: str,
+    incident: str,
+    example: str,
+    scopes: tuple[str, ...] = SCOPES,
+    critical_only: bool = False,
+) -> Rule:
+    for scope in scopes:
+        if scope not in SCOPES:
+            raise ValueError(f"unknown scope {scope!r} for rule {id}")
+    return Rule(
+        id=id,
+        name=name,
+        severity=severity,
+        summary=summary,
+        fixit=fixit,
+        incident=incident,
+        example=example,
+        scopes=frozenset(scopes),
+        critical_only=critical_only,
+    )
+
+
+_RULE_LIST = [
+    _rule(
+        "DET101",
+        "builtin-hash",
+        "error",
+        "builtin hash() feeding a seed, cache key or persisted value",
+        "Derive stable digests with zlib.crc32 of an explicit byte "
+        "encoding (see repro.campaign.spec.stable_digest) or "
+        "hashlib.sha256; reserve hash() for __hash__ implementations.",
+        "PR 1: experiment sweep seeds were derived with builtin hash() "
+        "of the family name.  hash() of str is randomized per process "
+        "(PYTHONHASHSEED), so every interpreter run swept a different "
+        "seed tree and no published number could be reproduced.  Fixed "
+        "by switching to zlib.crc32 with cross-interpreter regression "
+        "tests.",
+        "    # bad\n"
+        "    seed = hash(config.name) % 2**31\n"
+        "    # good\n"
+        "    seed = zlib.crc32(config.name.encode()) % 2**31",
+        scopes=("src", "benchmarks"),
+    ),
+    _rule(
+        "DET102",
+        "global-random",
+        "error",
+        "module-level random/np.random call (hidden global RNG state)",
+        "Thread an explicit seeded generator: np.random.default_rng("
+        "seed) / np.random.SeedSequence spawning / random.Random(seed).",
+        "PR 2/PR 5: every reproducibility contract in the search stack "
+        "(prefix-stable seed trees, bit-identical pausable climbs) "
+        "exists because RNG state is explicit.  One module-level "
+        "np.random.shuffle in a library path would silently couple "
+        "results to import order and sibling callers.",
+        "    # bad\n"
+        "    jitter = np.random.uniform(0.0, 1.0, n)\n"
+        "    # good\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    jitter = rng.uniform(0.0, 1.0, n)",
+        scopes=("src", "benchmarks"),
+    ),
+    _rule(
+        "DET103",
+        "set-iteration",
+        "warning",
+        "iterating a set, whose order varies with hash randomization",
+        "Wrap the iterable in sorted(...) (or iterate a list/dict, "
+        "which preserve insertion order).",
+        "Set iteration order depends on PYTHONHASHSEED for str "
+        "elements.  Anywhere it feeds float accumulation or serialized "
+        "output — the exact paths the campaign store digests — two "
+        "runs of the same code can produce different bytes.",
+        "    # bad\n"
+        "    for proc in critical_procs:  # a set\n"
+        "        total += load[proc]\n"
+        "    # good\n"
+        "    for proc in sorted(critical_procs):\n"
+        "        total += load[proc]",
+    ),
+    _rule(
+        "DET104",
+        "unsorted-json",
+        "error",
+        "json.dump/json.dumps without sort_keys on an export path",
+        "Route exports through repro.utils.canonical_json (sorted keys, "
+        "repr floats, NaN rejected) or pass sort_keys=True.",
+        "PR 3/PR 5: campaign artifacts and the content-addressed "
+        "ResultStore digest canonical JSON bytes; the PR-5 campaign "
+        "de-flake moved the CLI's machine-readable outputs onto "
+        "canonical_json after grep-based CI assertions broke on "
+        "key-order drift.  Any dict-ordered dump on an export path "
+        "breaks byte-identical resume/export contracts.",
+        "    # bad\n"
+        "    Path(out).write_text(json.dumps(payload, indent=2))\n"
+        "    # good\n"
+        "    Path(out).write_text(canonical_json(payload, indent=2))",
+        scopes=("src", "benchmarks"),
+    ),
+    _rule(
+        "DET105",
+        "wall-clock",
+        "error",
+        "wall-clock reading in library code (time.time/perf_counter)",
+        "Keep timing in benchmarks/ (reported, never gated) or accept "
+        "a clock callable so tests can inject a fake one; library "
+        "results must be pure functions of their inputs.",
+        "PR 5/PR 6: the howard_many >=4x wall-clock contract passed on "
+        "the dev box and failed on CI hardware (3.27x in BENCH_4.json) "
+        "— two committed reports now record a hardware-dependent "
+        "failure of code with no defect.  PR 6 rebuilt the perf gates "
+        "on deterministic round/op counts; this rule keeps wall-clock "
+        "out of src/ so it cannot leak into contracts again.",
+        "    # bad (library code)\n"
+        "    started = time.perf_counter()\n"
+        "    # good: benchmarks measure, libraries count\n"
+        "    rounds = solution.n_rounds",
+        scopes=("src",),
+    ),
+    _rule(
+        "DET106",
+        "fs-order",
+        "warning",
+        "directory listing order (os.listdir/glob/iterdir) used as-is",
+        "Wrap the listing in sorted(...): filesystem enumeration order "
+        "is an OS/filesystem artifact, not a contract.",
+        "The campaign store digests whole result sets; DVC (the model "
+        "for the planned distributed store) sorts every directory walk "
+        "before hashing for exactly this reason — two hosts listing "
+        "one directory can disagree, so push/pull merges would "
+        "spuriously diff.",
+        "    # bad\n"
+        "    for spec in specs_dir.glob(\"*.json\"):\n"
+        "        runs.append(load(spec))\n"
+        "    # good\n"
+        "    for spec in sorted(specs_dir.glob(\"*.json\")):\n"
+        "        runs.append(load(spec))",
+    ),
+    _rule(
+        "DET107",
+        "set-pop",
+        "warning",
+        "set.pop() removes a hash-order-dependent arbitrary element",
+        "Pop deterministically: sort first, or use a list/deque; "
+        "min(s)/max(s) when any extreme element will do.",
+        "Same root cause as DET103: which element .pop() returns "
+        "depends on hash randomization.  In a worklist algorithm "
+        "(e.g. the petri reduction passes) it silently reorders the "
+        "whole traversal between runs.",
+        "    # bad\n"
+        "    node = worklist.pop()  # worklist: set[int]\n"
+        "    # good\n"
+        "    node = min(worklist)\n"
+        "    worklist.discard(node)",
+    ),
+    _rule(
+        "NUM201",
+        "fancy-index-accumulate",
+        "warning",
+        "a[idx] += ... with an array index drops repeated indices",
+        "Use np.add.at(a, idx, v) (unbuffered, applies every "
+        "occurrence, deterministic order) when idx can repeat; keep "
+        "+= only for indices that are provably unique.",
+        "PR 3: per-resource cycle-time accumulation indexed by "
+        "transition->resource arrays; fancy-index += applies the "
+        "*last* write per repeated index instead of summing, and the "
+        "fix (np.add.at with a documented accumulation order) is what "
+        "makes CycleTimePlan byte-stable.  PR 5's mp_star "
+        "false-divergence hunt started from a nearby hazard of the "
+        "same shape.",
+        "    # bad\n"
+        "    cycle_sum[nodes] += weights  # nodes may repeat\n"
+        "    # good\n"
+        "    np.add.at(cycle_sum, nodes, weights)",
+        scopes=("src", "benchmarks"),
+    ),
+    _rule(
+        "NUM202",
+        "escaping-empty",
+        "error",
+        "np.empty buffer that is never written before it can escape",
+        "Write every element before the buffer escapes, or allocate "
+        "np.zeros/np.full so unwritten lanes hold defined values.",
+        "The lockstep Howard kernels (PR 4) allocate np.empty "
+        "scratch for policies, lane tables and potentials and fill "
+        "them with masked scatter writes; a lane the mask misses "
+        "returns whatever bytes malloc recycled — nondeterministic "
+        "*and* wrong.  Bit-identity fuzzing cannot even catch it "
+        "reliably, because the garbage is sometimes stable.",
+        "    # bad\n"
+        "    out = np.empty(n)\n"
+        "    return out\n"
+        "    # good\n"
+        "    out = np.zeros(n)\n"
+        "    return out",
+    ),
+    _rule(
+        "NUM203",
+        "dtypeless-reduction",
+        "warning",
+        "dtype-less reduction in a bit-identity-critical module",
+        "Pass an explicit dtype= (np.float64 / np.int64) so the "
+        "accumulator type — and therefore the rounding — is pinned by "
+        "the source instead of inherited from the input array.",
+        "PR 5: mp_star's squared-matrix reductions drifted 1 ulp past "
+        "the settling limit purely from accumulation details, and was "
+        "misreported as a positive-weight cycle.  PR 4's scalar cycle "
+        "sums had to be made *sequential* to share association with "
+        "the lockstep path.  In modules under bit-identity contracts, "
+        "reductions must say what they accumulate in.",
+        "    # bad (inside repro.maxplus / repro.engine / repro.core)\n"
+        "    total = weights[idx].sum()\n"
+        "    # good\n"
+        "    total = weights[idx].sum(dtype=np.float64)",
+        scopes=("src",),
+        critical_only=True,
+    ),
+    _rule(
+        "NUM204",
+        "mutable-default",
+        "error",
+        "mutable default argument shared across calls",
+        "Default to None and create the list/dict/set inside the "
+        "function body.",
+        "A mutable default is evaluated once at import: results "
+        "accumulated into it leak between calls, so the first sweep "
+        "poisons the second — state that, like global RNG, makes "
+        "outputs depend on call history rather than arguments.",
+        "    # bad\n"
+        "    def run(extra_models=[]):\n"
+        "        ...\n"
+        "    # good\n"
+        "    def run(extra_models=None):\n"
+        "        extra_models = [] if extra_models is None else "
+        "extra_models",
+    ),
+    _rule(
+        "NUM205",
+        "completion-order",
+        "error",
+        "appending results in as_completed order (scheduling-dependent)",
+        "Key results by a stable index — futures = {pool.submit(...): "
+        "i}; results[i] = fut.result() — and keep lists ordered by "
+        "submission, never by completion.",
+        "PR 1's deterministic ProcessPool sharding and PR 3's campaign "
+        "executor both key every future back to its submission span "
+        "precisely so that worker scheduling cannot reorder rows; an "
+        "appended-in-completion-order list would make exports differ "
+        "run to run with identical values.",
+        "    # bad\n"
+        "    for fut in as_completed(futures):\n"
+        "        results.append(fut.result())\n"
+        "    # good\n"
+        "    for fut in as_completed(futures):\n"
+        "        results[futures[fut]] = fut.result()",
+        scopes=("src", "benchmarks"),
+    ),
+]
+
+#: The shipped rule pack, keyed by rule id, in id order.
+RULES: dict[str, Rule] = {r.id: r for r in sorted(_RULE_LIST, key=lambda r: r.id)}
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a rule by id (raises ``KeyError`` with the known ids)."""
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        known = ", ".join(RULES)
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+def rule_ids() -> tuple[str, ...]:
+    """All registered rule ids, sorted."""
+    return tuple(RULES)

@@ -9,7 +9,7 @@ writes no output file; all sizes are independent of the data set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from ..errors import ValidationError
 from ..utils import check_non_negative
@@ -145,7 +145,7 @@ class Application:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data representation (see :mod:`repro.core.serialization`)."""
         return {
             "name": self.name,
@@ -155,7 +155,7 @@ class Application:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Application":
+    def from_dict(cls, data: dict[str, Any]) -> "Application":
         """Inverse of :meth:`to_dict`."""
         return cls(
             works=data["works"],

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from typing import Any
 from pathlib import Path
 
 from ..errors import ValidationError
+from ..utils import canonical_json
 from .application import Application
 from .mapping import Mapping
 from .platform import Platform
@@ -86,7 +88,7 @@ class Instance:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data representation of the whole instance."""
         return {
             "application": self.application.to_dict(),
@@ -95,7 +97,7 @@ class Instance:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Instance":
+    def from_dict(cls, data: dict[str, Any]) -> "Instance":
         """Inverse of :meth:`to_dict`."""
         return cls(
             Application.from_dict(data["application"]),
@@ -104,8 +106,13 @@ class Instance:
         )
 
     def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
-        """Serialize to JSON; also writes ``path`` when given."""
-        text = json.dumps(self.to_dict(), indent=indent)
+        """Serialize to canonical JSON; also writes ``path`` when given.
+
+        Keys are sorted (:func:`repro.utils.canonical_json`) so equal
+        instances serialize to identical bytes — instance files diff
+        cleanly and can be digested by the campaign store.
+        """
+        text = canonical_json(self.to_dict(), indent=indent)
         if path is not None:
             Path(path).write_text(text)
         return text

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import SimulationError
 from ..petri.builder import DEFAULT_MAX_ROWS, build_tpn
@@ -52,7 +53,7 @@ class LatencyReport:
         Communication model simulated.
     """
 
-    latencies: np.ndarray
+    latencies: npt.NDArray[np.float64]
     injection_period: float | None
     model: CommModel
 
@@ -63,8 +64,8 @@ class LatencyReport:
 
     @property
     def mean(self) -> float:
-        """Mean latency."""
-        return float(self.latencies.mean())
+        """Mean latency (float64 accumulator pinned explicitly)."""
+        return float(self.latencies.mean(dtype=np.float64))
 
     @property
     def max(self) -> float:
@@ -78,7 +79,7 @@ class LatencyReport:
         converges; in the saturated regime it keeps growing (backlog).
         """
         k = max(1, int(self.n_datasets * tail_fraction))
-        return float(self.latencies[-k:].mean())
+        return float(self.latencies[-k:].mean(dtype=np.float64))
 
 
 def path_latency_bound(inst: Instance, dataset: int = 0) -> float:

@@ -14,7 +14,7 @@ meaningful — it fixes the round-robin phase.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..errors import MappingError
 from ..utils import gcd_all, lcm_all
@@ -178,12 +178,12 @@ class Mapping:
     # ------------------------------------------------------------------
     # serialization & dunder
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data representation."""
         return {"assignments": [list(procs) for procs in self.assignments]}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Mapping":
+    def from_dict(cls, data: dict[str, Any]) -> "Mapping":
         """Inverse of :meth:`to_dict`."""
         return cls(data["assignments"])
 

@@ -13,9 +13,10 @@ Time to ship ``F_i`` from ``P_u`` to ``P_v``: ``delta_i / b_{u,v}``.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import ValidationError
 
@@ -54,7 +55,7 @@ class Platform:
     def __init__(
         self,
         speeds: Sequence[float],
-        bandwidths: Sequence[Sequence[float]] | np.ndarray,
+        bandwidths: Sequence[Sequence[float]] | npt.NDArray[np.float64],
         name: str = "platform",
     ) -> None:
         speeds_arr = np.asarray(speeds, dtype=float)
@@ -173,7 +174,7 @@ class Platform:
     def from_comm_times(
         cls,
         comp_times: Sequence[float],
-        comm_times: Sequence[Sequence[float]] | np.ndarray,
+        comm_times: Sequence[Sequence[float]] | npt.NDArray[np.float64],
         name: str = "from-times",
     ) -> "Platform":
         """Build a platform from per-resource *times* for unit work/files.
@@ -206,7 +207,7 @@ class Platform:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data representation (``inf`` encoded as the string "inf")."""
 
         def enc(x: float) -> float | str:
@@ -219,7 +220,7 @@ class Platform:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Platform":
+    def from_dict(cls, data: dict[str, Any]) -> "Platform":
         """Inverse of :meth:`to_dict`."""
 
         def dec(x: float | str) -> float:

@@ -159,7 +159,7 @@ class BatchEngine:
         return self._skeleton_for(topology_signature(inst, model), inst, model)
 
     def _skeleton_for(
-        self, key: tuple, inst: Instance, model: CommModel | str
+        self, key: tuple[object, ...], inst: Instance, model: CommModel | str
     ) -> TpnSkeleton:
         sk = self._skeletons.get(key)
         if sk is None:
@@ -175,7 +175,7 @@ class BatchEngine:
         return sk
 
     def _ct_plan_for(
-        self, key: tuple, inst: Instance, model: CommModel
+        self, key: tuple[object, ...], inst: Instance, model: CommModel
     ) -> CycleTimePlan:
         """Fetch (or build) the topology group's cycle-time plan.
 
@@ -299,7 +299,7 @@ class BatchEngine:
         return out
 
     def _evaluate_tpn_group(
-        self, key: tuple, instances: Sequence[Instance], model: CommModel
+        self, key: tuple[object, ...], instances: Sequence[Instance], model: CommModel
     ) -> list[PeriodResult]:
         """One lockstep slab: stamp, solve, classify, package."""
         B = len(instances)

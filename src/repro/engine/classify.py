@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..algorithms.bounds import DEFAULT_REL_TOL
 from ..core.instance import Instance
@@ -74,17 +75,17 @@ class CycleTimePlan:
     """
 
     model: CommModel
-    entry_proc: np.ndarray
-    entry_stage: np.ndarray
-    entry_m: np.ndarray
-    in_entry: np.ndarray
-    in_src: np.ndarray
-    in_file: np.ndarray
-    in_window: np.ndarray
-    out_entry: np.ndarray
-    out_dst: np.ndarray
-    out_file: np.ndarray
-    out_window: np.ndarray
+    entry_proc: npt.NDArray[np.int64]
+    entry_stage: npt.NDArray[np.int64]
+    entry_m: npt.NDArray[np.int64]
+    in_entry: npt.NDArray[np.int64]
+    in_src: npt.NDArray[np.int64]
+    in_file: npt.NDArray[np.int64]
+    in_window: npt.NDArray[np.float64]
+    out_entry: npt.NDArray[np.int64]
+    out_dst: npt.NDArray[np.int64]
+    out_file: npt.NDArray[np.int64]
+    out_window: npt.NDArray[np.float64]
 
     @property
     def n_entries(self) -> int:
@@ -93,7 +94,7 @@ class CycleTimePlan:
 
     def components(
         self, inst: Instance
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64], npt.NDArray[np.float64]]:
         """Per-entry ``(cin, ccomp, cout)`` of ``inst`` (vectorized).
 
         Bit-identical to the scalar
@@ -146,7 +147,7 @@ class CycleTimePlan:
 
     def components_many(
         self, instances: list[Instance]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64], npt.NDArray[np.float64]]:
         """Per-entry ``(cin, ccomp, cout)`` of a whole group — ``(B, n)``.
 
         Row ``b`` equals ``components(instances[b])`` bit for bit: the
@@ -204,7 +205,7 @@ class CycleTimePlan:
         cout = cout / self.out_window
         return cin, ccomp, cout
 
-    def mct_many(self, instances: list[Instance]) -> np.ndarray:
+    def mct_many(self, instances: list[Instance]) -> npt.NDArray[np.float64]:
         """``M_ct`` of every instance of a group — shape ``(B,)``."""
         cin, ccomp, cout = self.components_many(instances)
         if self.model.overlap:
@@ -216,9 +217,9 @@ class CycleTimePlan:
     def verdict_many(
         self,
         instances: list[Instance],
-        periods: np.ndarray,
+        periods: npt.NDArray[np.float64],
         rel_tol: float = DEFAULT_REL_TOL,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.bool_], npt.NDArray[np.float64]]:
         """Batched :meth:`verdict` — ``(mct, critical, gap)`` arrays.
 
         ``periods`` aligns with ``instances``; entry ``b`` of each

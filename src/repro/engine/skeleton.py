@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core.instance import Instance
 from ..core.models import CommModel
@@ -81,13 +82,13 @@ class TpnSkeleton:
     model: CommModel
     m: int
     n_transitions: int
-    comp_mask: np.ndarray
-    stage_or_file: np.ndarray
-    proc_u: np.ndarray
-    proc_v: np.ndarray
-    edge_src: np.ndarray
-    edge_dst: np.ndarray
-    edge_tokens: np.ndarray
+    comp_mask: npt.NDArray[np.bool_]
+    stage_or_file: npt.NDArray[np.int64]
+    proc_u: npt.NDArray[np.int64]
+    proc_v: npt.NDArray[np.int64]
+    edge_src: npt.NDArray[np.int64]
+    edge_dst: npt.NDArray[np.int64]
+    edge_tokens: npt.NDArray[np.int64]
     plan: HowardPlan
 
     def check_budget(self, max_rows: int | None) -> None:
@@ -95,7 +96,7 @@ class TpnSkeleton:
         if max_rows is not None and self.m > max_rows:
             raise ReplicationExplosionError(self.m, max_rows)
 
-    def stamp_durations(self, inst: Instance) -> np.ndarray:
+    def stamp_durations(self, inst: Instance) -> npt.NDArray[np.float64]:
         """Per-transition firing durations of ``inst`` (vectorized).
 
         Equals ``[t.duration for t in build_tpn(inst, model).transitions]``
@@ -116,7 +117,7 @@ class TpnSkeleton:
             ]
         return dur
 
-    def stamp_weights(self, inst: Instance) -> np.ndarray:
+    def stamp_weights(self, inst: Instance) -> npt.NDArray[np.float64]:
         """Edge weights of the cycle-ratio graph for ``inst``.
 
         The weight of a place is the duration of its *input* transition
@@ -160,7 +161,7 @@ class TpnSkeleton:
                 max_cycle_ratio_lawler(self._graph(weights)), (), (), "lawler"
             )
 
-    def stamp_durations_many(self, instances: list[Instance]) -> np.ndarray:
+    def stamp_durations_many(self, instances: list[Instance]) -> npt.NDArray[np.float64]:
         """``(B, n_transitions)`` firing-duration matrix of a whole group.
 
         Row ``b`` equals ``stamp_durations(instances[b])`` bit for bit:
@@ -192,7 +193,7 @@ class TpnSkeleton:
             ]
         return dur
 
-    def stamp_weights_many(self, instances: list[Instance]) -> np.ndarray:
+    def stamp_weights_many(self, instances: list[Instance]) -> npt.NDArray[np.float64]:
         """``(B, n_edges)`` cycle-ratio weight matrix of a whole group."""
         return self.stamp_durations_many(instances)[:, self.edge_src]
 
@@ -239,7 +240,7 @@ class TpnSkeleton:
                 self.solve(inst, solver=solver, state=state) for inst in instances
             ]
 
-    def _graph(self, weights: np.ndarray) -> RatioGraph:
+    def _graph(self, weights: npt.NDArray[np.float64]) -> RatioGraph:
         """Materialize the full ratio graph (Lawler fallback only)."""
         return RatioGraph(
             self.n_transitions,

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import csv
 import io
-import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
+from ..utils import canonical_json
 from .runner import ExperimentRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search -> engine)
@@ -41,26 +41,6 @@ __all__ = [
     "portfolio_to_json",
     "restarts_to_csv",
 ]
-
-
-def canonical_json(obj: object, indent: int | None = None) -> str:
-    """Byte-deterministic JSON text of a plain-data object.
-
-    Keys are sorted at every nesting level and floats render with
-    ``repr`` (shortest round-trip, platform-independent), so equal
-    values always produce equal bytes — the property the campaign
-    store's content digests and diffable artifacts rely on.  ``NaN`` /
-    ``inf`` are rejected: digested payloads must round-trip through
-    standard JSON.
-
-    ``indent=None`` gives the compact separators used for digests;
-    pass ``indent=2`` for human-readable artifact files.
-    """
-    separators = (",", ":") if indent is None else (",", ": ")
-    return json.dumps(
-        obj, sort_keys=True, separators=separators, indent=indent,
-        allow_nan=False,
-    )
 
 
 _COLUMNS = [

@@ -15,6 +15,7 @@ exercised by the property-based test-suite.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import SolverError
 from .graph import RatioGraph
@@ -35,19 +36,19 @@ __all__ = [
 NEG_INF = -np.inf
 
 
-def mp_zeros(shape: tuple[int, int] | int) -> np.ndarray:
+def mp_zeros(shape: tuple[int, int] | int) -> npt.NDArray[np.float64]:
     """Max-plus zero matrix (all entries ``-inf``)."""
     return np.full(shape, NEG_INF)
 
 
-def mp_eye(n: int) -> np.ndarray:
+def mp_eye(n: int) -> npt.NDArray[np.float64]:
     """Max-plus identity: ``0`` on the diagonal, ``-inf`` elsewhere."""
     eye = mp_zeros((n, n))
     np.fill_diagonal(eye, 0.0)
     return eye
 
 
-def mp_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def mp_matmul(a: npt.NDArray[np.float64], b: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
     """Max-plus matrix product ``(a ⊗ b)[i, j] = max_k a[i, k] + b[k, j]``."""
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
@@ -59,7 +60,7 @@ def mp_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def mp_matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+def mp_matvec(a: npt.NDArray[np.float64], x: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
     """Max-plus matrix-vector product ``max_k a[i, k] + x[k]``."""
     a = np.asarray(a, dtype=float)
     x = np.asarray(x, dtype=float)
@@ -67,7 +68,7 @@ def mp_matvec(a: np.ndarray, x: np.ndarray) -> np.ndarray:
         return (a + x[None, :]).max(axis=1)
 
 
-def mp_pow(a: np.ndarray, k: int) -> np.ndarray:
+def mp_pow(a: npt.NDArray[np.float64], k: int) -> npt.NDArray[np.float64]:
     """Max-plus matrix power ``a^{⊗k}`` by binary exponentiation."""
     n = a.shape[0]
     if k < 0:
@@ -82,7 +83,7 @@ def mp_pow(a: np.ndarray, k: int) -> np.ndarray:
     return result
 
 
-def mp_star(a: np.ndarray, max_iter: int | None = None) -> np.ndarray:
+def mp_star(a: npt.NDArray[np.float64], max_iter: int | None = None) -> npt.NDArray[np.float64]:
     """Kleene star ``a* = I ⊕ a ⊕ a² ⊕ ...``.
 
     Converges iff every cycle of ``a`` has non-positive weight; for the
@@ -128,7 +129,7 @@ def mp_star(a: np.ndarray, max_iter: int | None = None) -> np.ndarray:
     )
 
 
-def matrix_to_graph(a: np.ndarray) -> RatioGraph:
+def matrix_to_graph(a: npt.NDArray[np.float64]) -> RatioGraph:
     """View a max-plus matrix as a unit-token graph.
 
     Entry ``a[i, j] > -inf`` becomes the edge ``j -> i`` (column feeds
@@ -146,7 +147,7 @@ def matrix_to_graph(a: np.ndarray) -> RatioGraph:
     return RatioGraph(n, edges)
 
 
-def mp_eigenvalue(a: np.ndarray) -> float:
+def mp_eigenvalue(a: npt.NDArray[np.float64]) -> float:
     """Max-plus eigenvalue of an irreducible matrix.
 
     Equals the maximum cycle mean of the associated graph — computed here

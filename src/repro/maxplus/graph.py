@@ -31,7 +31,9 @@ class Edge:
 
     __slots__ = ("index", "src", "dst", "weight", "tokens")
 
-    def __init__(self, index: int, src: int, dst: int, weight: float, tokens: int):
+    def __init__(
+        self, index: int, src: int, dst: int, weight: float, tokens: int
+    ) -> None:
         self.index = index
         self.src = src
         self.dst = dst
@@ -271,8 +273,8 @@ class RatioGraph:
     def cycle_ratio_of(self, edge_indices: Sequence[int]) -> float:
         """Exact ratio ``sum(w)/sum(t)`` of a given cycle (list of edges)."""
         idx = np.asarray(list(edge_indices), dtype=np.int64)
-        total_w = float(self.weight[idx].sum())
-        total_t = int(self.tokens[idx].sum())
+        total_w = float(self.weight[idx].sum(dtype=np.float64))
+        total_t = int(self.tokens[idx].sum(dtype=np.int64))
         if total_t == 0:
             raise DeadlockError("cycle carries no token; its ratio is infinite")
         return total_w / total_t

@@ -81,6 +81,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import DeadlockError, SolverError
 from .graph import RatioGraph
@@ -137,7 +138,7 @@ class HowardState:
     singleton components (whose "policy" is trivial) store ``None``.
     """
 
-    policies: list[np.ndarray | None] | None = None
+    policies: list[npt.NDArray[np.int64] | None] | None = None
     bound_plan: "HowardPlan | None" = None
 
 
@@ -153,12 +154,12 @@ class _PreparedScc:
 
     n: int
     node_map: tuple[int, ...]
-    edge_map: np.ndarray
-    order: np.ndarray
-    src: np.ndarray
-    dst: np.ndarray
-    tokens: np.ndarray
-    start: np.ndarray
+    edge_map: npt.NDArray[np.int64]
+    order: npt.NDArray[np.int64]
+    src: npt.NDArray[np.int64]
+    dst: npt.NDArray[np.int64]
+    tokens: npt.NDArray[np.int64]
+    start: npt.NDArray[np.int64]
 
 
 @dataclass(frozen=True)
@@ -182,7 +183,7 @@ class HowardPlan:
 
     n_nodes: int
     n_edges: int
-    tokens: np.ndarray
+    tokens: npt.NDArray[np.int64]
     components: tuple[_PreparedScc | _PreparedSingleton, ...]
 
 
@@ -239,10 +240,10 @@ def prepare_howard(graph: RatioGraph) -> HowardPlan:
 
 def _scc_howard_csr(
     scc: _PreparedScc,
-    weight: np.ndarray,
+    weight: npt.NDArray[np.float64],
     tol: float,
-    policy0: np.ndarray | None = None,
-) -> tuple[HowardResult, np.ndarray]:
+    policy0: npt.NDArray[np.int64] | None = None,
+) -> tuple[HowardResult, npt.NDArray[np.int64]]:
     """Policy iteration inside one prepared SCC (CSR edge order).
 
     ``policy0`` warm-starts the iteration from a previously converged
@@ -393,12 +394,12 @@ def _bind_state(state: HowardState, plan: HowardPlan) -> None:
 
 def _scc_howard_csr_many(
     scc: _PreparedScc,
-    W: np.ndarray,
-    tol_rows: np.ndarray,
-    policy0_rows: list[np.ndarray | None] | None,
-    node_map_arr: np.ndarray,
-    edge_gmap: np.ndarray,
-) -> tuple[list[tuple[float, list[int], list[int], int]], np.ndarray]:
+    W: npt.NDArray[np.float64],
+    tol_rows: npt.NDArray[np.float64],
+    policy0_rows: list[npt.NDArray[np.int64] | None] | None,
+    node_map_arr: npt.NDArray[np.int64],
+    edge_gmap: npt.NDArray[np.int64],
+) -> tuple[list[tuple[float, list[int], list[int], int]], npt.NDArray[np.int64]]:
     """Lockstep policy iteration inside one prepared SCC for ``B`` rows.
 
     ``W`` is the ``(B, e)`` CSR-ordered weight matrix (one stamping per
@@ -639,7 +640,7 @@ def _scc_howard_csr_many(
         walk_w = np.zeros((l_max, C))
         walk_w[cyc_pos, lane_rank.take(cyc_lane)] = wvn_flat.take(cyc_sel)
         hist = np.bincount(len_lane, minlength=l_max + 1)
-        alive = C - np.cumsum(hist)  # lanes with length > k
+        alive = C - np.cumsum(hist, dtype=np.int64)  # lanes with length > k
         acc = np.zeros(C)
         for k in range(l_max):
             a_k = int(alive[k])
@@ -665,14 +666,14 @@ def _scc_howard_csr_many(
             # column blocks (every row shares the level structure).
             dist0 = dist_u.ravel()
             order0 = np.argsort(dist0, kind="stable")
-            bounds0 = np.cumsum(np.bincount(dist0))
+            bounds0 = np.cumsum(np.bincount(dist0), dtype=np.int64)
             nxt0 = nxt_u.ravel()
             for d in range(1, len(bounds0)):
                 sel0 = order0[bounds0[d - 1]: bounds0[d]]
                 pot[:, sel0] = cvn[:, sel0] + pot[:, nxt0.take(sel0)]
         else:
             level_order = np.argsort(dist_flat, kind="stable")
-            bounds = np.cumsum(np.bincount(dist_flat))
+            bounds = np.cumsum(np.bincount(dist_flat), dtype=np.int64)
             nxt_sorted = nxt_flat.take(level_order)
             cvn_sorted = cvn_flat.take(level_order)
             for d in range(1, len(bounds)):
@@ -713,7 +714,9 @@ def _scc_howard_csr_many(
             # a slot only wins on a strictly larger value, which is the
             # scalar "first CSR position attaining the segment max"
             # tie-breaking (and what np.argmax would pick).
-            def _seg_first_max(vals_ext):
+            def _seg_first_max(
+                vals_ext: npt.NDArray[np.float64],
+            ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.int64]]:
                 cols = vals_ext[:, pad_idx].reshape(A, n, dmax)
                 best = cols[:, :, 0]
                 slot = np.zeros((A, n), dtype=np.int64)
@@ -822,7 +825,7 @@ def _scc_howard_csr_many(
 
 def solve_prepared(
     plan: HowardPlan,
-    weight: np.ndarray,
+    weight: npt.NDArray[np.float64],
     tol: float | None = None,
     state: HowardState | None = None,
 ) -> HowardResult:
@@ -893,8 +896,8 @@ def solve_prepared(
     # Report the *exact* arithmetic ratio of the extracted cycle, which is
     # cleaner than the float accumulated during policy evaluation.
     idx = np.asarray(list(best.cycle_edges), dtype=np.int64)
-    total_w = float(weight[idx].sum())
-    total_t = int(plan.tokens[idx].sum())
+    total_w = float(weight[idx].sum(dtype=np.float64))
+    total_t = int(plan.tokens[idx].sum(dtype=np.int64))
     if total_t == 0:
         raise DeadlockError("cycle carries no token; its ratio is infinite")
     return HowardResult(total_w / total_t, best.cycle_nodes, best.cycle_edges, best.n_rounds)
@@ -902,7 +905,7 @@ def solve_prepared(
 
 def solve_prepared_many(
     plan: HowardPlan,
-    weights: np.ndarray,
+    weights: npt.NDArray[np.float64],
     tol: float | None = None,
     states: list[HowardState] | None = None,
     state: HowardState | None = None,
@@ -1009,7 +1012,7 @@ def solve_prepared_many(
         return out
 
     best: list[HowardResult | None] = [None] * B
-    pending_policies: list[tuple[int, np.ndarray]] = []
+    pending_policies: list[tuple[int, npt.NDArray[np.int64]]] = []
     for ci, comp in enumerate(plan.components):
         if isinstance(comp, _PreparedSingleton):
             loops = np.asarray(comp.self_loops, dtype=np.int64)
@@ -1070,7 +1073,7 @@ def solve_prepared_many(
 
 def _exact_ratio_results(
     plan: HowardPlan,
-    weights: np.ndarray,
+    weights: npt.NDArray[np.float64],
     rows: list[tuple[float, tuple[int, ...], tuple[int, ...], int]],
 ) -> list[HowardResult]:
     """Per-row exact extracted-cycle ratios, batched per unique cycle.
@@ -1087,11 +1090,11 @@ def _exact_ratio_results(
     values = np.empty(len(rows))
     for cyc, members in groups.items():
         idx = np.asarray(cyc, dtype=np.int64)
-        total_t = int(plan.tokens[idx].sum())
+        total_t = int(plan.tokens[idx].sum(dtype=np.int64))
         if total_t == 0:
             raise DeadlockError("cycle carries no token; its ratio is infinite")
-        values[members] = weights[np.ix_(np.asarray(members), idx)].sum(axis=1) \
-            / total_t
+        values[members] = weights[np.ix_(np.asarray(members), idx)].sum(
+            axis=1, dtype=np.float64) / total_t
     return [
         HowardResult(float(values[b]), nodes, edges, n_rounds)
         for b, (_, nodes, edges, n_rounds) in enumerate(rows)

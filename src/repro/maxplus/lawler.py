@@ -15,6 +15,7 @@ of an interval.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import SolverError
 from .graph import RatioGraph
@@ -22,7 +23,7 @@ from .graph import RatioGraph
 __all__ = ["max_cycle_ratio_lawler", "has_positive_cycle"]
 
 
-def has_positive_cycle(graph: RatioGraph, reduced_weight: np.ndarray) -> bool:
+def has_positive_cycle(graph: RatioGraph, reduced_weight: npt.NDArray[np.float64]) -> bool:
     """``True`` when some cycle has a strictly positive reduced weight.
 
     Runs at most ``n`` rounds of vectorized Bellman-Ford relaxation on
@@ -76,8 +77,8 @@ def max_cycle_ratio_lawler(
     # Bracket: no cycle ratio can exceed (sum of positive weights) / 1,
     # nor be below the most negative single-edge ratio.
     w, t = graph.weight, graph.tokens
-    hi = float(np.maximum(w, 0.0).sum()) + 1.0
-    lo = float(np.minimum(w, 0.0).sum()) - 1.0
+    hi = float(np.maximum(w, 0.0).sum(dtype=np.float64)) + 1.0
+    lo = float(np.minimum(w, 0.0).sum(dtype=np.float64)) - 1.0
 
     # Verify a cycle exists at all (positive cycle at lambda = lo - slack
     # means *any* cycle since all reduced weights shift upward).

@@ -17,6 +17,7 @@ keep ``T = m (2n-1)`` modest).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import ValidationError
 from ..petri.net import TimedEventGraph
@@ -26,7 +27,7 @@ from .karp import max_cycle_mean
 __all__ = ["tpn_matrices", "tpn_transition_matrix", "period_by_matrix", "iterate_daters"]
 
 
-def tpn_matrices(net: TimedEventGraph) -> tuple[np.ndarray, np.ndarray]:
+def tpn_matrices(net: TimedEventGraph) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
     """The implicit-form matrices ``(A0, A1)`` of a net.
 
     ``A0[d, s] = duration(d)`` for each 0-token place ``s -> d`` and
@@ -50,7 +51,7 @@ def tpn_matrices(net: TimedEventGraph) -> tuple[np.ndarray, np.ndarray]:
     return a0, a1
 
 
-def tpn_transition_matrix(net: TimedEventGraph) -> np.ndarray:
+def tpn_transition_matrix(net: TimedEventGraph) -> npt.NDArray[np.float64]:
     """The explicit one-step matrix ``A = A0* ⊗ A1``."""
     a0, a1 = tpn_matrices(net)
     return mp_matmul(mp_star(a0), a1)
@@ -66,7 +67,7 @@ def period_by_matrix(net: TimedEventGraph) -> float:
     return max_cycle_mean(matrix_to_graph(a)) / net.n_rows
 
 
-def iterate_daters(net: TimedEventGraph, n_steps: int) -> np.ndarray:
+def iterate_daters(net: TimedEventGraph, n_steps: int) -> npt.NDArray[np.float64]:
     """Iterate ``x(k) = A ⊗ x(k-1)`` from ``x(0) = 0``.
 
     Returns the ``(n_steps + 1, T)`` dater trajectory.  Asymptotically the

@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import SolverError
 from .algebra import mp_matvec
@@ -45,7 +46,7 @@ __all__ = [
 ]
 
 
-def potentials(graph: RatioGraph, lam: float, tol: float = 1e-9) -> np.ndarray:
+def potentials(graph: RatioGraph, lam: float, tol: float = 1e-9) -> npt.NDArray[np.float64]:
     """Longest-path potentials under reduced weights ``w - lam * t``.
 
     Computed by Bellman-Ford from a virtual super-source connected to all
@@ -193,7 +194,7 @@ def cyclicity(graph: RatioGraph, crit: CriticalGraph | None = None) -> int:
     return overall
 
 
-def mp_eigenvector(a: np.ndarray, tol: float = 1e-9) -> tuple[float, np.ndarray]:
+def mp_eigenvector(a: npt.NDArray[np.float64], tol: float = 1e-9) -> tuple[float, npt.NDArray[np.float64]]:
     """Eigenpair of an irreducible max-plus matrix: ``A ⊗ v = lam + v``.
 
     Classic construction (Baccelli et al., Thm 3.23): normalize

@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 
 from ..errors import ValidationError
+from ..utils import canonical_json
 from .net import TimedEventGraph
 
 __all__ = ["tpn_to_dict", "tpn_from_dict", "tpn_to_json", "tpn_from_json"]
@@ -81,7 +82,9 @@ def tpn_to_json(net: TimedEventGraph, path: str | Path | None = None,
         k: (list(v) if isinstance(v, tuple) else v)
         for k, v in data["meta"].items()
     }
-    text = json.dumps(data, indent=indent)
+    # Canonical bytes (sorted keys, repr floats): equal nets serialize
+    # to equal files, so exported TPNs diff and digest cleanly.
+    text = canonical_json(data, indent=indent)
     if path is not None:
         Path(path).write_text(text)
     return text

@@ -48,7 +48,6 @@ reproduces across interpreter invocations and worker counts.
 
 from __future__ import annotations
 
-import json
 import zlib
 from dataclasses import dataclass
 
@@ -60,6 +59,7 @@ from ..core.models import CommModel
 from ..core.platform import Platform
 from ..engine import BatchEngine
 from ..errors import ValidationError
+from ..utils import canonical_json
 from ..extensions.mapping_opt import (
     MappingSearchResult,
     greedy_mapping,
@@ -205,10 +205,11 @@ class PortfolioResult:
     def to_json(self, indent: int | None = 2) -> str:
         """Serialize to strict JSON text (``allow_nan=False`` enforced).
 
-        Keys are sorted so equal results are byte-identical files.
+        Routed through :func:`repro.utils.canonical_json`: sorted keys
+        and canonical separators, so equal results are byte-identical
+        files under every exporter in the repo.
         """
-        return json.dumps(self.to_dict(), indent=indent, allow_nan=False,
-                          sort_keys=True)
+        return canonical_json(self.to_dict(), indent=indent)
 
 
 def portfolio_seeds(

@@ -1,7 +1,8 @@
-"""Small shared helpers: integer lattice math and validation utilities."""
+"""Small shared helpers: integer lattice math, validation, canonical JSON."""
 
 from __future__ import annotations
 
+import json
 import math
 from collections.abc import Iterable, Sequence
 
@@ -12,7 +13,33 @@ __all__ = [
     "check_non_negative",
     "check_finite",
     "format_time",
+    "canonical_json",
 ]
+
+
+def canonical_json(obj: object, indent: int | None = None) -> str:
+    """Byte-deterministic JSON text of a plain-data object.
+
+    Keys are sorted at every nesting level and floats render with
+    ``repr`` (shortest round-trip, platform-independent), so equal
+    values always produce equal bytes — the property the campaign
+    store's content digests and diffable artifacts rely on.  ``NaN`` /
+    ``inf`` are rejected: digested payloads must round-trip through
+    standard JSON.
+
+    ``indent=None`` gives the compact separators used for digests;
+    pass ``indent=2`` for human-readable artifact files.
+
+    Lives here (not :mod:`repro.experiments.io`, which re-exports it)
+    so that low-level layers — :meth:`repro.core.instance.Instance.
+    to_json`, :func:`repro.petri.serialization.tpn_to_json` — can emit
+    canonical bytes without importing the experiments stack.
+    """
+    separators = (",", ":") if indent is None else (",", ": ")
+    return json.dumps(
+        obj, sort_keys=True, separators=separators, indent=indent,
+        allow_nan=False,
+    )
 
 
 def lcm_all(values: Iterable[int]) -> int:

@@ -1,0 +1,471 @@
+"""Tests for :mod:`repro.analysis` — the ``repro-lint`` analyzer.
+
+Three layers:
+
+* per-rule fixtures — a minimized bad snippet that must fire and a
+  corrected twin that must not (the rule pack's contract);
+* engine behavior — pragma suppression, skip-file, scope/critical
+  gating, baseline round-trip and staleness, the Python-3.10 TOML
+  fallback parser, the CLI's exit codes and JSON output;
+* regression fixtures — distilled versions of the two historical
+  incidents the pack exists for: the PR-1 ``hash()``-seeded sweeps
+  (PYTHONHASHSEED nondeterminism) and the PR-3/PR-5 fancy-index
+  accumulation hazard adjacent to ``mp_star``.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Suppression,
+    analyze_source,
+    apply_baseline,
+    format_baseline,
+    get_rule,
+    load_baseline,
+    rule_ids,
+)
+from repro.analysis.baseline import _loads_toml_subset
+from repro.analysis.cli import main as lint_main
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def findings_for(source, path="src/repro/mod.py", **kw):
+    return analyze_source(textwrap.dedent(source), path, **kw)
+
+
+def fired(source, rule, path="src/repro/mod.py", **kw):
+    return [f for f in findings_for(source, path=path, **kw) if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# Rule fixtures: each bad snippet fires exactly its rule; the corrected
+# twin is clean.
+# ---------------------------------------------------------------------------
+
+
+class TestRuleFixtures:
+    def test_det101_builtin_hash(self):
+        bad = "seed = hash(name) % 2**31\n"
+        good = "import zlib\nseed = zlib.crc32(name.encode()) % 2**31\n"
+        (f,) = fired(bad, "DET101")
+        assert f.severity == "error"
+        assert "hash()" in f.message
+        assert not fired(good, "DET101")
+
+    def test_det101_exempts_dunder_hash(self):
+        src = """\
+        class Edge:
+            def __hash__(self):
+                return hash((self.src, self.dst))
+        """
+        assert not fired(src, "DET101")
+
+    def test_det102_global_random(self):
+        bad = "import numpy as np\nx = np.random.uniform(0.0, 1.0, 8)\n"
+        good = "import numpy as np\nrng = np.random.default_rng(7)\nx = rng.uniform(0.0, 1.0, 8)\n"
+        (f,) = fired(bad, "DET102")
+        assert "numpy.random.uniform" in f.message
+        assert not fired(good, "DET102")
+
+    def test_det102_stdlib_random_and_aliases(self):
+        assert fired("import random\nrandom.shuffle(items)\n", "DET102")
+        # Seeded constructors are the sanctioned API.
+        assert not fired("import random\nr = random.Random(3)\n", "DET102")
+        assert not fired(
+            "from numpy.random import default_rng\nrng = default_rng(1)\n",
+            "DET102",
+        )
+
+    def test_det103_set_iteration(self):
+        bad = """\
+        procs = {1, 2, 3}
+        total = 0.0
+        for p in procs:
+            total += load[p]
+        """
+        good = """\
+        procs = {1, 2, 3}
+        total = 0.0
+        for p in sorted(procs):
+            total += load[p]
+        """
+        (f,) = fired(bad, "DET103")
+        assert "procs" in f.message
+        assert not fired(good, "DET103")
+
+    def test_det103_comprehension_and_literal(self):
+        assert fired("xs = [f(v) for v in {1, 2}]\n", "DET103")
+        assert not fired("xs = [f(v) for v in sorted({1, 2})]\n", "DET103")
+
+    def test_det104_unsorted_json(self):
+        bad = "import json\ntext = json.dumps(payload, indent=2)\n"
+        good = "import json\ntext = json.dumps(payload, sort_keys=True)\n"
+        (f,) = fired(bad, "DET104")
+        assert "sort_keys" in f.message
+        assert not fired(good, "DET104")
+
+    def test_det104_sort_keys_false_still_fires(self):
+        bad = "import json\ntext = json.dumps(payload, sort_keys=False)\n"
+        assert fired(bad, "DET104")
+
+    def test_det105_wall_clock_src_only(self):
+        bad = "import time\nstart = time.perf_counter()\n"
+        (f,) = fired(bad, "DET105")
+        assert "time.perf_counter" in f.message
+        # Benchmarks are allowed to measure wall-clock time.
+        assert not fired(bad, "DET105", path="benchmarks/bench_x.py")
+
+    def test_det106_fs_order(self):
+        bad = "import os\nnames = os.listdir(root)\n"
+        good = "import os\nnames = sorted(os.listdir(root))\n"
+        assert fired(bad, "DET106")
+        assert not fired(good, "DET106")
+
+    def test_det106_pathlib_methods(self):
+        bad = 'for p in root.glob("*.json"):\n    use(p)\n'
+        good = 'for p in sorted(root.glob("*.json")):\n    use(p)\n'
+        (f,) = fired(bad, "DET106")
+        assert "Path.glob" in f.message
+        assert not fired(good, "DET106")
+
+    def test_det107_set_pop(self):
+        bad = """\
+        worklist = set(nodes)
+        while worklist:
+            node = worklist.pop()
+        """
+        good = """\
+        worklist = sorted(nodes)
+        while worklist:
+            node = worklist.pop()
+        """
+        (f,) = fired(bad, "DET107")
+        assert "pop" in f.message
+        assert not fired(good, "DET107")
+
+    def test_num201_fancy_index_accumulate(self):
+        bad = """\
+        import numpy as np
+        idx = np.nonzero(mask)[0]
+        acc[idx] += weights
+        """
+        good = """\
+        import numpy as np
+        idx = np.nonzero(mask)[0]
+        np.add.at(acc, idx, weights)
+        """
+        (f,) = fired(bad, "NUM201")
+        assert "np.add.at" in f.message
+        assert not fired(good, "NUM201")
+
+    def test_num201_scalar_index_is_fine(self):
+        assert not fired("acc[3] += w\n", "NUM201")
+        assert not fired("for i in range(n):\n    acc[i] += w[i]\n", "NUM201")
+
+    def test_num202_escaping_empty(self):
+        bad = """\
+        import numpy as np
+        def make(n):
+            out = np.empty(n)
+            return out
+        """
+        good = """\
+        import numpy as np
+        def make(n):
+            out = np.empty(n)
+            out.fill(0.0)
+            return out
+        """
+        (f,) = fired(bad, "NUM202")
+        assert "out" in f.message
+        assert not fired(good, "NUM202")
+
+    def test_num202_subscript_write_initializes(self):
+        src = """\
+        import numpy as np
+        def make(n):
+            out = np.empty(n)
+            out[:] = 1.0
+            return out
+        """
+        assert not fired(src, "NUM202")
+
+    def test_num202_direct_return(self):
+        src = "import numpy as np\ndef make(n):\n    return np.empty(n)\n"
+        (f,) = fired(src, "NUM202")
+        assert "returned directly" in f.message
+
+    def test_num203_critical_only(self):
+        bad = "total = float(weights.sum())\n"
+        good = "import numpy as np\ntotal = float(weights.sum(dtype=np.float64))\n"
+        critical = "src/repro/maxplus/mod.py"
+        plain = "src/repro/experiments/mod.py"
+        assert fired(bad, "NUM203", path=critical)
+        assert not fired(good, "NUM203", path=critical)
+        # Outside the bit-identity-critical modules the rule is silent.
+        assert not fired(bad, "NUM203", path=plain)
+
+    def test_num204_mutable_default(self):
+        bad = "def run(extra=[]):\n    pass\n"
+        good = "def run(extra=None):\n    extra = [] if extra is None else extra\n"
+        assert fired(bad, "NUM204")
+        assert fired("def run(*, models={}):\n    pass\n", "NUM204")
+        assert not fired(good, "NUM204")
+
+    def test_num205_completion_order(self):
+        bad = """\
+        from concurrent.futures import as_completed
+        for fut in as_completed(futures):
+            results.append(fut.result())
+        """
+        good = """\
+        from concurrent.futures import as_completed
+        for fut in as_completed(futures):
+            results[futures[fut]] = fut.result()
+        """
+        (f,) = fired(bad, "NUM205")
+        assert "as_completed" in f.message
+        assert not fired(good, "NUM205")
+
+
+# ---------------------------------------------------------------------------
+# Regression fixtures: the historical incidents, distilled.
+# ---------------------------------------------------------------------------
+
+
+class TestIncidentRegressions:
+    def test_pr1_hash_seeded_sweep(self):
+        """PR 1: sweep seeds derived via builtin hash() — per-process
+        PYTHONHASHSEED randomization made every run sweep a different
+        seed tree.  The analyzer must flag the original shape."""
+        src = """\
+        def family_seed(config_name, index):
+            return (hash(config_name) + index) % 2**31
+        """
+        (f,) = fired(src, "DET101")
+        assert f.line == 2
+        # And must accept the shipped fix (crc32 of explicit bytes).
+        fix = """\
+        import zlib
+        def family_seed(config_name, index):
+            return (zlib.crc32(config_name.encode()) + index) % 2**31
+        """
+        assert not findings_for(fix)
+
+    def test_pr5_fancy_index_accumulation(self):
+        """PR 3/PR 5: per-resource accumulation indexed by a
+        transition->resource array; fancy-index += keeps only the last
+        write per repeated index.  np.add.at is the shipped fix."""
+        src = """\
+        import numpy as np
+        def cycle_sums(n_res, resource_of, durations):
+            sums = np.zeros(n_res)
+            idx = resource_of.astype(np.int64)
+            sums[idx] += durations
+            return sums
+        """
+        (f,) = fired(src, "NUM201", path="src/repro/maxplus/mod.py")
+        assert f.line == 5
+        fix = src.replace(
+            "sums[idx] += durations", "np.add.at(sums, idx, durations)"
+        )
+        assert not fired(fix, "NUM201", path="src/repro/maxplus/mod.py")
+
+
+# ---------------------------------------------------------------------------
+# Engine behavior.
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_pragma_suppresses_one_rule(self):
+        src = "seed = hash(name)  # detlint: disable=DET101\n"
+        assert not findings_for(src)
+
+    def test_pragma_all(self):
+        src = "import time\nt = time.time()  # detlint: disable=all\n"
+        assert not findings_for(src)
+
+    def test_pragma_wrong_rule_does_not_suppress(self):
+        src = "seed = hash(name)  # detlint: disable=DET102\n"
+        assert fired(src, "DET101")
+
+    def test_skip_file(self):
+        src = "# detlint: skip-file\nseed = hash(name)\n"
+        assert not findings_for(src)
+
+    def test_select_limits_rules(self):
+        src = "import json\nseed = hash(n)\ntext = json.dumps(p)\n"
+        only = findings_for(src, select=["DET104"])
+        assert [f.rule for f in only] == ["DET104"]
+
+    def test_findings_sorted_and_stable(self):
+        src = "import json\nb = json.dumps(p)\na = hash(n)\n"
+        result = findings_for(src)
+        assert result == sorted(result)
+        assert [f.line for f in result] == [2, 3]
+
+    def test_finding_to_dict_roundtrips_via_json(self):
+        (f,) = findings_for("seed = hash(name)\n")
+        data = json.loads(json.dumps(f.to_dict()))
+        assert data["rule"] == "DET101"
+        assert data["content"] == "seed = hash(name)"
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            findings_for("def broken(:\n")
+
+
+class TestBaseline:
+    def _finding(self):
+        (f,) = findings_for("seed = hash(name)\n")
+        return f
+
+    def test_round_trip(self, tmp_path):
+        f = self._finding()
+        path = tmp_path / "base.toml"
+        reasons = {(f.rule, f.path, f.content): "vetted: not a seed"}
+        path.write_text(format_baseline([f], reasons))
+        entries = load_baseline(path)
+        assert entries == [
+            Suppression(
+                rule="DET101",
+                path="src/repro/mod.py",
+                content="seed = hash(name)",
+                reason="vetted: not a seed",
+            )
+        ]
+        kept, suppressed, stale = apply_baseline([f], entries)
+        assert (kept, suppressed, stale) == ([], [f], [])
+
+    def test_unvetted_entries_get_todo_reason(self):
+        text = format_baseline([self._finding()])
+        assert "TODO: vet and justify, or fix" in text
+
+    def test_stale_entry_reported(self):
+        entry = Suppression("DET101", "src/gone.py", "seed = hash(x)", "r")
+        kept, suppressed, stale = apply_baseline([self._finding()], [entry])
+        assert len(kept) == 1 and not suppressed
+        assert stale == [entry]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.toml") == []
+
+    def test_toml_subset_fallback_parses_own_output(self):
+        f = self._finding()
+        text = format_baseline([f], {(f.rule, f.path, f.content): 'why "quoted"'})
+        data = _loads_toml_subset(text, "base.toml")
+        entries = data["suppression"]
+        assert entries[0]["rule"] == "DET101"
+        assert entries[0]["reason"] == 'why "quoted"'
+
+    def test_toml_subset_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            _loads_toml_subset("rule = 42\n", "base.toml")
+
+
+class TestRegistry:
+    def test_rule_ids_sorted_and_families(self):
+        ids = rule_ids()
+        assert ids == tuple(sorted(ids))
+        assert all(i.startswith(("DET1", "NUM2")) for i in ids)
+        assert len(ids) >= 10
+
+    def test_every_rule_documented(self):
+        for rule in RULES.values():
+            assert rule.summary and rule.fixit and rule.incident
+            assert "# bad" in rule.example and "# good" in rule.example
+            text = rule.explain()
+            assert rule.id in text and "Motivating incident" in text
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError, match="DET101"):
+            get_rule("DET999")
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "src"
+        src.mkdir()
+        clean = src / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean), "--no-baseline"]) == 0
+        dirty = src / "dirty.py"
+        dirty.write_text("seed = hash(name)\n")
+        assert lint_main([str(dirty), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out
+        assert lint_main(["no/such/path"]) == 2
+        assert lint_main(["--select", "NOPE", str(clean)]) == 2
+
+    def test_baseline_flow(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text("seed = hash(name)\n")
+        base = tmp_path / "base.toml"
+        assert lint_main(["--write-baseline", "--baseline", str(base), "src"]) == 0
+        assert base.exists()
+        capsys.readouterr()
+        # Baselined finding no longer fails the run.
+        assert lint_main(["--baseline", str(base), "src"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # Fix the line: the entry goes stale (reported, still exit 0).
+        (src / "mod.py").write_text("x = 1\n")
+        assert lint_main(["--baseline", str(base), "src"]) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_json_output_is_canonical(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text("seed = hash(name)\n")
+        assert lint_main(["--format", "json", "--no-baseline", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET101"
+        # Canonical output: keys sorted at every level.
+        assert list(payload) == sorted(payload)
+        assert list(finding) == sorted(finding)
+
+    def test_explain_and_list_rules(self, capsys):
+        assert lint_main(["--explain", "det101"]) == 0
+        out = capsys.readouterr().out
+        assert "PYTHONHASHSEED" in out
+        assert lint_main(["--explain", "DET999"]) == 2
+        capsys.readouterr()
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+
+class TestRepoIsClean:
+    def test_head_has_no_unbaselined_findings(self, repo_root):
+        """The CI gate's contract, asserted from the test suite too."""
+        from repro.analysis import analyze_paths
+        from repro.analysis.baseline import DEFAULT_BASELINE
+
+        targets = [repo_root / d for d in ("src", "tests", "benchmarks")]
+        findings = analyze_paths(targets, repo_root)
+        entries = load_baseline(repo_root / DEFAULT_BASELINE)
+        kept, _, stale = apply_baseline(findings, entries)
+        assert kept == [], "un-baselined detlint findings at HEAD"
+        assert stale == [], "stale baseline entries at HEAD"
+        for entry in entries:
+            assert entry.reason and not entry.reason.startswith("TODO"), (
+                f"baseline entry without a vetted justification: {entry}"
+            )

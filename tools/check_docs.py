@@ -12,7 +12,10 @@ on both:
 * every fenced ``python`` code block in README.md is executed (with
   ``src/`` importable) and must run to completion.  Blocks that are
   illustrative rather than runnable should be fenced as ``text`` or
-  ``bash`` instead.
+  ``bash`` instead;
+* the rule table in docs/ARCHITECTURE.md must agree with the registered
+  ``repro.analysis`` rule pack — every rule documented with its current
+  name and severity, no ghost rows, none missing.
 
 Run:  python tools/check_docs.py          (from the repo root or anywhere)
 """
@@ -38,6 +41,7 @@ EXCLUDE = {"PAPERS.md", "SNIPPETS.md"}
 EXECUTABLE_BLOCKS = ["README.md"]
 
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_RULE_ROW_RE = re.compile(r"^\|\s*((?:DET|NUM)\d+)\s*\|([^|]*)\|([^|]*)\|", re.MULTILINE)
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
@@ -96,23 +100,60 @@ def check_code_blocks() -> list[str]:
     return errors
 
 
+def check_rule_table() -> list[str]:
+    """docs/ARCHITECTURE.md rule table vs the registered rule pack."""
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.analysis import RULES
+    finally:
+        sys.path.pop(0)
+    md = REPO / "docs" / "ARCHITECTURE.md"
+    rows = {
+        m.group(1): (m.group(2).strip(), m.group(3).strip())
+        for m in _RULE_ROW_RE.finditer(md.read_text())
+    }
+    errors: list[str] = []
+    for rule_id in sorted(set(rows) - set(RULES)):
+        errors.append(
+            f"docs/ARCHITECTURE.md: rule table documents {rule_id}, "
+            f"which is not registered in repro.analysis.RULES"
+        )
+    for rule_id in sorted(set(RULES) - set(rows)):
+        errors.append(
+            f"docs/ARCHITECTURE.md: registered rule {rule_id} is missing "
+            f"from the rule table"
+        )
+    for rule_id in sorted(set(rows) & set(RULES)):
+        name, severity = rows[rule_id]
+        rule = RULES[rule_id]
+        if name != rule.name or severity != rule.severity:
+            errors.append(
+                f"docs/ARCHITECTURE.md: {rule_id} documented as "
+                f"({name!r}, {severity!r}) but registered as "
+                f"({rule.name!r}, {rule.severity!r})"
+            )
+    return errors
+
+
 def main() -> int:
     link_errors = check_links()
     code_errors = check_code_blocks()
-    for err in link_errors + code_errors:
+    rule_errors = check_rule_table()
+    for err in link_errors + code_errors + rule_errors:
         print(f"ERROR {err}", file=sys.stderr)
     n_md = len(iter_markdown_files())
     n_blocks = sum(
         len(_FENCE_RE.findall((REPO / name).read_text()))
         for name in EXECUTABLE_BLOCKS
     )
-    if link_errors or code_errors:
+    if link_errors or code_errors or rule_errors:
         print(f"\ndocs check FAILED "
               f"({len(link_errors)} broken links, "
-              f"{len(code_errors)} broken code blocks)", file=sys.stderr)
+              f"{len(code_errors)} broken code blocks, "
+              f"{len(rule_errors)} rule-table mismatches)", file=sys.stderr)
         return 1
     print(f"docs check OK: {n_md} markdown files linked consistently, "
-          f"{n_blocks} README python blocks executed")
+          f"{n_blocks} README python blocks executed, rule table in sync")
     return 0
 
 
