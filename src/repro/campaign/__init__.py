@@ -15,7 +15,20 @@ turns one-shot, in-memory sweeps into declarative campaigns:
   runner that drains a spec through one shared
   :class:`~repro.engine.BatchEngine`, ordering evaluation by topology
   signature *and* sweep adjacency so skeleton caches and Howard warm
-  starts hit, plus byte-deterministic JSON/CSV exports.
+  starts hit, plus byte-deterministic JSON/CSV exports; and
+  :func:`run_campaign_workers`, the distributed fabric that drains one
+  spec with N independent worker processes against one shared WAL store;
+* :mod:`~repro.campaign.lease` — :class:`LeaseManager`, the claim/lease
+  protocol (TTL expiry, heartbeat renewal, stale-lease reclamation)
+  that makes fabric duplicates rare by design;
+* :mod:`~repro.campaign.sync` — :func:`push` / :func:`pull` /
+  :func:`merge_stores`, content-keyed transport between store files and
+  directory remotes so partial campaigns computed anywhere merge
+  byte-identically (invalid or conflicting payloads are quarantined,
+  never silently merged);
+* :mod:`~repro.campaign.report` — :func:`campaign_report_data`,
+  per-axis pivots and cross-model deltas over a (possibly merged)
+  store, exported through canonical JSON.
 
 Quick start::
 
@@ -34,12 +47,21 @@ route the Table 2 harness through the same cache.
 
 from .executor import (
     CampaignReport,
+    FabricReport,
     campaign_rows,
     campaign_status,
     export_campaign_csv,
     export_campaign_json,
     order_for_engine,
     run_campaign,
+    run_campaign_worker,
+    run_campaign_workers,
+)
+from .lease import DEFAULT_LEASE_TTL, Lease, LeaseManager
+from .report import (
+    campaign_report_data,
+    export_campaign_report,
+    render_report_text,
 )
 from .spec import (
     ApplicationAxis,
@@ -53,8 +75,17 @@ from .store import (
     ResultStore,
     StoreStats,
     instance_digest,
+    payload_error,
     payload_from_result,
     record_from_payload,
+)
+from .sync import (
+    DirectoryRemote,
+    SyncReport,
+    merge_stores,
+    open_remote,
+    pull,
+    push,
 )
 
 __all__ = [
@@ -67,13 +98,29 @@ __all__ = [
     "StoreStats",
     "RESULT_SCHEMA_VERSION",
     "instance_digest",
+    "payload_error",
     "payload_from_result",
     "record_from_payload",
     "CampaignReport",
+    "FabricReport",
     "run_campaign",
+    "run_campaign_worker",
+    "run_campaign_workers",
     "order_for_engine",
     "campaign_status",
     "campaign_rows",
     "export_campaign_json",
     "export_campaign_csv",
+    "Lease",
+    "LeaseManager",
+    "DEFAULT_LEASE_TTL",
+    "SyncReport",
+    "DirectoryRemote",
+    "open_remote",
+    "push",
+    "pull",
+    "merge_stores",
+    "campaign_report_data",
+    "export_campaign_report",
+    "render_report_text",
 ]

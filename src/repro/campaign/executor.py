@@ -41,10 +41,12 @@ from __future__ import annotations
 
 import csv
 import io
+import os as _os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..core.instance import Instance
 from ..engine import BatchEngine, topology_signature
@@ -55,7 +57,10 @@ from .store import ResultStore, instance_digest, payload_from_result
 
 __all__ = [
     "CampaignReport",
+    "FabricReport",
     "run_campaign",
+    "run_campaign_worker",
+    "run_campaign_workers",
     "order_for_engine",
     "campaign_status",
     "campaign_rows",
@@ -65,6 +70,17 @@ __all__ = [
 
 #: Serial checkpoint cadence (points per store commit).
 DEFAULT_COMMIT_EVERY = 32
+
+#: Fabric claim-batch size: how many digests one worker leases per
+#: claim transaction.  Small enough that a crashed worker strands
+#: little work behind its TTL; large enough that claim overhead stays
+#: negligible next to evaluation.
+DEFAULT_CLAIM_BATCH = 16
+
+#: Sleep while every pending digest is leased by some other worker
+#: (seconds); bounded by the lease TTL, after which stale leases
+#: become claimable.
+_FABRIC_POLL_SLEEP = 0.05
 
 
 @dataclass(frozen=True)
@@ -100,7 +116,7 @@ class CampaignReport:
         """Whether every point of the spec is now stored."""
         return self.remaining == 0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-ready summary (the CLI's ``run --summary-json`` payload).
 
         Plain scalars only, so CI scripts can assert on parsed fields
@@ -137,7 +153,7 @@ def order_for_engine(
     >>> order_for_engine([(a, "strict"), (b, "strict"), (a, "strict")])
     [0, 2, 1]
     """
-    groups: dict[tuple, list[int]] = {}
+    groups: dict[tuple[str, tuple[tuple[int, ...], ...]], list[int]] = {}
     for i, (inst, model) in enumerate(pairs):
         groups.setdefault(topology_signature(inst, model), []).append(i)
     return [i for members in groups.values() for i in members]
@@ -147,7 +163,8 @@ def _split_spans(order: list[int], n_spans: int) -> list[list[int]]:
     """Cut an ordered index list into contiguous, near-equal spans."""
     n_spans = max(1, min(n_spans, len(order)))
     base, extra = divmod(len(order), n_spans)
-    spans, start = [], 0
+    spans: list[list[int]] = []
+    start = 0
     for s in range(n_spans):
         size = base + (1 if s < extra else 0)
         spans.append(order[start: start + size])
@@ -157,7 +174,7 @@ def _split_spans(order: list[int], n_spans: int) -> list[list[int]]:
 
 def _evaluate_span(
     args: tuple[list[tuple[str, Instance, str]], int],
-) -> list[tuple[str, dict]]:
+) -> list[tuple[str, dict[str, Any]]]:
     """Worker: evaluate one contiguous span with a warm-started engine.
 
     The span is signature-ordered (see :func:`order_for_engine`), so
@@ -255,8 +272,6 @@ def run_campaign(
             if progress is not None:
                 progress(done, len(ordered))
     else:
-        import os as _os
-
         workers = (_os.cpu_count() or 1) if n_jobs == 0 else n_jobs
         spans = _split_spans(ordered, workers)
         payloads = [
@@ -290,18 +305,288 @@ def run_campaign(
 
 
 # ----------------------------------------------------------------------
+# the distributed fabric: lease-coordinated multi-process drain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FabricReport:
+    """Outcome of one :func:`run_campaign_workers` invocation.
+
+    Attributes
+    ----------
+    spec_name:
+        The campaign.
+    total:
+        Distinct digests the spec expands to.
+    hits:
+        Digests already stored when the fabric launched.
+    evaluated:
+        New digests stored by this fabric run (all workers combined).
+    remaining:
+        Digests still missing afterwards — non-zero only when workers
+        crashed (or were crash-injected); rerun to resume.
+    workers:
+        Worker processes launched.
+    crashed:
+        Indices of workers that did not exit cleanly (SIGKILL shows up
+        here); their claimed-but-uncommitted points simply wait out the
+        lease TTL and are reclaimed on the next run.
+    """
+
+    spec_name: str
+    total: int
+    hits: int
+    evaluated: int
+    remaining: int
+    workers: int
+    crashed: tuple[int, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every point of the spec is now stored."""
+        return self.remaining == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (mirrors :meth:`CampaignReport.to_dict`)."""
+        return {
+            "campaign": self.spec_name,
+            "total": self.total,
+            "hits": self.hits,
+            "evaluated": self.evaluated,
+            "remaining": self.remaining,
+            "workers": self.workers,
+            "crashed": list(self.crashed),
+            "complete": self.complete,
+        }
+
+
+def _unique_spec_digests(
+    spec: CampaignSpec,
+) -> tuple[list[str], dict[str, tuple[Instance, str]]]:
+    """Signature-ordered distinct digests of a spec + their instances.
+
+    Every worker derives the *same* list (expansion and ordering are
+    deterministic), so the fabric needs no coordinator process: the
+    shared store plus the lease table are the only channel.
+    """
+    points = spec.expand()
+    by_digest: dict[str, tuple[Instance, str]] = {}
+    firsts: list[tuple[str, Instance, str]] = []
+    for pt in points:
+        inst = pt.instance()
+        digest = instance_digest(inst, pt.model)
+        if digest not in by_digest:
+            by_digest[digest] = (inst, pt.model)
+            firsts.append((digest, inst, pt.model))
+    order = order_for_engine([(inst, model) for _, inst, model in firsts])
+    return [firsts[j][0] for j in order], by_digest
+
+
+def run_campaign_worker(
+    spec: CampaignSpec,
+    store: ResultStore,
+    worker_id: str,
+    lease_ttl: float | None = None,
+    claim_batch: int = DEFAULT_CLAIM_BATCH,
+    commit_every: int = DEFAULT_COMMIT_EVERY,
+    progress: Callable[[int, int], None] | None = None,
+    _fault: tuple[str, int] | None = None,
+) -> int:
+    """Drain one campaign as a lease-coordinated fabric worker.
+
+    The claim loop of the distributed fabric: any number of processes —
+    on one host or many, sharing the store file or a synced copy — can
+    run this concurrently against one ``CampaignSpec`` and partition
+    the work without duplicates:
+
+    1. derive the signature-ordered digest list (deterministic, no
+       coordinator), rotated by a stable per-worker offset so workers
+       start claiming in different regions;
+    2. **claim** a batch of unstored, unleased digests
+       (:class:`~repro.campaign.lease.LeaseManager` — stale leases of
+       crashed workers are reclaimed by the same transaction);
+    3. evaluate the batch in commit-sized chunks through a warm-started
+       :class:`~repro.engine.BatchEngine`, renewing held leases between
+       chunks (the heartbeat), committing results and releasing their
+       leases chunk by chunk;
+    4. when nothing is claimable but points remain, sleep briefly —
+       either another live worker finishes them or its leases expire
+       and step 2 takes them over.
+
+    Returns the number of new points this worker stored.  Crash-safe at
+    every boundary: a SIGKILL loses only the current uncommitted chunk,
+    whose leases expire and free the points for everyone else.
+
+    ``_fault`` is the crash-injection hook used by the fabric test
+    layer: ``(kind, k)`` SIGKILLs this process at the ``k``-th event of
+    ``kind`` (``"after-claim"``, ``"pre-release"``, ``"after-release"``)
+    — real kills at controlled protocol barriers, not mocks.
+    """
+    from .lease import DEFAULT_LEASE_TTL, LeaseManager
+
+    ordered, by_digest = _unique_spec_digests(spec)
+    lease = LeaseManager(
+        store, worker_id,
+        ttl=DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl,
+    )
+    engine = BatchEngine(max_rows=spec.max_paths + 1, warm_start=True)
+
+    fault_kind, fault_countdown = _fault if _fault is not None else (None, 0)
+
+    def fault_point(kind: str) -> None:
+        nonlocal fault_countdown
+        if fault_kind == kind:
+            fault_countdown -= 1
+            if fault_countdown <= 0:
+                import signal as _signal
+
+                _os.kill(_os.getpid(), _signal.SIGKILL)
+
+    # Stable stagger: worker k starts claiming at offset k/N-ish of the
+    # ordered list (keyed by the worker id's crc so independent hosts
+    # need no index assignment), keeping claim contention rare while
+    # preserving signature-contiguous runs inside each claim batch.
+    import zlib as _zlib
+
+    offset = (_zlib.crc32(worker_id.encode()) % max(1, len(ordered)))
+    rotated = ordered[offset:] + ordered[:offset]
+
+    done_new = 0
+    while True:
+        stored = set(store.digests())
+        remaining = [d for d in rotated if d not in stored]
+        if not remaining:
+            break
+        claimed = lease.claim(remaining, limit=claim_batch)
+        fault_point("after-claim")
+        if not claimed:
+            # Everything left is leased by some other live worker (or
+            # just landed in the store); wait for completion or expiry.
+            time.sleep(_FABRIC_POLL_SLEEP)
+            continue
+        for start in range(0, len(claimed), commit_every):
+            chunk = claimed[start: start + commit_every]
+            lease.renew(claimed[start:])  # heartbeat for the unevaluated tail
+            results = engine.evaluate_many(
+                [by_digest[d][0] for d in chunk],
+                [by_digest[d][1] for d in chunk],
+            )
+            for digest, result in zip(chunk, results):
+                store.put(digest,
+                          payload_from_result(by_digest[digest][0], result),
+                          commit=False)
+            store.commit()
+            fault_point("pre-release")
+            lease.release(chunk)
+            fault_point("after-release")
+            done_new += len(chunk)
+            if progress is not None:
+                progress(done_new, len(ordered))
+    return done_new
+
+
+def _fabric_worker_main(
+    spec_data: dict[str, Any],
+    store_path: str,
+    worker_index: int,
+    lease_ttl: float | None,
+    claim_batch: int,
+    commit_every: int,
+    fault: tuple[str, int] | None,
+) -> None:
+    """Subprocess entry point of :func:`run_campaign_workers`."""
+    spec = CampaignSpec.from_dict(spec_data)
+    with ResultStore(store_path) as store:
+        run_campaign_worker(
+            spec, store,
+            worker_id=f"fabric-{worker_index}-{_os.getpid()}",
+            lease_ttl=lease_ttl,
+            claim_batch=claim_batch,
+            commit_every=commit_every,
+            _fault=fault,
+        )
+
+
+def run_campaign_workers(
+    spec: CampaignSpec,
+    store_path: str | Path,
+    workers: int,
+    lease_ttl: float | None = None,
+    claim_batch: int = DEFAULT_CLAIM_BATCH,
+    commit_every: int = DEFAULT_COMMIT_EVERY,
+    _faults: dict[int, tuple[str, int]] | None = None,
+) -> FabricReport:
+    """Drain one campaign with ``workers`` independent processes.
+
+    Unlike ``run_campaign(n_jobs=k)`` — which *pre-partitions* the
+    ordered stream into spans inside one process — every fabric worker
+    is a full, independent campaign runner against the shared WAL
+    store: the processes coordinate **only** through the store's lease
+    table, so this is exactly the multi-host execution model run on one
+    machine.  Workers that crash strand nothing: their leases expire
+    and the survivors (or the next invocation) absorb the work.
+
+    Stored values, and therefore every export and report, are
+    byte-identical to a ``workers=1`` (or plain :func:`run_campaign`)
+    drain of the same spec — asserted by
+    ``tests/test_store_concurrency.py`` and the ``campaign-fabric`` CI
+    job.
+
+    ``_faults`` maps worker index to a crash-injection fault (see
+    :func:`run_campaign_worker`); test-layer only.
+    """
+    import multiprocessing as mp
+
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    store_path = str(store_path)
+    ordered, _ = _unique_spec_digests(spec)
+    with ResultStore(store_path) as parent_store:
+        hits = sum(1 for d in ordered if d in parent_store)
+
+    ctx = mp.get_context()
+    procs = [
+        ctx.Process(
+            target=_fabric_worker_main,
+            args=(spec.to_dict(), store_path, i, lease_ttl, claim_batch,
+                  commit_every,
+                  None if _faults is None else _faults.get(i)),
+        )
+        for i in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    crashed: list[int] = []
+    for i, proc in enumerate(procs):
+        proc.join()
+        if proc.exitcode != 0:
+            crashed.append(i)
+
+    with ResultStore(store_path) as parent_store:
+        done = sum(1 for d in ordered if d in parent_store)
+    return FabricReport(
+        spec_name=spec.name,
+        total=len(ordered),
+        hits=hits,
+        evaluated=done - hits,
+        remaining=len(ordered) - done,
+        workers=workers,
+        crashed=tuple(crashed),
+    )
+
+
+# ----------------------------------------------------------------------
 # status and exports
 # ----------------------------------------------------------------------
 def campaign_rows(
     spec: CampaignSpec, store: ResultStore
-) -> tuple[list[dict], list[CampaignPoint]]:
+) -> tuple[list[dict[str, Any]], list[CampaignPoint]]:
     """Join the expanded spec with the store.
 
     Returns ``(rows, missing)``: one plain-data row per stored point in
     spec order (point identity + payload values), plus the points whose
     results are not stored yet.
     """
-    rows: list[dict] = []
+    rows: list[dict[str, Any]] = []
     missing: list[CampaignPoint] = []
     for pt in spec.expand():
         inst = pt.instance()
@@ -330,10 +615,10 @@ def campaign_rows(
     return rows, missing
 
 
-def campaign_status(spec: CampaignSpec, store: ResultStore) -> dict:
+def campaign_status(spec: CampaignSpec, store: ResultStore) -> dict[str, Any]:
     """Progress summary: total/done/pending plus per-cell done counts."""
-    done_by_cell: dict[tuple, int] = {}
-    total_by_cell: dict[tuple, int] = {}
+    done_by_cell: dict[tuple[str, str, str, str], int] = {}
+    total_by_cell: dict[tuple[str, str, str, str], int] = {}
     done = 0
     points = spec.expand()
     for pt in points:

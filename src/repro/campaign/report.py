@@ -1,0 +1,191 @@
+"""Campaign analytics: per-axis pivots and cross-model deltas.
+
+The ``campaign report`` CLI subcommand's engine: join a (possibly
+merged, possibly multi-host) store with the spec and aggregate the
+result set along each scenario axis.  Everything is computed from
+:func:`repro.campaign.executor.campaign_rows`, so a report over a store
+assembled by ``store push/pull/merge`` from N hosts is byte-identical
+to a report over a store computed by one process — the acceptance
+contract the fabric CI job verifies.
+
+Determinism rules: rows are aggregated in spec order (fixed float
+summation order), group keys are emitted sorted, and the JSON export
+goes through :func:`repro.utils.canonical_json`.
+
+Cross-model deltas compare **cell means**, not paired draws: a cell's
+seed tree is keyed by its model (see
+:meth:`repro.campaign.spec.CampaignSpec.expand`), so the overlap and
+strict points of one scenario cell are independent draws of the same
+distribution — the honest comparison is between their per-cell
+aggregates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..utils import canonical_json
+from .executor import campaign_rows, _require_complete
+from .spec import CampaignSpec
+from .store import ResultStore
+
+__all__ = [
+    "campaign_report_data",
+    "export_campaign_report",
+    "render_report_text",
+]
+
+#: The scenario axes a report pivots on (row key -> pivot name).
+_AXES = ("application", "platform", "replication", "model")
+
+
+def _aggregate(rows: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Deterministic summary statistics of one group of rows."""
+    n = len(rows)
+    periods = [float(r["period"]) for r in rows]
+    gaps = [float(r["gap"]) for r in rows]
+    return {
+        "n": n,
+        "period_mean": sum(periods) / n,
+        "period_min": min(periods),
+        "period_max": max(periods),
+        "mct_mean": sum(float(r["mct"]) for r in rows) / n,
+        "gap_mean": sum(gaps) / n,
+        "gap_max": max(gaps),
+        "critical_fraction": sum(bool(r["critical"]) for r in rows) / n,
+    }
+
+
+def campaign_report_data(
+    spec: CampaignSpec,
+    store: ResultStore,
+    allow_partial: bool = False,
+) -> dict[str, Any]:
+    """The report payload: totals, per-axis pivots, cross-model deltas.
+
+    Structure::
+
+        {"campaign": ..., "total": ..., "rows": ..., "missing": ...,
+         "pivots": {axis: [{"label": ..., <aggregates>}, ...], ...},
+         "model_deltas": [{"application": ..., "platform": ...,
+                           "replication": ..., "model_a": ..., ...}]}
+
+    ``pivots`` aggregates the whole result set along each scenario axis
+    (labels sorted).  ``model_deltas`` compares, per (application,
+    platform, replication) cell, every pair of models present: the
+    delta and ratio of the cells' mean periods, and the gap between
+    their critical-resource fractions.
+    """
+    rows, missing = campaign_rows(spec, store)
+    _require_complete(missing, allow_partial)
+
+    pivots: dict[str, list[dict[str, Any]]] = {}
+    for axis in _AXES:
+        groups: dict[str, list[dict[str, Any]]] = {}
+        for row in rows:
+            groups.setdefault(str(row[axis]), []).append(row)
+        pivots[axis] = [
+            {"label": label, **_aggregate(groups[label])}
+            for label in sorted(groups)
+        ]
+
+    cells: dict[tuple[str, str, str], dict[str, list[dict[str, Any]]]] = {}
+    for row in rows:
+        cell = (str(row["application"]), str(row["platform"]),
+                str(row["replication"]))
+        cells.setdefault(cell, {}).setdefault(str(row["model"]), []).append(row)
+
+    deltas: list[dict[str, Any]] = []
+    for cell in sorted(cells):
+        by_model = cells[cell]
+        models = sorted(by_model)
+        for i, model_a in enumerate(models):
+            for model_b in models[i + 1:]:
+                agg_a = _aggregate(by_model[model_a])
+                agg_b = _aggregate(by_model[model_b])
+                deltas.append({
+                    "application": cell[0],
+                    "platform": cell[1],
+                    "replication": cell[2],
+                    "model_a": model_a,
+                    "model_b": model_b,
+                    "n_a": agg_a["n"],
+                    "n_b": agg_b["n"],
+                    "period_mean_a": agg_a["period_mean"],
+                    "period_mean_b": agg_b["period_mean"],
+                    "period_delta": agg_b["period_mean"] - agg_a["period_mean"],
+                    "period_ratio": (agg_b["period_mean"] / agg_a["period_mean"]
+                                     if agg_a["period_mean"] else None),
+                    "critical_fraction_delta": (agg_b["critical_fraction"]
+                                                - agg_a["critical_fraction"]),
+                })
+
+    return {
+        "campaign": spec.name,
+        "total": len(rows) + len(missing),
+        "rows": len(rows),
+        "missing": len(missing),
+        "pivots": pivots,
+        "model_deltas": deltas,
+    }
+
+
+def export_campaign_report(
+    spec: CampaignSpec,
+    store: ResultStore,
+    path: str | Path | None = None,
+    allow_partial: bool = False,
+) -> str:
+    """Byte-deterministic JSON report artifact; writes ``path`` if given."""
+    text = canonical_json(
+        campaign_report_data(spec, store, allow_partial=allow_partial),
+        indent=2,
+    ) + "\n"
+    if path is not None:
+        Path(path).write_text(text, newline="")
+    return text
+
+
+def _format_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    return "  ".join(str(v).rjust(w) if i else str(v).ljust(w)
+                     for i, (v, w) in enumerate(zip(values, widths)))
+
+
+def render_report_text(data: Mapping[str, Any]) -> str:
+    """Terminal rendering of :func:`campaign_report_data`'s payload."""
+    lines: list[str] = [
+        f"campaign       : {data['campaign']}",
+        f"rows           : {data['rows']} / {data['total']}"
+        + (f"  ({data['missing']} missing)" if data["missing"] else ""),
+    ]
+    header = ("label", "n", "period mean", "min", "max",
+              "gap mean", "crit%")
+    for axis in _AXES:
+        entries = data["pivots"].get(axis, [])
+        if not entries:
+            continue
+        table = [header] + [
+            (e["label"], e["n"], f"{e['period_mean']:.4g}",
+             f"{e['period_min']:.4g}", f"{e['period_max']:.4g}",
+             f"{e['gap_mean']:.3g}",
+             f"{100 * e['critical_fraction']:.0f}")
+            for e in entries
+        ]
+        widths = [max(len(str(row[c])) for row in table)
+                  for c in range(len(header))]
+        lines.append("")
+        lines.append(f"by {axis}:")
+        lines.extend("  " + _format_row(row, widths) for row in table)
+    if data["model_deltas"]:
+        lines.append("")
+        lines.append("cross-model deltas (per cell, mean period):")
+        for d in data["model_deltas"]:
+            ratio = (f"x{d['period_ratio']:.3f}"
+                     if d["period_ratio"] is not None else "n/a")
+            lines.append(
+                f"  {d['application']} | {d['platform']} | "
+                f"{d['replication']}: {d['model_b']} vs {d['model_a']} = "
+                f"{d['period_delta']:+.4g} ({ratio})"
+            )
+    return "\n".join(lines)

@@ -49,7 +49,7 @@ import json
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -133,11 +133,13 @@ class ApplicationAxis:
     def application(self) -> Application:
         """The (deterministic) application of this axis."""
         if self.kind == "workload":
+            assert self.workload is not None  # __post_init__ guarantees
             return get_workload(self.workload)
+        assert self.n_stages is not None  # __post_init__ guarantees
         return synthetic(self.n_stages, shape=self.shape, scale=self.scale,
                          seed=self.seed)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         if self.kind == "workload":
             return {"label": self.label, "workload": self.workload}
         return {
@@ -149,7 +151,7 @@ class ApplicationAxis:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ApplicationAxis":
+    def from_dict(cls, data: dict[str, Any]) -> "ApplicationAxis":
         if "workload" in data:
             name = data["workload"]
             return cls(label=data.get("label", name), kind="workload",
@@ -245,8 +247,8 @@ class PlatformAxis:
         np.fill_diagonal(bw, 0.0)
         return Platform(speeds, bw, name=self.label)
 
-    def to_dict(self) -> dict:
-        out: dict = {"label": self.label, "n_procs": self.n_procs,
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"label": self.label, "n_procs": self.n_procs,
                      "kind": self.kind}
         if self.kind == "uniform":
             out["speed_range"] = list(self.speed_range)
@@ -261,7 +263,7 @@ class PlatformAxis:
         return out
 
     @classmethod
-    def from_dict(cls, data: dict) -> "PlatformAxis":
+    def from_dict(cls, data: dict[str, Any]) -> "PlatformAxis":
         p = int(data["n_procs"])
         kind = data.get("kind", "times" if "comp_time_range" in data
                         or "comm_time_range" in data else "uniform")
@@ -350,6 +352,7 @@ class ReplicationAxis:
         applications ("where applicable" semantics).
         """
         if self.policy == "fixed":
+            assert self.counts is not None  # __post_init__ guarantees
             counts = tuple(int(c) for c in self.counts)
             return (len(counts) == n_stages
                     and sum(counts) <= n_procs
@@ -365,6 +368,7 @@ class ReplicationAxis:
     ) -> Mapping:
         """Draw (or lay out) one mapping for ``n_stages`` on ``n_procs``."""
         if self.policy == "fixed":
+            assert self.counts is not None  # __post_init__ guarantees
             counts = tuple(int(c) for c in self.counts)
             if len(counts) != n_stages:
                 raise ValidationError(
@@ -398,15 +402,16 @@ class ReplicationAxis:
         ]
         return Mapping(assignments, n_processors=n_procs)
 
-    def to_dict(self) -> dict:
-        out: dict = {"label": self.label, "policy": self.policy}
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"label": self.label, "policy": self.policy}
         if self.policy == "fixed":
+            assert self.counts is not None  # __post_init__ guarantees
             out["counts"] = list(self.counts)
             out["assignment"] = self.assignment
         return out
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ReplicationAxis":
+    def from_dict(cls, data: dict[str, Any]) -> "ReplicationAxis":
         if "fixed" in data and "policy" not in data:
             data = {**data, "policy": "fixed", "counts": data["fixed"]}
         policy = data.get("policy", "balls")
@@ -465,7 +470,7 @@ class CampaignPoint:
         return Instance(app, plat, mapping)
 
 
-def _unique_labels(axes: Sequence, what: str) -> None:
+def _unique_labels(axes: Sequence[Any], what: str) -> None:
     labels = [a.label for a in axes]
     if len(set(labels)) != len(labels):
         raise ValidationError(f"duplicate {what} axis labels: {labels}")
@@ -579,7 +584,7 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "draws": self.draws,
@@ -592,7 +597,7 @@ class CampaignSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CampaignSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignSpec":
         for section in ("applications", "platforms"):
             if section not in data:
                 raise ValidationError(

@@ -16,6 +16,19 @@ consequences the campaign subsystem is built on:
   creation through the same API, so a Table 2 sweep and a campaign that
   happen to draw the same instance share one stored evaluation.
 
+Since the distributed-fabric work the store is also **multi-writer
+safe**: files open in WAL journal mode with a busy timeout, so N worker
+processes (or N hosts against one shared file) can interleave reads and
+writes without corrupting each other — SQLite serializes the writers,
+the busy timeout makes them queue instead of erroring, and content
+addressing makes any racing duplicate a harmless no-op
+(``INSERT OR IGNORE``).  The *coordination* layer that makes duplicates
+rare rather than merely harmless is :mod:`repro.campaign.lease`; the
+cross-store transport is :mod:`repro.campaign.sync`.  Both share this
+file: alongside ``results`` the store carries a ``leases`` table
+(claim/lease protocol state) and a ``quarantine`` table (payloads a
+sync refused to merge, kept for forensics).
+
 Payloads are value-only (no config/seed identity): callers attach their
 own context when reassembling records
 (:func:`record_from_payload`).  All serialization goes through
@@ -34,15 +47,16 @@ import hashlib
 import json
 import os
 import sqlite3
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Callable, Iterator
 
 from ..core.instance import Instance
 from ..core.models import CommModel
 from ..core.throughput import PeriodResult
-from ..errors import StoreCorruptionError
-from ..experiments.io import canonical_json
+from ..errors import StoreCorruptionError, StoreLeaseError
+from ..utils import canonical_json
 from ..experiments.runner import ExperimentRecord
 
 __all__ = [
@@ -52,17 +66,24 @@ __all__ = [
     "instance_digest",
     "payload_from_result",
     "record_from_payload",
+    "payload_error",
 ]
 
 #: Bump when the payload layout or evaluation semantics change; digests
 #: include it, so old entries become invisible rather than wrong.
 RESULT_SCHEMA_VERSION = 1
 
-#: Keys every stored payload must carry (recovery drops rows without).
+#: Keys every stored payload must carry (recovery and sync drop rows
+#: without them).
 _REQUIRED_KEYS = frozenset({
     "schema", "model", "method", "period", "mct", "critical", "gap",
     "m", "n_stages", "n_procs", "replication",
 })
+
+#: Default time (seconds) a writer waits on a locked database before
+#: sqlite raises — generous because campaign workers hold the write
+#: lock only for their brief post-evaluation commit bursts.
+DEFAULT_BUSY_TIMEOUT = 30.0
 
 
 def instance_digest(
@@ -93,7 +114,7 @@ def instance_digest(
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
-def payload_from_result(inst: Instance, result: PeriodResult) -> dict:
+def payload_from_result(inst: Instance, result: PeriodResult) -> dict[str, Any]:
     """Value-only payload of one evaluation (JSON-plain, digestable)."""
     return {
         "schema": RESULT_SCHEMA_VERSION,
@@ -110,8 +131,41 @@ def payload_from_result(inst: Instance, result: PeriodResult) -> dict:
     }
 
 
+def payload_error(text: str) -> str | None:
+    """Why ``text`` is not a valid stored payload, or ``None`` if it is.
+
+    The shared validity predicate of :meth:`ResultStore.recover` and
+    :mod:`repro.campaign.sync`: a payload must parse as a JSON object,
+    carry the current schema version and every required key.  Sync
+    quarantines rows that fail this check instead of merging them.
+
+    Examples
+    --------
+    >>> payload_error("{not json")
+    'payload is not valid JSON'
+    >>> payload_error('{"schema": 999}')
+    'payload has schema 999, expected 1'
+    """
+    try:
+        data = json.loads(text)
+    except (TypeError, ValueError):
+        return "payload is not valid JSON"
+    if not isinstance(data, dict):
+        return "payload is not a JSON object"
+    if data.get("schema") != RESULT_SCHEMA_VERSION:
+        return (f"payload has schema {data.get('schema')!r}, "
+                f"expected {RESULT_SCHEMA_VERSION}")
+    missing = _REQUIRED_KEYS - data.keys()
+    if missing:
+        return f"payload is missing keys: {', '.join(sorted(missing))}"
+    return None
+
+
 def record_from_payload(
-    config_name: str, model: CommModel | str, seed: int, payload: dict
+    config_name: str,
+    model: CommModel | str,
+    seed: int,
+    payload: dict[str, Any],
 ) -> ExperimentRecord:
     """Reattach caller context to a stored payload.
 
@@ -157,6 +211,11 @@ class ResultStore:
         Run ``PRAGMA quick_check`` on open and raise
         :class:`~repro.errors.StoreCorruptionError` if the file is
         damaged (pass ``False`` only from :meth:`recover`).
+    busy_timeout:
+        Seconds a statement waits on another writer's lock before
+        sqlite gives up.  File stores open in WAL journal mode, so
+        readers never block and writers queue behind each other for
+        the duration of their (short) commit bursts.
 
     Notes
     -----
@@ -164,7 +223,10 @@ class ResultStore:
     executor) pass ``commit=False`` and call :meth:`commit` at chunk
     boundaries, so a hard kill loses at most the uncommitted tail —
     never already-committed work, and never the file's integrity
-    (SQLite journals the transaction).
+    (SQLite journals the transaction).  Concurrent writers are safe:
+    the store never overwrites, so the only cross-process race is two
+    workers inserting the same digest, which ``INSERT OR IGNORE``
+    resolves identically regardless of who wins.
 
     Examples
     --------
@@ -179,10 +241,19 @@ class ResultStore:
     1
     """
 
-    def __init__(self, path: str | Path, check: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        check: bool = True,
+        busy_timeout: float = DEFAULT_BUSY_TIMEOUT,
+    ) -> None:
         self.path = str(path)
         self.stats = StoreStats()
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(self.path, timeout=busy_timeout)
+        # Autocommit with explicit BEGIN/COMMIT: multi-statement writes
+        # (claim transactions, chunk commits) control their own
+        # boundaries instead of relying on implicit-transaction rules.
+        self._conn.isolation_level = None
         try:
             if check and self.path != ":memory:":
                 row = self._conn.execute("PRAGMA quick_check").fetchone()
@@ -192,12 +263,33 @@ class ResultStore:
                         f"{row[0] if row else 'no result'}; use "
                         f"ResultStore.recover() to salvage readable rows"
                     )
+            if self.path != ":memory:":
+                # WAL survives in the file; setting it again is a no-op.
+                # NORMAL sync is the standard WAL pairing: a power cut
+                # can lose the last commits but never integrity — and
+                # content addressing recomputes lost rows anyway.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS results ("
                 " digest TEXT PRIMARY KEY,"
                 " payload TEXT NOT NULL)"
             )
-            self._conn.commit()
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS leases ("
+                " digest TEXT PRIMARY KEY,"
+                " worker TEXT NOT NULL,"
+                " expires REAL NOT NULL,"
+                " acquired REAL NOT NULL)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS quarantine ("
+                " digest TEXT NOT NULL,"
+                " origin TEXT NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " reason TEXT NOT NULL,"
+                " PRIMARY KEY (digest, origin))"
+            )
         except sqlite3.DatabaseError as exc:
             # Release the handle: recover() renames the file, which an
             # open connection would block on some platforms.
@@ -216,11 +308,29 @@ class ResultStore:
     # ------------------------------------------------------------------
     digest = staticmethod(instance_digest)
 
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (lease manager / sync plumbing)."""
+        return self._conn
+
     # ------------------------------------------------------------------
     # lookups and writes
     # ------------------------------------------------------------------
-    def get(self, digest: str) -> dict | None:
+    def get(self, digest: str) -> dict[str, Any] | None:
         """The stored payload, or ``None`` (counted in :attr:`stats`)."""
+        text = self.payload_text(digest)
+        if text is None:
+            return None
+        data: dict[str, Any] = json.loads(text)
+        return data
+
+    def payload_text(self, digest: str) -> str | None:
+        """The stored payload's exact canonical-JSON text, or ``None``.
+
+        Sync compares and transports payloads at the byte level — equal
+        values always serialize to equal canonical bytes, so text
+        equality *is* value equality here.
+        """
         row = self._conn.execute(
             "SELECT payload FROM results WHERE digest = ?", (digest,)
         ).fetchone()
@@ -228,21 +338,31 @@ class ResultStore:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return json.loads(row[0])
+        return str(row[0])
 
-    def put(self, digest: str, payload: dict, commit: bool = True) -> bool:
+    def put(
+        self, digest: str, payload: dict[str, Any], commit: bool = True
+    ) -> bool:
         """Store a payload under its digest; ``False`` if already present.
 
         Content-addressed stores never overwrite: two writers racing on
         the same digest computed the same values (or one of them is
         wrong, which a digest collision cannot repair).
         """
+        return self.put_text(digest, canonical_json(payload), commit=commit)
+
+    def put_text(
+        self, digest: str, payload_text: str, commit: bool = True
+    ) -> bool:
+        """Store an already-serialized payload (byte-preserving sync path)."""
+        if commit is False and not self._conn.in_transaction:
+            self._conn.execute("BEGIN")
         cur = self._conn.execute(
             "INSERT OR IGNORE INTO results (digest, payload) VALUES (?, ?)",
-            (digest, canonical_json(payload)),
+            (digest, payload_text),
         )
         if commit:
-            self._conn.commit()
+            self.commit()
         inserted = cur.rowcount == 1
         if inserted:
             self.stats.puts += 1
@@ -250,7 +370,8 @@ class ResultStore:
 
     def commit(self) -> None:
         """Flush pending ``put(..., commit=False)`` writes to disk."""
-        self._conn.commit()
+        if self._conn.in_transaction:
+            self._conn.execute("COMMIT")
 
     def __contains__(self, digest: str) -> bool:
         row = self._conn.execute(
@@ -263,19 +384,56 @@ class ResultStore:
             self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
         )
 
-    def items(self) -> Iterator[tuple[str, dict]]:
+    def digests(self) -> list[str]:
+        """All stored digests, sorted (stable)."""
+        return [
+            str(row[0]) for row in self._conn.execute(
+                "SELECT digest FROM results ORDER BY digest"
+            )
+        ]
+
+    def items(self) -> Iterator[tuple[str, dict[str, Any]]]:
         """All ``(digest, payload)`` pairs, digest-ordered (stable)."""
+        for digest, payload in self.items_text():
+            yield digest, json.loads(payload)
+
+    def items_text(self) -> Iterator[tuple[str, str]]:
+        """All ``(digest, payload_text)`` pairs, digest-ordered (stable)."""
         for digest, payload in self._conn.execute(
             "SELECT digest, payload FROM results ORDER BY digest"
         ):
-            yield digest, json.loads(payload)
+            yield str(digest), str(payload)
+
+    # ------------------------------------------------------------------
+    # quarantine (rows a sync refused to merge; kept for forensics)
+    # ------------------------------------------------------------------
+    def add_quarantine(
+        self, digest: str, origin: str, payload_text: str, reason: str
+    ) -> None:
+        """Park a payload that failed validation or conflicted on sync."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO quarantine "
+            "(digest, origin, payload, reason) VALUES (?, ?, ?, ?)",
+            (digest, origin, payload_text, reason),
+        )
+        self.commit()
+
+    def quarantined(self) -> list[tuple[str, str, str, str]]:
+        """``(digest, origin, payload_text, reason)`` rows, sorted."""
+        return [
+            (str(d), str(o), str(p), str(r))
+            for d, o, p, r in self._conn.execute(
+                "SELECT digest, origin, payload, reason FROM quarantine "
+                "ORDER BY digest, origin"
+            )
+        ]
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Commit and close the underlying connection."""
-        self._conn.commit()
+        self.commit()
         self._conn.close()
 
     def __enter__(self) -> "ResultStore":
@@ -288,39 +446,81 @@ class ResultStore:
     # corruption recovery
     # ------------------------------------------------------------------
     @classmethod
-    def recover(cls, path: str | Path) -> tuple["ResultStore", int]:
+    def recover(
+        cls,
+        path: str | Path,
+        force: bool = False,
+        clock: Callable[[], float] | None = None,
+    ) -> tuple["ResultStore", int]:
         """Salvage a damaged store file into a fresh one.
 
-        Every row that still reads back as valid JSON with the current
-        schema version and the required payload keys is copied into a
-        new database at ``path``; the damaged original is set aside as
+        Every row that still reads back as a valid payload
+        (:func:`payload_error`) is copied into a new database at
+        ``path``; the damaged original is set aside as
         ``<path>.corrupt``.  Returns the fresh store and the number of
         salvaged rows.  Rows that are lost are simply recomputed by the
         next campaign run — content addressing makes recovery safe.
+
+        Recovery is **lease-aware**: if the file still carries unexpired
+        leases, some worker is (as far as the file can tell) actively
+        evaluating claimed points and may commit results at any moment —
+        replacing the file underneath it would clobber those rows.
+        In that case :class:`~repro.errors.StoreLeaseError` is raised
+        listing the holders; pass ``force=True`` only once the workers
+        are known to be dead (their leases then expire on their own —
+        waiting out the TTL is always the safe alternative).
         """
         path = Path(path)
-        salvaged: list[tuple[str, dict]] = []
+        now = (clock or time.time)()  # detlint: disable=DET105 - lease expiry is inherently wall-clock; tests inject `clock`
+        salvaged: list[tuple[str, str]] = []
         if path.exists():
             conn = sqlite3.connect(str(path))
             try:
+                if not force:
+                    _check_no_active_leases(conn, path, now)
                 for digest, payload in conn.execute(
                     "SELECT digest, payload FROM results"
                 ):
-                    try:
-                        data = json.loads(payload)
-                    except (TypeError, ValueError):
-                        continue
-                    if (isinstance(data, dict)
-                            and data.get("schema") == RESULT_SCHEMA_VERSION
-                            and _REQUIRED_KEYS <= data.keys()):
-                        salvaged.append((str(digest), data))
+                    if payload_error(str(payload)) is None:
+                        salvaged.append((str(digest), str(payload)))
             except sqlite3.DatabaseError:
                 pass  # nothing (more) readable; keep what we got
             finally:
                 conn.close()
             os.replace(path, f"{path}.corrupt")
+            # WAL sidecars belong to the damaged file: set them aside
+            # too, or the fresh database would try to replay them.
+            for suffix in ("-wal", "-shm"):
+                sidecar = Path(f"{path}{suffix}")
+                if sidecar.exists():
+                    os.replace(sidecar, f"{path}.corrupt{suffix}")
         store = cls(path, check=False)
-        for digest, data in salvaged:
-            store.put(digest, data, commit=False)
+        for digest, text in salvaged:
+            store.put_text(digest, text, commit=False)
         store.commit()
         return store, len(salvaged)
+
+
+def _check_no_active_leases(
+    conn: sqlite3.Connection, path: Path, now: float
+) -> None:
+    """Raise :class:`StoreLeaseError` if the file has unexpired leases."""
+    try:
+        rows = conn.execute(
+            "SELECT worker, COUNT(*), MAX(expires) FROM leases "
+            "WHERE expires > ? GROUP BY worker ORDER BY worker", (now,)
+        ).fetchall()
+    except sqlite3.DatabaseError:
+        return  # no readable lease table: nothing provably active
+    if rows:
+        holders = ", ".join(
+            f"{worker!r} ({count} lease(s), expiring in "
+            f"{max(0.0, expires - now):.1f}s)"
+            for worker, count, expires in rows
+        )
+        raise StoreLeaseError(
+            f"store {str(path)!r} has active leases held by {holders}; "
+            f"recovery would clobber rows those workers are about to "
+            f"commit — wait for the leases to expire, or pass "
+            f"force=True once the workers are known dead"
+        )

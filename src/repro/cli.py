@@ -296,13 +296,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _write_machine_json(path: str, payload: dict) -> None:
     """Canonical JSON to a file, or stdout when ``path`` is ``-``."""
-    from .experiments.io import canonical_json
+    from .experiments.io import canonical_json, write_canonical_json
 
-    text = canonical_json(payload, indent=2) + "\n"
     if path == "-":
-        sys.stdout.write(text)
+        sys.stdout.write(canonical_json(payload, indent=2) + "\n")
     else:
-        Path(path).write_text(text, newline="")
+        write_canonical_json(payload, path)
         print(f"wrote {path}")
 
 
@@ -310,15 +309,33 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
         CampaignSpec,
         ResultStore,
+        campaign_report_data,
         campaign_status,
         export_campaign_csv,
         export_campaign_json,
+        render_report_text,
         run_campaign,
+        run_campaign_workers,
     )
 
     spec = CampaignSpec.from_file(args.spec)
+    if args.action == "run" and args.workers > 1:
+        # The distributed fabric: N independent processes against the
+        # shared WAL store, coordinated only by the lease table.  Run
+        # before opening our own handle so exports below see the final
+        # committed state through a fresh connection.
+        fabric = run_campaign_workers(spec, args.store, workers=args.workers)
+        print(f"campaign       : {fabric.spec_name}")
+        print(f"points         : {fabric.total}")
+        print(f"store hits     : {fabric.hits} (resumed, not recomputed)")
+        print(f"evaluated      : {fabric.evaluated} "
+              f"({fabric.workers} fabric workers)")
+        print(f"remaining      : {fabric.remaining}"
+              + ("" if fabric.complete else "  (rerun to continue)"))
+        if args.summary_json:
+            _write_machine_json(args.summary_json, fabric.to_dict())
     with ResultStore(args.store) as store:
-        if args.action == "run":
+        if args.action == "run" and args.workers <= 1:
             def show(done: int, total: int) -> None:
                 print(f"  ... {done}/{total} new points evaluated",
                       file=sys.stderr)
@@ -340,6 +357,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 # Machine-readable twin of the summary above: CI asserts
                 # on parsed fields, immune to human-format reflowing.
                 _write_machine_json(args.summary_json, report.to_dict())
+        elif args.action == "report":
+            data = campaign_report_data(
+                spec, store, allow_partial=args.allow_partial)
+            if args.json_out:
+                _write_machine_json(args.json_out, data)
+            else:
+                print(render_report_text(data))
         elif args.action == "status":
             status = campaign_status(spec, store)
             if args.json_out:
@@ -370,6 +394,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 1
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, merge_stores, pull, push
+
+    with ResultStore(args.store) as store:
+        if args.action == "push":
+            report = push(store, args.target, strict=args.strict)
+        elif args.action == "pull":
+            report = pull(store, args.target, strict=args.strict)
+        else:  # merge: another store *file* into this one
+            with ResultStore(args.target) as other:
+                report = merge_stores(store, other, strict=args.strict)
+    print(f"sync           : {report.source} -> {report.dest}")
+    print(f"examined       : {report.examined}")
+    print(f"merged         : {report.merged}"
+          + (f"  (+{report.repaired} repaired)" if report.repaired else ""))
+    print(f"skipped        : {report.skipped} (already present, equal bytes)")
+    if not report.clean:
+        print(f"conflicts      : {len(report.conflicts)} (destination rows "
+              f"kept; incoming copies quarantined)")
+        print(f"quarantined    : {len(report.quarantined)} payload(s) "
+              f"refused — inspect the destination's quarantine area")
+    if args.json_out:
+        _write_machine_json(args.json_out, report.to_dict())
+    return 0 if report.clean else 1
 
 
 def _cmd_example(args: argparse.Namespace) -> int:
@@ -547,15 +597,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "campaign",
         help="durable, resumable scenario campaigns (repro.campaign)")
-    p.add_argument("action", choices=["run", "status", "export"],
-                   help="run (resumable), inspect progress, or export "
-                        "stored results")
+    p.add_argument("action", choices=["run", "status", "export", "report"],
+                   help="run (resumable), inspect progress, export stored "
+                        "results, or aggregate them (per-axis pivots + "
+                        "cross-model deltas)")
     p.add_argument("spec", help="campaign spec file (.json or .toml)")
     p.add_argument("--store", required=True,
                    help="content-addressed result store (SQLite path)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for run (0 = all cores, "
                         "1 = serial; stored values are identical)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="run with N independent fabric worker processes "
+                        "coordinated through the store's claim/lease table "
+                        "(the multi-host execution model on one machine; "
+                        "stored values and exports are byte-identical to "
+                        "--workers 1)")
     p.add_argument("--max-points", type=int, default=None,
                    help="evaluate at most this many new points then stop "
                         "(deterministic interruption; rerun to resume)")
@@ -563,8 +620,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print progress while running")
     p.add_argument("--json", dest="json_out", default=None,
                    help="run/export: write the joined results as "
-                        "deterministic JSON; status: write the progress "
-                        "summary as canonical JSON ('-' for stdout)")
+                        "deterministic JSON; report: write the aggregated "
+                        "report; status: write the progress summary as "
+                        "canonical JSON ('-' for stdout)")
     p.add_argument("--summary-json", dest="summary_json", default=None,
                    help="run: write the run summary (points/hits/evaluated/"
                         "remaining) as canonical JSON ('-' for stdout)")
@@ -573,6 +631,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-partial", action="store_true",
                    help="export even when some points are missing")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "store",
+        help="sync content-addressed stores (repro.campaign.sync)")
+    p.add_argument("action", choices=["push", "pull", "merge"],
+                   help="push local rows to a remote, pull remote rows in, "
+                        "or merge another store file into this one")
+    p.add_argument("store",
+                   help="the local store file (push source / pull+merge "
+                        "destination)")
+    p.add_argument("target",
+                   help="the other side: a store file, or a directory "
+                        "remote (existing directory or a path ending in "
+                        "'/'; rsync/NFS-able object tree)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on payload conflicts instead of "
+                        "quarantining and reporting them")
+    p.add_argument("--json", dest="json_out", default=None,
+                   help="write the sync report as canonical JSON "
+                        "('-' for stdout)")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser("example", help="dump a paper example as JSON")
     p.add_argument("which", choices=["a", "b", "c", "A", "B", "C"])

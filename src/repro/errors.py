@@ -16,6 +16,8 @@ __all__ = [
     "ReplicationExplosionError",
     "SimulationError",
     "StoreCorruptionError",
+    "StoreLeaseError",
+    "SyncConflictError",
 ]
 
 
@@ -89,4 +91,30 @@ class StoreCorruptionError(ReproError):
     a hard kill mid-write or a truncated copy.
     :meth:`~repro.campaign.store.ResultStore.recover` salvages every
     readable row into a fresh store and sets the damaged file aside.
+    """
+
+
+class StoreLeaseError(ReproError):
+    """A store operation would trample rows an active worker holds.
+
+    Raised by :meth:`repro.campaign.store.ResultStore.recover` when the
+    file still carries unexpired claim leases
+    (:mod:`repro.campaign.lease`): some worker may commit results any
+    moment, and replacing the file underneath it would lose them.
+    Wait for the leases to expire (the TTL bounds the wait), or pass
+    ``force=True`` once the holders are known dead.
+    """
+
+
+class SyncConflictError(ReproError):
+    """Two stores hold *different* payloads under one content digest.
+
+    A digest determines its payload (evaluation is deterministic and
+    SHA-256 collisions are not a practical concern), so a mismatch
+    proves one side is corrupt or was written by incompatible code.
+    :mod:`repro.campaign.sync` detects the conflict, quarantines the
+    incoming payload for forensics and reports it — it never silently
+    picks a winner.  Raised only by strict entry points; the sync
+    report carries the same information for callers that prefer to
+    inspect.
     """

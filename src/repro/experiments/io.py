@@ -36,11 +36,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search -> engine)
 
 __all__ = [
     "canonical_json",
+    "write_canonical_json",
     "records_to_csv",
     "records_from_csv",
     "portfolio_to_json",
     "restarts_to_csv",
 ]
+
+
+def write_canonical_json(payload: object, path: str | Path) -> str:
+    """Write ``payload`` as canonical JSON (+ trailing newline) to ``path``.
+
+    The one write path every machine-readable CLI artifact goes through
+    (run summaries, status dumps, campaign/fabric reports, sync
+    reports): sorted keys, ``repr`` floats, ``"\\n"`` newline discipline
+    on every platform — so artifacts from different hosts diff and
+    digest cleanly.  Returns the exact text written.
+    """
+    text = canonical_json(payload, indent=2) + "\n"
+    Path(path).write_text(text, newline="")
+    return text
 
 
 _COLUMNS = [

@@ -20,7 +20,7 @@ from repro.campaign import (
 from repro.core.instance import Instance
 from repro.core.mapping import Mapping
 from repro.core.throughput import compute_period
-from repro.errors import StoreCorruptionError
+from repro.errors import StoreCorruptionError, StoreLeaseError
 from repro.experiments import TABLE2_CONFIGS, run_family
 from repro.experiments.examples_paper import example_a
 from repro.experiments.runner import _draw_instance, family_seeds
@@ -188,4 +188,53 @@ class TestCorruptionRecovery:
         assert 0 <= salvaged <= 50
         recovered.put("fresh", {"schema": 1})
         assert "fresh" in recovered
+        recovered.close()
+
+
+class TestLeaseAwareRecovery:
+    """Regression: recover() must not clobber an active worker's rows.
+
+    A worker holding live leases is (as far as the file can tell) about
+    to commit results; replacing the file underneath it would lose them.
+    Recovery therefore refuses while unexpired leases exist, and works
+    again once they expire — or immediately under ``force=True``.
+    """
+
+    def _store_with_lease(self, path, *, at: float, ttl: float = 30.0):
+        from repro.campaign import LeaseManager
+
+        store = ResultStore(path)
+        store.put("done-row", {"schema": 1, "model": "overlap",
+                               "method": "x", "period": 1.0, "mct": 1.0,
+                               "critical": True, "gap": 0.0, "m": 1,
+                               "n_stages": 1, "n_procs": 1,
+                               "replication": [1]})
+        mgr = LeaseManager(store, "live-worker", ttl=ttl, clock=lambda: at)
+        assert mgr.claim(["pending-row"]) == ["pending-row"]
+        store.close()
+
+    def test_recover_refuses_while_leases_are_active(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        self._store_with_lease(path, at=0.0)
+        with pytest.raises(StoreLeaseError, match="live-worker"):
+            ResultStore.recover(path, clock=lambda: 10.0)
+        # Refusal is non-destructive: the file is intact and untouched.
+        assert not (tmp_path / "s.sqlite.corrupt").exists()
+        with ResultStore(path) as store:
+            assert "done-row" in store
+
+    def test_recover_proceeds_once_leases_expire(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        self._store_with_lease(path, at=0.0, ttl=30.0)
+        recovered, salvaged = ResultStore.recover(path, clock=lambda: 60.0)
+        assert salvaged == 1
+        assert "done-row" in recovered
+        recovered.close()
+
+    def test_force_overrides_active_leases(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        self._store_with_lease(path, at=0.0)
+        recovered, salvaged = ResultStore.recover(
+            path, force=True, clock=lambda: 10.0)
+        assert salvaged == 1
         recovered.close()

@@ -1,0 +1,198 @@
+"""Property tests for store push/pull/merge (repro.campaign.sync).
+
+Hypothesis-driven pins of the sync algebra: merge is idempotent and
+(on conflict-free inputs) commutative, push-then-pull converges, and
+invalid or conflicting payloads are detected, quarantined at the
+destination, and reported — never silently merged into ``results``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    DirectoryRemote,
+    ResultStore,
+    merge_stores,
+    open_remote,
+    payload_error,
+    pull,
+    push,
+)
+from repro.errors import SyncConflictError, ValidationError
+from repro.utils import canonical_json
+
+
+def _payload_text(period: float) -> str:
+    """A valid stored payload whose bytes are a function of ``period``."""
+    return canonical_json({
+        "schema": 1, "model": "overlap", "method": "sync-test",
+        "period": period, "mct": period, "critical": True, "gap": 0.0,
+        "m": 1, "n_stages": 1, "n_procs": 1, "replication": [1],
+    })
+
+
+def _fill(store: ResultStore, rows: dict[str, float]) -> None:
+    for digest, period in rows.items():
+        store.put_text(digest, _payload_text(period))
+
+
+_digests = st.text(alphabet="0123456789abcdef", min_size=6, max_size=6)
+_periods = st.floats(min_value=0.5, max_value=100.0, allow_nan=False,
+                     allow_infinity=False)
+
+
+@st.composite
+def two_overlapping_stores(draw):
+    """Two digest->period maps drawn from one shared pool.
+
+    Shared digests carry identical payloads (the conflict-free regime —
+    exactly what honest partial campaigns of one spec produce, since
+    evaluation is deterministic).
+    """
+    pool = draw(st.dictionaries(_digests, _periods, max_size=8))
+    keys = sorted(pool)
+    subset = st.sets(st.sampled_from(keys), max_size=len(keys)) if keys \
+        else st.just(set())
+    a = {k: pool[k] for k in draw(subset)}
+    b = {k: pool[k] for k in draw(subset)}
+    return a, b
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=30, deadline=None)
+    @given(two_overlapping_stores())
+    def test_merge_idempotent(self, stores):
+        a_rows, b_rows = stores
+        with ResultStore(":memory:") as a, ResultStore(":memory:") as b:
+            _fill(a, a_rows)
+            _fill(b, b_rows)
+            first = merge_stores(b, a)
+            after_once = dict(b.items_text())
+            second = merge_stores(b, a)
+            assert first.clean and second.clean
+            assert second.merged == 0
+            assert second.skipped == second.examined == len(a_rows)
+            assert dict(b.items_text()) == after_once
+
+    @settings(max_examples=30, deadline=None)
+    @given(two_overlapping_stores())
+    def test_merge_commutative_without_conflicts(self, stores):
+        a_rows, b_rows = stores
+        with ResultStore(":memory:") as ab_a, ResultStore(":memory:") as ab_b:
+            _fill(ab_a, a_rows)
+            _fill(ab_b, b_rows)
+            merge_stores(ab_b, ab_a)          # A -> B
+            forward = dict(ab_b.items_text())
+        with ResultStore(":memory:") as ba_a, ResultStore(":memory:") as ba_b:
+            _fill(ba_a, a_rows)
+            _fill(ba_b, b_rows)
+            merge_stores(ba_a, ba_b)          # B -> A
+            backward = dict(ba_a.items_text())
+        union = {d: _payload_text(p)
+                 for d, p in {**a_rows, **b_rows}.items()}
+        assert forward == backward == union
+
+    @settings(max_examples=30, deadline=None)
+    @given(two_overlapping_stores())
+    def test_push_then_pull_converges(self, stores):
+        a_rows, b_rows = stores
+        with tempfile.TemporaryDirectory() as tmp, \
+                ResultStore(":memory:") as a, ResultStore(":memory:") as b:
+            remote = str(Path(tmp) / "remote") + "/"
+            _fill(a, a_rows)
+            _fill(b, b_rows)
+            assert push(a, remote).clean
+            assert push(b, remote).clean
+            assert pull(a, remote).clean
+            assert pull(b, remote).clean
+            union = {d: _payload_text(p)
+                     for d, p in {**a_rows, **b_rows}.items()}
+            assert dict(a.items_text()) == union
+            assert dict(b.items_text()) == union
+            assert dict(open_remote(remote).items_text()) == union
+
+
+class TestCorruptionAndConflicts:
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(_digests, _periods, min_size=1, max_size=6),
+           st.sampled_from(["{not json", '{"schema": 999}', '["a list"]',
+                            '{"schema": 1}']))
+    def test_invalid_payloads_quarantined_not_merged(self, rows, bad_text):
+        assert payload_error(bad_text) is not None  # strategy sanity
+        bad_digest = "bad" + "0" * 3
+        with ResultStore(":memory:") as src, ResultStore(":memory:") as dst:
+            _fill(src, rows)
+            src.put_text(bad_digest, bad_text)
+            report = merge_stores(dst, src)
+            assert not report.clean
+            assert [d for d, _ in report.quarantined] == [bad_digest]
+            assert report.merged == len(rows)
+            # Never in results; parked in quarantine with its reason.
+            assert bad_digest not in dst
+            (digest, origin, text, reason), = dst.quarantined()
+            assert (digest, text) == (bad_digest, bad_text)
+            assert reason == payload_error(bad_text)
+
+    def test_conflict_keeps_destination_and_quarantines_incoming(self):
+        with ResultStore(":memory:") as src, ResultStore(":memory:") as dst:
+            src.put_text("d1", _payload_text(1.0))
+            dst.put_text("d1", _payload_text(2.0))  # different valid bytes
+            report = merge_stores(dst, src)
+            assert report.conflicts == ["d1"]
+            assert not report.clean
+            assert dst.payload_text("d1") == _payload_text(2.0)  # kept
+            (digest, _, text, reason), = dst.quarantined()
+            assert (digest, text) == ("d1", _payload_text(1.0))
+            assert "conflict" in reason
+
+    def test_strict_mode_raises_on_conflict(self):
+        with ResultStore(":memory:") as src, ResultStore(":memory:") as dst:
+            src.put_text("d1", _payload_text(1.0))
+            dst.put_text("d1", _payload_text(2.0))
+            with pytest.raises(SyncConflictError):
+                merge_stores(dst, src, strict=True)
+            # The report's forensics happened before the raise.
+            assert dst.quarantined()
+
+    def test_invalid_destination_copy_is_repaired(self):
+        with ResultStore(":memory:") as src, ResultStore(":memory:") as dst:
+            src.put_text("d1", _payload_text(1.0))
+            dst.put_text("d1", "{broken")
+            report = merge_stores(dst, src)
+            assert report.repaired == 1 and not report.conflicts
+            assert dst.payload_text("d1") == _payload_text(1.0)
+            (digest, _, text, _), = dst.quarantined()  # old copy kept aside
+            assert (digest, text) == ("d1", "{broken")
+
+    def test_directory_remote_quarantines_invalid_push(self):
+        with tempfile.TemporaryDirectory() as tmp, \
+                ResultStore(":memory:") as src:
+            src.put_text("good01", _payload_text(1.0))
+            src.put_text("bad001", "{nope")
+            remote_path = str(Path(tmp) / "remote") + "/"
+            report = push(src, remote_path)
+            assert report.merged == 1
+            assert [d for d, _ in report.quarantined] == ["bad001"]
+            remote = DirectoryRemote(Path(tmp) / "remote")
+            assert dict(remote.items_text()) == {"good01": _payload_text(1.0)}
+            (digest, _, text, _), = remote.quarantined()
+            assert (digest, text) == ("bad001", "{nope")
+
+
+class TestOpenRemote:
+    def test_nonexistent_ambiguous_target_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            open_remote(tmp_path / "neither-dir-nor-store")
+
+    def test_suffix_creates_store_trailing_slash_creates_directory(
+            self, tmp_path):
+        assert not isinstance(open_remote(tmp_path / "new.sqlite"),
+                              DirectoryRemote)
+        assert isinstance(open_remote(str(tmp_path / "objects") + "/"),
+                          DirectoryRemote)
