@@ -36,7 +36,7 @@ from pathlib import Path
 SCHEMA = 2
 
 #: The PR this harness currently reports for.
-PR = 6
+PR = 8
 
 #: Cross-report deterministic contracts: ``--compare`` fails when the
 #: current value is worse than the previous report's.  Direction
@@ -60,6 +60,13 @@ CONTRACTS = [
     ("portfolio_vs_single_start", "portfolio_period", "<="),
     ("portfolio_three_way", "racing_never_worse", ">="),
     ("portfolio_three_way", "racing_beats_fair_on_rugged", ">="),
+    ("telemetry_campaign", "counters_identical", ">="),
+    ("telemetry_campaign", "contract_invariant", ">="),
+    ("telemetry_campaign", "exports_identical", ">="),
+    ("telemetry_campaign", "disabled_noop", ">="),
+    ("telemetry_campaign", "chrome_roundtrip", ">="),
+    ("telemetry_campaign", "engine_points", "<="),
+    ("telemetry_campaign", "skeleton_builds", "<="),
 ]
 
 
@@ -108,6 +115,7 @@ def collect() -> dict:
     import bench_engine_batch
     import bench_howard_many
     import bench_portfolio
+    import bench_telemetry
 
     benchmarks = [
         # (name, stats function, assertion, deterministic?)
@@ -170,6 +178,12 @@ def collect() -> dict:
                         "racing did not strictly beat fair-share on a "
                         "rugged seed"),
             ],
+            True,
+        ),
+        (
+            "telemetry_campaign",
+            bench_telemetry.run_comparison,
+            bench_telemetry._check,
             True,
         ),
         (

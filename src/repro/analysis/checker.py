@@ -62,6 +62,21 @@ _WALL_CLOCK = frozenset(
     }
 )
 
+#: Span clocks (DET108): monotonic timing sources whose only sanctioned
+#: home is the telemetry package's span channel.
+_SPAN_CLOCKS = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+#: The one place under ``src/`` where clock reads are legal.  DET105 is
+#: silent inside it; DET108 enforces the boundary everywhere else.
+_TELEMETRY_PREFIX = "src/repro/telemetry/"
+
 #: Explicit-state constructors exempt from DET102.
 _RANDOM_OK = frozenset(
     {
@@ -396,9 +411,15 @@ class _ModuleChecker(ast.NodeVisitor):
             if dotted in ("json.dump", "json.dumps"):
                 if not self._has_true_kwarg(node, "sort_keys"):
                     self.report("DET104", node)
-            # DET105: wall-clock readings in library code.
-            if dotted in _WALL_CLOCK:
+            # DET105/DET108: wall-clock readings in library code.  The
+            # telemetry package is the sanctioned home for clocks (its
+            # span channel is the whole point); everywhere else a span
+            # clock additionally breaks the timing/logic separation.
+            in_telemetry = self.path.startswith(_TELEMETRY_PREFIX)
+            if dotted in _WALL_CLOCK and not in_telemetry:
                 self.report("DET105", node, dotted)
+            if dotted in _SPAN_CLOCKS and not in_telemetry:
+                self.report("DET108", node, dotted)
             # DET106 (module form) handled below with the method form.
 
         self._check_fs_listing(node, dotted, rooted)

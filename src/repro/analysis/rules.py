@@ -259,6 +259,30 @@ _RULE_LIST = [
         "    worklist.discard(node)",
     ),
     _rule(
+        "DET108",
+        "timing-outside-telemetry",
+        "error",
+        "span clock (time.monotonic/perf_counter) outside repro.telemetry",
+        "Record timings through repro.telemetry spans "
+        "(TELEMETRY.span(...)) — the one layer allowed to read clocks — "
+        "and keep the measured values out of logic and contracts.",
+        "PR 8: the telemetry layer splits instrumentation into "
+        "deterministic counters (gateable) and wall-clock spans "
+        "(diagnostics only).  That separation only holds if "
+        "src/repro/telemetry/ stays the single home for monotonic "
+        "clocks; a perf_counter call anywhere else in src/ is timing "
+        "about to leak into logic — exactly the drift DET105 exists "
+        "to stop.",
+        "    # bad (library code)\n"
+        "    t0 = time.perf_counter()\n"
+        "    solve()\n"
+        "    elapsed = time.perf_counter() - t0\n"
+        "    # good\n"
+        "    with TELEMETRY.span(\"group-solve\", rows=B):\n"
+        "        solve()",
+        scopes=("src",),
+    ),
+    _rule(
         "NUM201",
         "fancy-index-accumulate",
         "warning",

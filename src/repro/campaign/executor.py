@@ -52,6 +52,7 @@ from ..core.instance import Instance
 from ..engine import BatchEngine, topology_signature
 from ..errors import ValidationError
 from ..experiments.io import canonical_json
+from ..telemetry import TELEMETRY, write_trace
 from .spec import CampaignPoint, CampaignSpec
 from .store import ResultStore, instance_digest, payload_from_result
 
@@ -173,22 +174,34 @@ def _split_spans(order: list[int], n_spans: int) -> list[list[int]]:
 
 
 def _evaluate_span(
-    args: tuple[list[tuple[str, Instance, str]], int],
-) -> list[tuple[str, dict[str, Any]]]:
+    args: tuple[list[tuple[str, Instance, str]], int, bool],
+) -> tuple[list[tuple[str, dict[str, Any]]], dict[str, int] | None]:
     """Worker: evaluate one contiguous span with a warm-started engine.
 
     The span is signature-ordered (see :func:`order_for_engine`), so
     ``evaluate_many`` turns it into a handful of lockstep group solves.
+
+    When the parent collects telemetry, the worker tallies its own
+    counters on a fresh collector and ships the snapshot back alongside
+    the results (summed merge — completion order cannot matter).  The
+    collector is reset (or disabled) unconditionally: forked workers
+    inherit the parent's collector state and must never double-count it.
     """
-    items, max_rows = args
+    items, max_rows, telemetry_on = args
+    if telemetry_on:
+        TELEMETRY.enable("span")
+    else:
+        TELEMETRY.disable()
     engine = BatchEngine(max_rows=max_rows, warm_start=True)
     results = engine.evaluate_many(
         [inst for _, inst, _ in items], [model for _, _, model in items]
     )
-    return [
+    out = [
         (digest, payload_from_result(inst, result))
         for (digest, inst, _), result in zip(items, results)
     ]
+    counters = TELEMETRY.counter_snapshot() if telemetry_on else None
+    return out, counters
 
 
 def run_campaign(
@@ -198,6 +211,7 @@ def run_campaign(
     max_points: int | None = None,
     commit_every: int = DEFAULT_COMMIT_EVERY,
     progress: Callable[[int, int], None] | None = None,
+    trace_dir: str | Path | None = None,
 ) -> CampaignReport:
     """Run (or resume) a campaign against a content-addressed store.
 
@@ -222,79 +236,103 @@ def run_campaign(
         Serial checkpoint cadence.
     progress:
         Optional ``callback(done_new_points, pending_total)``.
+    trace_dir:
+        Enable :mod:`repro.telemetry` on a fresh collector and write a
+        ``trace-main.jsonl`` canonical trace (counters + spans) into
+        this directory when done.  ``None`` leaves the collector's
+        enabled state alone, so callers may also enable/inspect
+        telemetry themselves.
     """
-    points = spec.expand()
-    instances = [pt.instance() for pt in points]
-    digests = [instance_digest(inst, pt.model)
-               for pt, inst in zip(points, instances)]
+    if trace_dir is not None:
+        TELEMETRY.enable("main")
 
-    seen: set[str] = set()
-    pending: list[int] = []
-    for i, digest in enumerate(digests):
-        if digest in seen:
-            continue
-        # existence probe only — never fetch/parse payloads during resume
-        if digest not in store:
-            pending.append(i)
-            seen.add(digest)
-    hits = len(points) - len(pending)
+    with TELEMETRY.span("campaign", campaign=spec.name):
+        with TELEMETRY.span("expand"):
+            points = spec.expand()
+            instances = [pt.instance() for pt in points]
+            digests = [instance_digest(inst, pt.model)
+                       for pt, inst in zip(points, instances)]
 
-    order = order_for_engine(
-        [(instances[i], points[i].model) for i in pending]
-    )
-    ordered = [pending[j] for j in order]
-    if max_points is not None:
-        ordered = ordered[:max_points]
+            seen: set[str] = set()
+            pending: list[int] = []
+            for i, digest in enumerate(digests):
+                if digest in seen:
+                    continue
+                # existence probe only — never fetch/parse payloads
+                # during resume
+                if digest not in store:
+                    pending.append(i)
+                    seen.add(digest)
+            hits = len(points) - len(pending)
 
-    n_groups = len({
-        topology_signature(instances[i], points[i].model) for i in ordered
-    })
-    max_rows = spec.max_paths + 1
-
-    if n_jobs is None or n_jobs == 1 or len(ordered) < 2:
-        engine = BatchEngine(max_rows=max_rows, warm_start=True)
-        # Drain in commit-sized slices: each slice is signature-ordered,
-        # so evaluate_many locksteps it as a few whole-group solves, and
-        # a kill still loses at most ``commit_every`` points.
-        done = 0
-        for start in range(0, len(ordered), commit_every):
-            chunk = ordered[start: start + commit_every]
-            results = engine.evaluate_many(
-                [instances[i] for i in chunk],
-                [points[i].model for i in chunk],
+            order = order_for_engine(
+                [(instances[i], points[i].model) for i in pending]
             )
-            for i, result in zip(chunk, results):
-                store.put(digests[i],
-                          payload_from_result(instances[i], result),
-                          commit=False)
-            store.commit()
-            done += len(chunk)
-            if progress is not None:
-                progress(done, len(ordered))
-    else:
-        workers = (_os.cpu_count() or 1) if n_jobs == 0 else n_jobs
-        spans = _split_spans(ordered, workers)
-        payloads = [
-            ([(digests[i], instances[i], points[i].model) for i in span],
-             max_rows)
-            for span in spans
-        ]
-        done = 0
-        with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-            futures = [pool.submit(_evaluate_span, p) for p in payloads]
-            # Commit spans the moment they finish (not in submission
-            # order): a kill loses at most the in-flight spans, never a
-            # finished one stuck behind a slow predecessor.
-            for fut in as_completed(futures):
-                results = fut.result()
-                for digest, payload in results:
-                    store.put(digest, payload, commit=False)
-                store.commit()
-                done += len(results)
+            ordered = [pending[j] for j in order]
+            if max_points is not None:
+                ordered = ordered[:max_points]
+
+            n_groups = len({
+                topology_signature(instances[i], points[i].model)
+                for i in ordered
+            })
+        max_rows = spec.max_paths + 1
+
+        if n_jobs is None or n_jobs == 1 or len(ordered) < 2:
+            engine = BatchEngine(max_rows=max_rows, warm_start=True)
+            # Drain in commit-sized slices: each slice is signature-ordered,
+            # so evaluate_many locksteps it as a few whole-group solves, and
+            # a kill still loses at most ``commit_every`` points.
+            done = 0
+            for start in range(0, len(ordered), commit_every):
+                chunk = ordered[start: start + commit_every]
+                with TELEMETRY.span("evaluate", points=len(chunk)):
+                    results = engine.evaluate_many(
+                        [instances[i] for i in chunk],
+                        [points[i].model for i in chunk],
+                    )
+                with TELEMETRY.span("commit", points=len(chunk)):
+                    for i, result in zip(chunk, results):
+                        store.put(digests[i],
+                                  payload_from_result(instances[i], result),
+                                  commit=False)
+                    store.commit()
+                done += len(chunk)
                 if progress is not None:
                     progress(done, len(ordered))
+        else:
+            workers = (_os.cpu_count() or 1) if n_jobs == 0 else n_jobs
+            spans = _split_spans(ordered, workers)
+            telemetry_on = TELEMETRY.enabled
+            payloads = [
+                ([(digests[i], instances[i], points[i].model) for i in span],
+                 max_rows, telemetry_on)
+                for span in spans
+            ]
+            done = 0
+            with TELEMETRY.span("evaluate", points=len(ordered),
+                                spans=len(spans)):
+                with ProcessPoolExecutor(max_workers=len(spans)) as pool:
+                    futures = [pool.submit(_evaluate_span, p)
+                               for p in payloads]
+                    # Commit spans the moment they finish (not in
+                    # submission order): a kill loses at most the
+                    # in-flight spans, never a finished one stuck behind
+                    # a slow predecessor.
+                    for fut in as_completed(futures):
+                        results, counters = fut.result()
+                        if counters is not None:
+                            TELEMETRY.merge_counters(counters)
+                        with TELEMETRY.span("commit",
+                                            points=len(results)):
+                            for digest, payload in results:
+                                store.put(digest, payload, commit=False)
+                            store.commit()
+                        done += len(results)
+                        if progress is not None:
+                            progress(done, len(ordered))
 
-    return CampaignReport(
+    report = CampaignReport(
         spec_name=spec.name,
         total=len(points),
         hits=hits,
@@ -302,6 +340,12 @@ def run_campaign(
         remaining=len(pending) - len(ordered),
         groups=n_groups,
     )
+    if trace_dir is not None:
+        trace_path = Path(trace_dir)
+        trace_path.mkdir(parents=True, exist_ok=True)
+        write_trace(trace_path / "trace-main.jsonl", TELEMETRY)
+        TELEMETRY.disable()
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -452,31 +496,37 @@ def run_campaign_worker(
 
     done_new = 0
     while True:
-        stored = set(store.digests())
-        remaining = [d for d in rotated if d not in stored]
+        with TELEMETRY.span("claim"):
+            stored = set(store.digests())
+            remaining = [d for d in rotated if d not in stored]
+            if remaining:
+                claimed = lease.claim(remaining, limit=claim_batch)
         if not remaining:
             break
-        claimed = lease.claim(remaining, limit=claim_batch)
         fault_point("after-claim")
         if not claimed:
             # Everything left is leased by some other live worker (or
             # just landed in the store); wait for completion or expiry.
-            time.sleep(_FABRIC_POLL_SLEEP)
+            with TELEMETRY.span("wait"):
+                time.sleep(_FABRIC_POLL_SLEEP)
             continue
         for start in range(0, len(claimed), commit_every):
             chunk = claimed[start: start + commit_every]
             lease.renew(claimed[start:])  # heartbeat for the unevaluated tail
-            results = engine.evaluate_many(
-                [by_digest[d][0] for d in chunk],
-                [by_digest[d][1] for d in chunk],
-            )
-            for digest, result in zip(chunk, results):
-                store.put(digest,
-                          payload_from_result(by_digest[digest][0], result),
-                          commit=False)
-            store.commit()
-            fault_point("pre-release")
-            lease.release(chunk)
+            with TELEMETRY.span("evaluate", points=len(chunk)):
+                results = engine.evaluate_many(
+                    [by_digest[d][0] for d in chunk],
+                    [by_digest[d][1] for d in chunk],
+                )
+            with TELEMETRY.span("commit", points=len(chunk)):
+                for digest, result in zip(chunk, results):
+                    store.put(
+                        digest,
+                        payload_from_result(by_digest[digest][0], result),
+                        commit=False)
+                store.commit()
+                fault_point("pre-release")
+                lease.release(chunk)
             fault_point("after-release")
             done_new += len(chunk)
             if progress is not None:
@@ -492,17 +542,35 @@ def _fabric_worker_main(
     claim_batch: int,
     commit_every: int,
     fault: tuple[str, int] | None,
+    trace_dir: str | None,
 ) -> None:
-    """Subprocess entry point of :func:`run_campaign_workers`."""
+    """Subprocess entry point of :func:`run_campaign_workers`.
+
+    Telemetry state is set unconditionally: forked workers inherit the
+    parent's collector (spans, counters, enabled flag) and must start
+    from a clean slate — enabled on a fresh per-worker collector when
+    tracing, disabled otherwise.  Each tracing worker writes its own
+    ``trace-worker-<i>.jsonl``; :func:`repro.telemetry.merge_traces`
+    recombines them with the parent's ``trace-main.jsonl``.
+    """
     spec = CampaignSpec.from_dict(spec_data)
+    if trace_dir is not None:
+        TELEMETRY.enable(f"worker-{worker_index}")
+    else:
+        TELEMETRY.disable()
     with ResultStore(store_path) as store:
-        run_campaign_worker(
-            spec, store,
-            worker_id=f"fabric-{worker_index}-{_os.getpid()}",
-            lease_ttl=lease_ttl,
-            claim_batch=claim_batch,
-            commit_every=commit_every,
-            _fault=fault,
+        with TELEMETRY.span("worker-run", worker=worker_index):
+            run_campaign_worker(
+                spec, store,
+                worker_id=f"fabric-{worker_index}-{_os.getpid()}",
+                lease_ttl=lease_ttl,
+                claim_batch=claim_batch,
+                commit_every=commit_every,
+                _fault=fault,
+            )
+    if trace_dir is not None:
+        write_trace(
+            Path(trace_dir) / f"trace-worker-{worker_index}.jsonl", TELEMETRY
         )
 
 
@@ -514,6 +582,7 @@ def run_campaign_workers(
     claim_batch: int = DEFAULT_CLAIM_BATCH,
     commit_every: int = DEFAULT_COMMIT_EVERY,
     _faults: dict[int, tuple[str, int]] | None = None,
+    trace_dir: str | Path | None = None,
 ) -> FabricReport:
     """Drain one campaign with ``workers`` independent processes.
 
@@ -533,37 +602,58 @@ def run_campaign_workers(
 
     ``_faults`` maps worker index to a crash-injection fault (see
     :func:`run_campaign_worker`); test-layer only.
+
+    ``trace_dir`` enables telemetry fabric-wide: the parent records the
+    root ``campaign`` span (with ``prepare`` and per-worker ``worker``
+    wait spans) into ``trace-main.jsonl`` and each worker process
+    records its own counters and spans into ``trace-worker-<i>.jsonl``
+    — recombine with :func:`repro.telemetry.merge_traces`.
     """
     import multiprocessing as mp
 
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
     store_path = str(store_path)
-    ordered, _ = _unique_spec_digests(spec)
-    with ResultStore(store_path) as parent_store:
-        hits = sum(1 for d in ordered if d in parent_store)
+    trace_arg = None if trace_dir is None else str(trace_dir)
+    if trace_arg is not None:
+        Path(trace_arg).mkdir(parents=True, exist_ok=True)
+        TELEMETRY.enable("main")
 
-    ctx = mp.get_context()
-    procs = [
-        ctx.Process(
-            target=_fabric_worker_main,
-            args=(spec.to_dict(), store_path, i, lease_ttl, claim_batch,
-                  commit_every,
-                  None if _faults is None else _faults.get(i)),
-        )
-        for i in range(workers)
-    ]
-    for proc in procs:
-        proc.start()
-    crashed: list[int] = []
-    for i, proc in enumerate(procs):
-        proc.join()
-        if proc.exitcode != 0:
-            crashed.append(i)
+    with TELEMETRY.span("campaign", campaign=spec.name, workers=workers):
+        with TELEMETRY.span("prepare"):
+            ordered, _ = _unique_spec_digests(spec)
+            with ResultStore(store_path) as parent_store:
+                hits = sum(1 for d in ordered if d in parent_store)
 
-    with ResultStore(store_path) as parent_store:
-        done = sum(1 for d in ordered if d in parent_store)
-    return FabricReport(
+            ctx = mp.get_context()
+            procs = [
+                ctx.Process(
+                    target=_fabric_worker_main,
+                    args=(spec.to_dict(), store_path, i, lease_ttl,
+                          claim_batch, commit_every,
+                          None if _faults is None else _faults.get(i),
+                          trace_arg),
+                )
+                for i in range(workers)
+            ]
+            for proc in procs:
+                proc.start()
+        crashed: list[int] = []
+        # One parent-side span per worker join: together the join spans
+        # tile the fabric's whole drain phase (span i ends when worker i
+        # exits, span i+1 starts immediately), so the root campaign
+        # span's time is attributed to named children even though the
+        # parent itself only waits here.
+        for i, proc in enumerate(procs):
+            with TELEMETRY.span("worker", worker=i):
+                proc.join()
+            if proc.exitcode != 0:
+                crashed.append(i)
+
+        with ResultStore(store_path) as parent_store:
+            done = sum(1 for d in ordered if d in parent_store)
+
+    report = FabricReport(
         spec_name=spec.name,
         total=len(ordered),
         hits=hits,
@@ -572,6 +662,10 @@ def run_campaign_workers(
         workers=workers,
         crashed=tuple(crashed),
     )
+    if trace_arg is not None:
+        write_trace(Path(trace_arg) / "trace-main.jsonl", TELEMETRY)
+        TELEMETRY.disable()
+    return report
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..telemetry import TELEMETRY
 from .store import ResultStore
 
 __all__ = ["Lease", "LeaseManager", "DEFAULT_LEASE_TTL"]
@@ -171,6 +172,16 @@ class LeaseManager:
                 ).fetchone()
                 if done is not None:
                     continue
+                prior_expired = False
+                if TELEMETRY.enabled:
+                    # Probe whether an upsert here would be a stale-lease
+                    # takeover rather than a fresh claim (the upsert's
+                    # rowcount cannot distinguish the two).
+                    row = self._conn.execute(
+                        "SELECT expires FROM leases WHERE digest = ?",
+                        (digest,),
+                    ).fetchone()
+                    prior_expired = row is not None and float(row[0]) <= now
                 cur = self._conn.execute(
                     "INSERT INTO leases (digest, worker, expires, acquired)"
                     " VALUES (?, ?, ?, ?)"
@@ -183,11 +194,16 @@ class LeaseManager:
                 )
                 if cur.rowcount == 1:
                     claimed.append(digest)
+                    if prior_expired:
+                        TELEMETRY.count("lease.stale_takeovers")
             self._conn.execute("COMMIT")
         except BaseException:
             if self._conn.in_transaction:
                 self._conn.execute("ROLLBACK")
             raise
+        if TELEMETRY.enabled:
+            TELEMETRY.count("lease.claim_batches")
+            TELEMETRY.count("lease.claims", len(claimed))
         return claimed
 
     def renew(self, digests: Sequence[str] | None = None) -> int:
@@ -205,6 +221,7 @@ class LeaseManager:
                 " AND expires > ?",
                 (now + self.ttl, self.worker, now),
             )
+            TELEMETRY.count("lease.renews", int(cur.rowcount))
             return int(cur.rowcount)
         renewed = 0
         self._immediate()
@@ -221,6 +238,7 @@ class LeaseManager:
             if self._conn.in_transaction:
                 self._conn.execute("ROLLBACK")
             raise
+        TELEMETRY.count("lease.renews", renewed)
         return renewed
 
     def release(self, digests: Sequence[str]) -> int:
@@ -244,6 +262,7 @@ class LeaseManager:
             if self._conn.in_transaction:
                 self._conn.execute("ROLLBACK")
             raise
+        TELEMETRY.count("lease.releases", released)
         return released
 
     # ------------------------------------------------------------------

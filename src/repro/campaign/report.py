@@ -61,6 +61,7 @@ def campaign_report_data(
     spec: CampaignSpec,
     store: ResultStore,
     allow_partial: bool = False,
+    counters: Mapping[str, int] | None = None,
 ) -> dict[str, Any]:
     """The report payload: totals, per-axis pivots, cross-model deltas.
 
@@ -76,6 +77,14 @@ def campaign_report_data(
     platform, replication) cell, every pair of models present: the
     delta and ratio of the cells' mean periods, and the gap between
     their critical-resource fractions.
+
+    ``counters`` — a deterministic-counter mapping, typically the
+    ``counters`` of a :func:`repro.telemetry.merge_traces` result —
+    adds a ``"telemetry"`` section (the counters, sorted, plus derived
+    engine cache/lockstep figures).  The key is **absent** when no
+    counters are passed, so default report bytes are independent of
+    whether a run was traced (the fabric CI byte-compare relies on
+    this).
     """
     rows, missing = campaign_rows(spec, store)
     _require_complete(missing, allow_partial)
@@ -121,13 +130,47 @@ def campaign_report_data(
                                                 - agg_a["critical_fraction"]),
                 })
 
-    return {
+    data: dict[str, Any] = {
         "campaign": spec.name,
         "total": len(rows) + len(missing),
         "rows": len(rows),
         "missing": len(missing),
         "pivots": pivots,
         "model_deltas": deltas,
+    }
+    if counters is not None:
+        data["telemetry"] = _telemetry_section(counters)
+    return data
+
+
+def _telemetry_section(counters: Mapping[str, int]) -> dict[str, Any]:
+    """Engine-efficiency digest of a run's deterministic counters.
+
+    Derived figures the raw counters bury: the skeleton-cache hit rate,
+    how many points the lockstep (group) path solved versus the scalar
+    path, and how many group solves fell back to scalar row-by-row
+    evaluation.
+    """
+    def get(name: str) -> int:
+        return int(counters.get(name, 0))
+
+    builds = get("engine.skeleton_builds")
+    hits = get("engine.cache_hits")
+    lookups = builds + hits
+    return {
+        "counters": {name: int(counters[name]) for name in sorted(counters)},
+        "engine": {
+            "cache_hits": hits,
+            "cache_hit_rate": hits / lookups if lookups else None,
+            "skeleton_builds": builds,
+            "group_solves": get("engine.group_solves"),
+            "group_rows": get("engine.group_rows"),
+            "group_fallbacks": get("engine.group_fallbacks"),
+            "group_fallback_rows": get("engine.group_fallback_rows"),
+            "lockstep_solves": get("howard.lockstep_solves"),
+            "lockstep_rows": get("howard.lockstep_rows"),
+            "scalar_points": get("engine.points") - get("engine.group_rows"),
+        },
     }
 
 
@@ -188,4 +231,23 @@ def render_report_text(data: Mapping[str, Any]) -> str:
                 f"{d['replication']}: {d['model_b']} vs {d['model_a']} = "
                 f"{d['period_delta']:+.4g} ({ratio})"
             )
+    if "telemetry" in data:
+        engine = data["telemetry"]["engine"]
+        rate = engine["cache_hit_rate"]
+        lines.append("")
+        lines.append("engine telemetry:")
+        lines.append(
+            f"  skeleton cache : {engine['cache_hits']} hits / "
+            f"{engine['skeleton_builds']} builds"
+            + (f"  ({100.0 * rate:.0f}% hit rate)" if rate is not None else "")
+        )
+        lines.append(
+            f"  lockstep solves: {engine['lockstep_solves']} "
+            f"({engine['lockstep_rows']} rows); "
+            f"{engine['scalar_points']} scalar point(s)"
+        )
+        lines.append(
+            f"  group fallbacks: {engine['group_fallbacks']} "
+            f"({engine['group_fallback_rows']} rows re-solved scalar)"
+        )
     return "\n".join(lines)

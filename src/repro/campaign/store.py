@@ -56,6 +56,7 @@ from ..core.instance import Instance
 from ..core.models import CommModel
 from ..core.throughput import PeriodResult
 from ..errors import StoreCorruptionError, StoreLeaseError
+from ..telemetry import TELEMETRY
 from ..utils import canonical_json
 from ..experiments.runner import ExperimentRecord
 
@@ -366,6 +367,8 @@ class ResultStore:
         inserted = cur.rowcount == 1
         if inserted:
             self.stats.puts += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.count("store.puts")
         return inserted
 
     def commit(self) -> None:
@@ -417,6 +420,8 @@ class ResultStore:
             (digest, origin, payload_text, reason),
         )
         self.commit()
+        if TELEMETRY.enabled:
+            TELEMETRY.count("store.quarantines")
 
     def quarantined(self) -> list[tuple[str, str, str, str]]:
         """``(digest, origin, payload_text, reason)`` rows, sorted."""

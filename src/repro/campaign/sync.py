@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..errors import SyncConflictError, ValidationError
+from ..telemetry import TELEMETRY
 from ..utils import canonical_json
 from .store import ResultStore, payload_error
 
@@ -256,6 +257,12 @@ def _merge(
                 "conflict: differs from the destination's valid copy",
             )
             report.conflicts.append(digest)
+    if TELEMETRY.enabled:
+        TELEMETRY.count("sync.merged", report.merged)
+        TELEMETRY.count("sync.skipped", report.skipped)
+        TELEMETRY.count("sync.repaired", report.repaired)
+        TELEMETRY.count("sync.conflicts", len(report.conflicts))
+        TELEMETRY.count("sync.quarantined", len(report.quarantined))
     if strict and report.conflicts:
         raise SyncConflictError(
             f"sync {origin!r} -> {dst.label!r} found "

@@ -13,6 +13,7 @@ Subcommands
 ``search``     greedy + local-search mapping optimization (extension)
 ``optimize``   multi-start portfolio mapping search (repro.search)
 ``campaign``   durable, resumable scenario campaigns (repro.campaign)
+``telemetry``  merge and report instrumentation traces (repro.telemetry)
 ``example``    dump one of the paper's examples (A/B/C) as JSON
 
 Instances are JSON files in the :meth:`repro.core.instance.Instance.to_dict`
@@ -324,7 +325,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # shared WAL store, coordinated only by the lease table.  Run
         # before opening our own handle so exports below see the final
         # committed state through a fresh connection.
-        fabric = run_campaign_workers(spec, args.store, workers=args.workers)
+        fabric = run_campaign_workers(spec, args.store, workers=args.workers,
+                                      trace_dir=args.trace)
         print(f"campaign       : {fabric.spec_name}")
         print(f"points         : {fabric.total}")
         print(f"store hits     : {fabric.hits} (resumed, not recomputed)")
@@ -345,6 +347,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 n_jobs=args.jobs if args.jobs != 1 else None,
                 max_points=args.max_points,
                 progress=show if args.verbose else None,
+                trace_dir=args.trace,
             )
             print(f"campaign       : {report.spec_name}")
             print(f"points         : {report.total}")
@@ -358,8 +361,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 # on parsed fields, immune to human-format reflowing.
                 _write_machine_json(args.summary_json, report.to_dict())
         elif args.action == "report":
+            counters = None
+            if args.trace:
+                # Join the report with a traced run's deterministic
+                # counters (engine cache / lockstep / fallback figures).
+                from .telemetry import merge_traces, trace_files
+
+                files = trace_files(args.trace)
+                if not files:
+                    print(f"error: no trace-*.jsonl files in {args.trace}",
+                          file=sys.stderr)
+                    return 1
+                counters = merge_traces(files)["counters"]
             data = campaign_report_data(
-                spec, store, allow_partial=args.allow_partial)
+                spec, store, allow_partial=args.allow_partial,
+                counters=counters)
             if args.json_out:
                 _write_machine_json(args.json_out, data)
             else:
@@ -393,6 +409,36 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 print("error: export needs --json and/or --csv",
                       file=sys.stderr)
                 return 1
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from .telemetry import (
+        attribution,
+        chrome_trace,
+        merge_traces,
+        render_summary,
+        trace_files,
+    )
+
+    paths: list[Path] = []
+    for target in args.traces:
+        p = Path(target)
+        if p.is_dir():
+            paths.extend(trace_files(p))
+        else:
+            paths.append(p)
+    if not paths:
+        print("error: no trace-*.jsonl files found", file=sys.stderr)
+        return 1
+    merged = merge_traces(paths)
+    if args.chrome:
+        _write_machine_json(args.chrome, chrome_trace(merged))
+    if args.json_out:
+        _write_machine_json(
+            args.json_out, {**merged, "attribution": attribution(merged)})
+    if not (args.chrome or args.json_out):
+        print(render_summary(merged))
     return 0
 
 
@@ -630,6 +676,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the joined results as deterministic CSV")
     p.add_argument("--allow-partial", action="store_true",
                    help="export even when some points are missing")
+    p.add_argument("--trace", default=None,
+                   help="run: enable telemetry and write per-process "
+                        "trace-*.jsonl files (deterministic counters + "
+                        "wall-clock spans) into this directory; report: "
+                        "merge that directory's traces and add an engine "
+                        "telemetry section")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
@@ -652,6 +704,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the sync report as canonical JSON "
                         "('-' for stdout)")
     p.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="merge and report instrumentation traces (repro.telemetry)")
+    p.add_argument("action", choices=["report"],
+                   help="report: merge trace files and print the counter "
+                        "and span-attribution summary")
+    p.add_argument("traces", nargs="+",
+                   help="trace-*.jsonl files and/or directories containing "
+                        "them (e.g. the campaign run's --trace directory)")
+    p.add_argument("--json", dest="json_out", default=None,
+                   help="write the merged trace plus its span attribution "
+                        "as canonical JSON ('-' for stdout)")
+    p.add_argument("--chrome", default=None,
+                   help="write Chrome trace-event JSON for chrome://tracing "
+                        "or https://ui.perfetto.dev ('-' for stdout)")
+    p.set_defaults(func=_cmd_telemetry)
 
     p = sub.add_parser("example", help="dump a paper example as JSON")
     p.add_argument("which", choices=["a", "b", "c", "A", "B", "C"])

@@ -61,6 +61,7 @@ from ..core.throughput import PeriodResult, compute_period
 from ..errors import ValidationError
 from ..maxplus.howard import HowardState
 from ..petri.builder import DEFAULT_MAX_ROWS
+from ..telemetry import TELEMETRY
 from .classify import CycleTimePlan, build_cycle_time_plan
 from .signature import topology_signature
 from .skeleton import TpnSkeleton, build_skeleton
@@ -97,11 +98,21 @@ _INFLIGHT_PER_WORKER = 2
 
 @dataclass
 class EngineStats:
-    """Cache counters of one :class:`BatchEngine` (diagnostics only)."""
+    """Cache counters of one :class:`BatchEngine` (diagnostics only).
+
+    ``hits``/``misses``/``evaluated`` are the PR-1 cache stats;
+    ``scalar_solves``/``group_solves``/``group_rows`` split the
+    evaluations between the per-pair path and the lockstep group path
+    (PR 8, surfaced by ``campaign report``).  All fields are exact
+    integers, deterministic for a fixed evaluation order.
+    """
 
     hits: int = 0
     misses: int = 0
     evaluated: int = 0
+    scalar_solves: int = 0
+    group_solves: int = 0
+    group_rows: int = 0
 
     @property
     def groups(self) -> int:
@@ -170,8 +181,12 @@ class BatchEngine:
                 self._warm_states.pop(oldest, None)
             self._skeletons[key] = sk
             self.stats.misses += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.count("engine.skeleton_builds")
         else:
             self.stats.hits += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.count("engine.cache_hits")
         return sk
 
     def _ct_plan_for(
@@ -209,6 +224,14 @@ class BatchEngine:
             method = "polynomial" if model.overlap else "tpn"
 
         self.stats.evaluated += 1
+        self.stats.scalar_solves += 1
+        if TELEMETRY.enabled:
+            # Contract counters: one per point, split by resolved
+            # method, plus the point's path count — all pure functions
+            # of the point, so totals are partition-invariant.
+            TELEMETRY.count("engine.points")
+            TELEMETRY.count("engine.points." + method)
+            TELEMETRY.count("engine.paths", inst.num_paths)
         key = topology_signature(inst, model)
         breakdown: OverlapBreakdown | None = None
         solution: TpnSolution | None = None
@@ -304,13 +327,23 @@ class BatchEngine:
         """One lockstep slab: stamp, solve, classify, package."""
         B = len(instances)
         self.stats.evaluated += B
+        self.stats.group_solves += 1
+        self.stats.group_rows += B
         sk = self._skeleton_for(key, instances[0], model)
         # Cache-lookup parity with B scalar evaluations of the group.
         self.stats.hits += B - 1
+        if TELEMETRY.enabled:
+            TELEMETRY.count("engine.points", B)
+            TELEMETRY.count("engine.points.tpn", B)
+            TELEMETRY.count("engine.paths", sk.m * B)
+            TELEMETRY.count("engine.cache_hits", B - 1)
+            TELEMETRY.count("engine.group_solves")
+            TELEMETRY.count("engine.group_rows", B)
         sk.check_budget(self.max_rows)
         state = self._warm_states.setdefault(key, HowardState()) \
             if self.warm_start else None
-        ratios = sk.solve_many(list(instances), state=state)
+        with TELEMETRY.span("group-solve", rows=B):
+            ratios = sk.solve_many(list(instances), state=state)
         periods = [r.value / sk.m for r in ratios]
         ct_plan = self._ct_plan_for(key, instances[0], model)
         mcts, crits, _ = ct_plan.verdict_many(
@@ -422,11 +455,23 @@ _WORKER_ENGINE: BatchEngine | None = None
 
 
 def _evaluate_chunk(
-    payload: tuple[list[tuple[Instance, CommModel]], str, int | None, bool],
-) -> list[PeriodResult]:
-    """Module-level trampoline for process pools (picklable)."""
+    payload: tuple[list[tuple[Instance, CommModel]], str, int | None, bool, bool],
+) -> tuple[list[PeriodResult], dict[str, int] | None]:
+    """Module-level trampoline for process pools (picklable).
+
+    Returns the chunk's results plus, when the parent runs with
+    telemetry on, this chunk's counter snapshot.  Counters merge by
+    summation, so the parent's totals are independent of chunk
+    completion order (NUM205-safe).  The collector is re-enabled (reset)
+    or disabled explicitly per chunk: forked workers inherit the
+    parent's collector state, which must never double-count.
+    """
     global _WORKER_ENGINE
-    chunk, method, max_rows, warm_start = payload
+    chunk, method, max_rows, warm_start, telemetry_on = payload
+    if telemetry_on:
+        TELEMETRY.enable("chunk")
+    else:
+        TELEMETRY.disable()
     if (
         _WORKER_ENGINE is None
         or _WORKER_ENGINE.max_rows != max_rows
@@ -434,9 +479,11 @@ def _evaluate_chunk(
     ):
         _WORKER_ENGINE = BatchEngine(max_rows=max_rows, warm_start=warm_start)
     engine = _WORKER_ENGINE
-    return engine.evaluate_many(
+    results = engine.evaluate_many(
         [inst for inst, _ in chunk], [model for _, model in chunk], method=method
     )
+    counters = TELEMETRY.counter_snapshot() if telemetry_on else None
+    return results, counters
 
 
 def evaluate_stream(
@@ -513,8 +560,9 @@ def evaluate_stream(
     workers = (os.cpu_count() or 1) if n_jobs == 0 else n_jobs
     if chunk_size is None:
         chunk_size = max(1, -(-len(pairs) // (workers * 4)))
+    telemetry_on = TELEMETRY.enabled
     payloads = (
-        (pairs[i: i + chunk_size], method, max_rows, warm_start)
+        (pairs[i: i + chunk_size], method, max_rows, warm_start, telemetry_on)
         for i in range(0, len(pairs), chunk_size)
     )
     # Bounded in-flight window: submit a few chunks per worker, then
@@ -527,9 +575,15 @@ def evaluate_stream(
             inflight.append(pool.submit(_evaluate_chunk, payload))
             if len(inflight) < window:
                 continue
-            yield from inflight.popleft().result()
+            results, counters = inflight.popleft().result()
+            if counters is not None:
+                TELEMETRY.merge_counters(counters)
+            yield from results
         while inflight:
-            yield from inflight.popleft().result()
+            results, counters = inflight.popleft().result()
+            if counters is not None:
+                TELEMETRY.merge_counters(counters)
+            yield from results
 
 
 def evaluate_batch(

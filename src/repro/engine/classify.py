@@ -43,6 +43,7 @@ import numpy.typing as npt
 from ..algorithms.bounds import DEFAULT_REL_TOL
 from ..core.instance import Instance
 from ..core.models import CommModel
+from ..telemetry import TELEMETRY
 from ..utils import lcm_all
 
 __all__ = ["CycleTimePlan", "build_cycle_time_plan"]
@@ -244,6 +245,8 @@ def build_cycle_time_plan(
     (and the model, which only affects aggregation).
     """
     model = CommModel.parse(model)
+    if TELEMETRY.enabled:
+        TELEMETRY.count("engine.plan_builds")
     mapping = inst.mapping
     n_stages = inst.n_stages
 

@@ -50,6 +50,7 @@ from ..maxplus.howard import (
 )
 from ..maxplus.lawler import max_cycle_ratio_lawler
 from ..petri.builder import DEFAULT_MAX_ROWS, build_tpn
+from ..telemetry import TELEMETRY
 
 __all__ = ["TpnSkeleton", "build_skeleton"]
 
@@ -236,6 +237,9 @@ class TpnSkeleton:
                 for r in many
             ]
         except SolverError:
+            if TELEMETRY.enabled:
+                TELEMETRY.count("engine.group_fallbacks")
+                TELEMETRY.count("engine.group_fallback_rows", len(instances))
             return [
                 self.solve(inst, solver=solver, state=state) for inst in instances
             ]

@@ -84,6 +84,7 @@ import numpy as np
 import numpy.typing as npt
 
 from ..errors import DeadlockError, SolverError
+from ..telemetry import TELEMETRY
 from .graph import RatioGraph
 
 __all__ = [
@@ -478,6 +479,8 @@ def _scc_howard_csr_many(
         # 1..k in lockstep, k+1.. in the scalar kernel" is the same
         # computation as either kernel alone.
         if A <= (B >> 3):
+            if TELEMETRY.enabled:
+                TELEMETRY.count("howard.straggler_handoffs", A)
             for a in range(A):
                 b = int(rows[a])
                 res, polc = _scc_howard_csr(
@@ -865,6 +868,7 @@ def solve_prepared(
         _bind_state(state, plan)
 
     best: HowardResult | None = None
+    rounds = 0
     for ci, comp in enumerate(plan.components):
         if isinstance(comp, _PreparedSingleton):
             ratios = [
@@ -887,11 +891,15 @@ def solve_prepared(
                 cycle_edges=tuple(int(comp.edge_map[i]) for i in res.cycle_edges),
                 n_rounds=res.n_rounds,
             )
+        rounds += cand.n_rounds
         if best is None or cand.value > best.value:
             best = cand
 
     if best is None:
         raise SolverError("graph is acyclic: no cycle ratio exists")
+    if TELEMETRY.enabled:
+        TELEMETRY.count("howard.solves")
+        TELEMETRY.count("howard.rounds", rounds)
 
     # Report the *exact* arithmetic ratio of the extracted cycle, which is
     # cleaner than the float accumulated during policy evaluation.
@@ -1009,7 +1017,7 @@ def solve_prepared_many(
                 st.policies[0] = out_pol[b]  # type: ignore[index]
         elif state is not None:
             state.policies[0] = out_pol[B - 1]  # type: ignore[index]
-        return out
+        return _count_lockstep(out)
 
     best: list[HowardResult | None] = [None] * B
     pending_policies: list[tuple[int, npt.NDArray[np.int64]]] = []
@@ -1068,6 +1076,18 @@ def solve_prepared_many(
                 st.policies[ci] = pol[b]  # type: ignore[index]
         elif state is not None:
             state.policies[ci] = pol[B - 1]  # type: ignore[index]
+    return _count_lockstep(out)
+
+
+def _count_lockstep(out: list[HowardResult]) -> list[HowardResult]:
+    """Tally one successful lockstep solve on the telemetry counters."""
+    if TELEMETRY.enabled:
+        rounds = 0
+        for res in out:
+            rounds += res.n_rounds
+        TELEMETRY.count("howard.lockstep_solves")
+        TELEMETRY.count("howard.lockstep_rows", len(out))
+        TELEMETRY.count("howard.rounds", rounds)
     return out
 
 

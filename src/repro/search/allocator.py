@@ -37,6 +37,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, ClassVar, Protocol
 
+from ..telemetry import TELEMETRY
 from .budget import EvaluationBudget
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -131,6 +132,7 @@ class FairShareAllocator(BudgetAllocator):
             else:
                 cap = max(1, remaining // (driver.n_restarts - index))
             climbs.append(driver.launch(index, cap))
+            TELEMETRY.count("search.launches")
         return climbs
 
 
@@ -198,6 +200,7 @@ class RacingAllocator(BudgetAllocator):
             alive = alive[:keep]
             if len(alive) == 1:
                 break
+            TELEMETRY.count("search.rungs")
             slice_ *= 2
             for climb in alive:
                 if pool.exhausted:
@@ -222,16 +225,19 @@ class RacingAllocator(BudgetAllocator):
                 if pool.exhausted:
                     break
                 unlimited.append(driver.launch(i, None))
+                TELEMETRY.count("search.launches")
             return unlimited
         climbs: list[Climb] = []
         next_index = 0
         while not pool.exhausted and pool.remaining >= 2 * n:
             base = self.base_slice(pool.remaining, n)
+            TELEMETRY.count("search.brackets")
             bracket: list[Climb] = []
             for _ in range(n):
                 if pool.exhausted:
                     break
                 bracket.append(driver.launch(next_index, base))
+                TELEMETRY.count("search.launches")
                 next_index += 1
             climbs.extend(bracket)
             self._race(driver, bracket, base)

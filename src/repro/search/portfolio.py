@@ -59,6 +59,7 @@ from ..core.models import CommModel
 from ..core.platform import Platform
 from ..engine import BatchEngine
 from ..errors import ValidationError
+from ..telemetry import TELEMETRY
 from ..utils import canonical_json
 from ..extensions.mapping_opt import (
     MappingSearchResult,
@@ -466,7 +467,9 @@ def portfolio_search(
 
     driver = _ClimbDriver(app, plat, model, eng, pool, root_seed, n_restarts,
                           max_iters, max_paths, perturbation_moves, n_jobs)
-    climbs = alloc.allocate(driver)
+    with TELEMETRY.span("portfolio-allocate", allocator=alloc.name,
+                        restarts=n_restarts):
+        climbs = alloc.allocate(driver)
     restarts = [
         RestartRecord(
             index=c.index,
@@ -487,11 +490,12 @@ def portfolio_search(
         # Intensify: resume from the incumbent with the leftover budget
         # (uncapped — exploration is over, certify/deepen the best basin).
         rng = np.random.default_rng(np.random.SeedSequence(final_seed))
-        res = local_search_mapping(
-            app, plat, model, rng=rng, start=best_mapping,
-            max_iters=max_iters, max_paths=max_paths, engine=eng,
-            n_jobs=n_jobs, budget=pool,
-        )
+        with TELEMETRY.span("portfolio-intensify"):
+            res = local_search_mapping(
+                app, plat, model, rng=rng, start=best_mapping,
+                max_iters=max_iters, max_paths=max_paths, engine=eng,
+                n_jobs=n_jobs, budget=pool,
+            )
         # The next unused index: racing brackets may have launched extra
         # restarts past n_restarts, and record indexes must stay unique.
         intensify_index = max(
@@ -517,6 +521,11 @@ def portfolio_search(
         fallback = restarts[-1].assignments if restarts else tuple(
             (u,) for u in range(app.n_stages))
         best_mapping = Mapping(fallback, n_processors=plat.n_processors)
+
+    if TELEMETRY.enabled:
+        TELEMETRY.count("search.portfolios")
+        TELEMETRY.count("search.restarts", len(restarts))
+        TELEMETRY.count("search.evaluations", pool.spent)
 
     return PortfolioResult(
         mapping=best_mapping,

@@ -1,0 +1,59 @@
+"""Zero-cost-when-disabled instrumentation: counters + wall-clock spans.
+
+Two strictly separated channels share one process-local collector:
+
+* **Deterministic counters** — plain integer tallies (points evaluated,
+  Howard rounds, cache hits, lease claims, store puts ...).  They never
+  contain timing information, and the *contract* subset
+  (:data:`CONTRACT_COUNTERS`) is partition-invariant: bit-identical
+  across ``n_jobs`` values and fabric worker counts, so
+  ``benchmarks/run_all.py`` can gate them like any other deterministic
+  contract.
+* **Wall-clock spans** — hierarchical ``campaign -> worker -> claim ->
+  group-solve`` timings recorded with ``time.perf_counter``.  Spans are
+  write-only diagnostics: no logic, contract, or export byte ever
+  depends on them, which keeps the detlint DET105 invariant intact.
+
+The collector is the module-level :data:`TELEMETRY` singleton, disabled
+by default.  Every instrumentation point in the code base guards on
+``TELEMETRY.enabled``, so the disabled cost is one attribute load and a
+branch.  Traces are written per worker as canonical JSONL
+(:func:`write_trace`), combined deterministically by
+:func:`merge_traces`, and exported as a terminal summary
+(:func:`render_summary`), Chrome trace-event JSON
+(:func:`chrome_trace` — loadable in Perfetto), or a per-phase
+attribution table (:func:`attribution`).
+
+This package is the single place under ``src/`` where wall-clock reads
+are legal: detlint rule DET108 flags ``time.monotonic`` and
+``time.perf_counter`` anywhere else.
+"""
+
+from .core import (
+    CONTRACT_COUNTERS,
+    TELEMETRY,
+    SpanRecord,
+    Telemetry,
+    contract_counters,
+    is_contract_counter,
+)
+from .export import attribution, chrome_trace, merged_from_chrome, render_summary
+from .trace import TRACE_SCHEMA, merge_traces, read_trace, trace_files, write_trace
+
+__all__ = [
+    "CONTRACT_COUNTERS",
+    "TELEMETRY",
+    "TRACE_SCHEMA",
+    "SpanRecord",
+    "Telemetry",
+    "attribution",
+    "chrome_trace",
+    "contract_counters",
+    "is_contract_counter",
+    "merge_traces",
+    "merged_from_chrome",
+    "read_trace",
+    "render_summary",
+    "trace_files",
+    "write_trace",
+]

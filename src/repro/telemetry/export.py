@@ -1,0 +1,219 @@
+"""Exporters over merged traces: summary, Chrome events, attribution.
+
+All three consume the structure produced by
+:func:`repro.telemetry.merge_traces`.  The Chrome exporter is lossless:
+:func:`merged_from_chrome` reconstructs the merged trace exactly (the
+exact ``t0``/``t1`` floats ride along in each event's ``args``, while
+``ts``/``dur`` carry the microsecond values Perfetto wants), which CI
+asserts as a round-trip.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from .core import is_contract_counter
+from .trace import TRACE_SCHEMA
+
+__all__ = [
+    "attribution",
+    "chrome_trace",
+    "merged_from_chrome",
+    "render_summary",
+]
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of (possibly overlapping) intervals."""
+    total = 0.0
+    end = float("-inf")
+    for t0, t1 in sorted(intervals):
+        if t1 <= end:
+            continue
+        total += t1 - max(t0, end)
+        end = t1
+    return total
+
+
+def attribution(merged: Mapping[str, Any]) -> dict[str, Any]:
+    """Per-phase wall-clock attribution of a merged trace.
+
+    The *root* is the longest top-level span (ties broken by worker
+    name, then index) — ``campaign`` for instrumented campaign runs.
+    ``coverage`` is the fraction of the root interval covered by the
+    union of its direct children: how much of the run's wall-clock the
+    named phases account for.  ``phases`` aggregates every span by
+    name.  All values here are wall-clock diagnostics — recorded in
+    benchmark reports, never gated.
+    """
+    spans: Sequence[Mapping[str, Any]] = merged["spans"]
+    phases: dict[str, tuple[int, float]] = {}
+    for span in spans:
+        count, total = phases.get(span["name"], (0, 0.0))
+        phases[span["name"]] = (count + 1, total + (span["t1"] - span["t0"]))
+    top = [span for span in spans if span["parent"] == -1]
+    if not top:
+        return {
+            "coverage": 0.0,
+            "covered": 0.0,
+            "phases": [],
+            "root": None,
+            "total": 0.0,
+        }
+    root = min(
+        top, key=lambda s: (s["t0"] - s["t1"], s["worker"], s["index"])
+    )
+    total = root["t1"] - root["t0"]
+    children = [
+        (max(span["t0"], root["t0"]), min(span["t1"], root["t1"]))
+        for span in spans
+        if span["worker"] == root["worker"] and span["parent"] == root["index"]
+    ]
+    covered = _union_length([(t0, t1) for t0, t1 in children if t1 > t0])
+    return {
+        "coverage": covered / total if total > 0 else 1.0,
+        "covered": covered,
+        "phases": [
+            {"count": count, "name": name, "total": duration}
+            for name, (count, duration) in sorted(phases.items())
+        ],
+        "root": root["name"],
+        "total": total,
+    }
+
+
+def chrome_trace(merged: Mapping[str, Any]) -> dict[str, Any]:
+    """Chrome trace-event JSON (``chrome://tracing`` / Perfetto format).
+
+    One complete (``ph: "X"``) event per span with microsecond
+    ``ts``/``dur``; worker names become thread names.  The counters and
+    exact span floats travel in metadata/``args`` so the export is
+    lossless (see :func:`merged_from_chrome`).
+    """
+    tids = {worker: tid for tid, worker in enumerate(merged["workers"])}
+    events: list[dict[str, Any]] = [
+        {
+            "args": {
+                "counters": dict(merged["counters"]),
+                "schema": merged["schema"],
+                "workers": list(merged["workers"]),
+            },
+            "cat": "__metadata",
+            "name": "repro_trace",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "ts": 0,
+        }
+    ]
+    for worker in merged["workers"]:
+        events.append(
+            {
+                "args": {"name": worker},
+                "cat": "__metadata",
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[worker],
+                "ts": 0,
+            }
+        )
+    for span in merged["spans"]:
+        events.append(
+            {
+                "args": {
+                    "attrs": dict(span["attrs"]),
+                    "index": span["index"],
+                    "parent": span["parent"],
+                    "t0": span["t0"],
+                    "t1": span["t1"],
+                    "worker": span["worker"],
+                },
+                "cat": "repro",
+                "dur": (span["t1"] - span["t0"]) * 1e6,
+                "name": span["name"],
+                "ph": "X",
+                "pid": 1,
+                "tid": tids[span["worker"]],
+                "ts": span["t0"] * 1e6,
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def merged_from_chrome(chrome: Mapping[str, Any]) -> dict[str, Any]:
+    """Reconstruct a merged trace from its Chrome export, exactly.
+
+    ``merged_from_chrome(chrome_trace(m)) == m`` for every merged trace
+    ``m`` — the CI telemetry job asserts this round-trip.
+    """
+    counters: dict[str, int] = {}
+    workers: list[str] = []
+    schema = TRACE_SCHEMA
+    spans: list[dict[str, Any]] = []
+    for event in chrome["traceEvents"]:
+        if event["ph"] == "M" and event["name"] == "repro_trace":
+            args = event["args"]
+            counters = {name: args["counters"][name] for name in sorted(args["counters"])}
+            workers = list(args["workers"])
+            schema = int(args["schema"])
+        elif event["ph"] == "X":
+            args = event["args"]
+            spans.append(
+                {
+                    "attrs": dict(args["attrs"]),
+                    "index": args["index"],
+                    "name": event["name"],
+                    "parent": args["parent"],
+                    "t0": args["t0"],
+                    "t1": args["t1"],
+                    "worker": args["worker"],
+                }
+            )
+    spans.sort(key=lambda s: (workers.index(s["worker"]), s["index"]))
+    return {
+        "counters": counters,
+        "schema": schema,
+        "spans": spans,
+        "workers": workers,
+    }
+
+
+def render_summary(merged: Mapping[str, Any]) -> str:
+    """Human-readable terminal summary of a merged trace."""
+    counters: Mapping[str, int] = merged["counters"]
+    contract = [name for name in sorted(counters) if is_contract_counter(name)]
+    diagnostic = [
+        name for name in sorted(counters) if not is_contract_counter(name)
+    ]
+    attrib = attribution(merged)
+    lines = [
+        "telemetry summary: "
+        f"{len(merged['workers'])} worker(s) ({', '.join(merged['workers'])}), "
+        f"{len(merged['spans'])} spans, {len(counters)} counters"
+    ]
+    if contract:
+        lines.append("")
+        lines.append("contract counters (partition-invariant):")
+        for name in contract:
+            lines.append(f"  {name:<36} {counters[name]:>12}")
+    if diagnostic:
+        lines.append("")
+        lines.append("diagnostic counters:")
+        for name in diagnostic:
+            lines.append(f"  {name:<36} {counters[name]:>12}")
+    if attrib["root"] is not None:
+        lines.append("")
+        lines.append(
+            f"span attribution (root '{attrib['root']}', "
+            f"total {attrib['total']:.6f}s, "
+            f"coverage {100.0 * attrib['coverage']:.1f}%):"
+        )
+        lines.append(f"  {'phase':<28} {'count':>8} {'total (s)':>14}")
+        for phase in attrib["phases"]:
+            lines.append(
+                f"  {phase['name']:<28} {phase['count']:>8} "
+                f"{phase['total']:>14.6f}"
+            )
+    return "\n".join(lines)

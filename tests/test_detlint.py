@@ -126,6 +126,30 @@ class TestRuleFixtures:
         # Benchmarks are allowed to measure wall-clock time.
         assert not fired(bad, "DET105", path="benchmarks/bench_x.py")
 
+    def test_det108_span_clock_outside_telemetry(self):
+        bad = "import time\nt0 = time.monotonic()\n"
+        (f,) = fired(bad, "DET108")
+        assert f.severity == "error"
+        assert "time.monotonic" in f.message
+        # The telemetry package is the sanctioned home for span clocks:
+        # both the boundary rule and DET105 stand down inside it.
+        assert not fired(bad, "DET108", path="src/repro/telemetry/core.py")
+        assert not fired(bad, "DET105", path="src/repro/telemetry/core.py")
+        # Benchmarks measure wall-clock freely.
+        assert not fired(bad, "DET108", path="benchmarks/bench_x.py")
+
+    def test_det108_rides_with_det105(self):
+        # A span clock in library code breaks both rules: wall-clock in
+        # logic (DET105) and timing outside the telemetry layer (DET108).
+        bad = "import time\nelapsed = time.perf_counter_ns()\n"
+        assert fired(bad, "DET105") and fired(bad, "DET108")
+        good = (
+            "from repro.telemetry import TELEMETRY\n"
+            'with TELEMETRY.span("group-solve", rows=4):\n'
+            "    solve()\n"
+        )
+        assert not findings_for(good)
+
     def test_det106_fs_order(self):
         bad = "import os\nnames = os.listdir(root)\n"
         good = "import os\nnames = sorted(os.listdir(root))\n"
