@@ -36,7 +36,7 @@ from pathlib import Path
 SCHEMA = 2
 
 #: The PR this harness currently reports for.
-PR = 8
+PR = 9
 
 #: Cross-report deterministic contracts: ``--compare`` fails when the
 #: current value is worse than the previous report's.  Direction
@@ -67,6 +67,14 @@ CONTRACTS = [
     ("telemetry_campaign", "chrome_roundtrip", ">="),
     ("telemetry_campaign", "engine_points", "<="),
     ("telemetry_campaign", "skeleton_builds", "<="),
+    ("faults_chaos", "disabled_noop", ">="),
+    ("faults_chaos", "exports_identical", ">="),
+    ("faults_chaos", "retry_deterministic", ">="),
+    ("faults_chaos", "spill_heal_identical", ">="),
+    ("faults_chaos", "heal_idempotent", ">="),
+    ("faults_chaos", "zero_lost", ">="),
+    ("faults_chaos", "zero_duplicated", ">="),
+    ("faults_chaos", "chaos_identical", ">="),
 ]
 
 
@@ -113,6 +121,7 @@ def collect() -> dict:
     """Run every required benchmark and assemble the report."""
     import bench_campaign
     import bench_engine_batch
+    import bench_faults
     import bench_howard_many
     import bench_portfolio
     import bench_telemetry
@@ -184,6 +193,12 @@ def collect() -> dict:
             "telemetry_campaign",
             bench_telemetry.run_comparison,
             bench_telemetry._check,
+            True,
+        ),
+        (
+            "faults_chaos",
+            bench_faults.run_comparison,
+            bench_faults._check,
             True,
         ),
         (

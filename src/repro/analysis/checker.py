@@ -77,6 +77,11 @@ _SPAN_CLOCKS = frozenset(
 #: silent inside it; DET108 enforces the boundary everywhere else.
 _TELEMETRY_PREFIX = "src/repro/telemetry/"
 
+#: The one place under ``src/`` where sleeping and retry loops are
+#: legal: the fault plane's pause()/RetryPolicy primitives.  DET109
+#: enforces the boundary everywhere else.
+_FAULTS_PREFIX = "src/repro/faults/"
+
 #: Explicit-state constructors exempt from DET102.
 _RANDOM_OK = frozenset(
     {
@@ -420,6 +425,11 @@ class _ModuleChecker(ast.NodeVisitor):
                 self.report("DET105", node, dotted)
             if dotted in _SPAN_CLOCKS and not in_telemetry:
                 self.report("DET108", node, dotted)
+            # DET109: bare sleeps outside the fault plane's pause().
+            if dotted == "time.sleep" and not self.path.startswith(
+                _FAULTS_PREFIX
+            ):
+                self.report("DET109", node, dotted)
             # DET106 (module form) handled below with the method form.
 
         self._check_fs_listing(node, dotted, rooted)
@@ -501,6 +511,64 @@ class _ModuleChecker(ast.NodeVisitor):
         self._check_iteration(node.iter)
         self._check_completion_order(node)
         self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_unbounded_retry(node)
+        self.generic_visit(node)
+
+    def _check_unbounded_retry(self, node: ast.While) -> None:
+        """DET109 (loop form): ``while True`` re-entered from an except
+        handler that has no exit path — a retry with no attempt bound
+        and no budget."""
+        if self.path.startswith(_FAULTS_PREFIX):
+            return
+        test = node.test
+        if not (isinstance(test, ast.Constant) and bool(test.value)):
+            return
+        # Only handlers belonging to *this* loop count: walk the body
+        # without descending into nested loops (a continue there
+        # re-enters the inner loop) or function definitions.  A handler
+        # that can neither break, raise nor return always re-enters the
+        # loop — whether by explicit ``continue`` or by falling through.
+        for handler in self._own_level_handlers(node.body):
+            if not self._handler_can_exit(handler.body):
+                self.report(
+                    "DET109",
+                    handler,
+                    "while True loop retried from an except handler "
+                    "with no attempt bound",
+                )
+                return
+
+    _LOOP_OR_DEF = (
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.Lambda,
+    )
+
+    def _own_level_handlers(
+        self, body: list[ast.stmt]
+    ) -> Iterator[ast.ExceptHandler]:
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.ExceptHandler):
+                yield node
+            if not isinstance(node, self._LOOP_OR_DEF):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _handler_can_exit(self, body: list[ast.stmt]) -> bool:
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Break, ast.Raise, ast.Return)):
+                return True
+            if not isinstance(node, self._LOOP_OR_DEF):
+                stack.extend(ast.iter_child_nodes(node))
+        return False
 
     def visit_comprehension(self, node: ast.comprehension) -> None:
         self._check_iteration(node.iter)

@@ -283,6 +283,36 @@ _RULE_LIST = [
         scopes=("src",),
     ),
     _rule(
+        "DET109",
+        "ad-hoc-sleep-retry",
+        "error",
+        "bare time.sleep or unbounded retry loop outside repro.faults",
+        "Route deliberate delays through repro.faults.pause and wrap "
+        "flaky operations in a RetryPolicy (bounded attempts, "
+        "deterministic seeded jitter, total-sleep budget) instead of "
+        "hand-rolled sleep/retry loops.",
+        "PR 9: the fault plane exists because ad-hoc resilience is "
+        "untestable — a bare sleep is an invisible timeout nobody "
+        "tunes, and a while-True retry around a locked store hangs a "
+        "fabric worker forever instead of degrading to the spill "
+        "journal.  Consolidating every delay into "
+        "src/repro/faults/ (pause + RetryPolicy) made retry behavior "
+        "deterministic, budgeted, and chaos-injectable; this rule "
+        "keeps new sleeps from leaking back in anywhere else.",
+        "    # bad\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return store.commit()\n"
+        "        except sqlite3.OperationalError:\n"
+        "            time.sleep(0.1)\n"
+        "            continue\n"
+        "    # good\n"
+        "    policy = RetryPolicy(attempts=4, budget=2.0)\n"
+        "    return policy.run(\"store.commit\", store.commit,\n"
+        "                      retryable=(sqlite3.OperationalError,))",
+        scopes=("src",),
+    ),
+    _rule(
         "NUM201",
         "fancy-index-accumulate",
         "warning",

@@ -57,7 +57,7 @@ from .executor import (
     run_campaign_worker,
     run_campaign_workers,
 )
-from .lease import DEFAULT_LEASE_TTL, Lease, LeaseManager
+from .lease import DEFAULT_LEASE_TTL, DEFAULT_TXN_RETRY, Lease, LeaseManager
 from .report import (
     campaign_report_data,
     export_campaign_report,
@@ -114,6 +114,7 @@ __all__ = [
     "Lease",
     "LeaseManager",
     "DEFAULT_LEASE_TTL",
+    "DEFAULT_TXN_RETRY",
     "SyncReport",
     "DirectoryRemote",
     "open_remote",

@@ -42,16 +42,17 @@ from __future__ import annotations
 import csv
 import io
 import os as _os
-import time
+import sqlite3
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..core.instance import Instance
 from ..engine import BatchEngine, topology_signature
 from ..errors import ValidationError
 from ..experiments.io import canonical_json
+from ..faults import FAULTS, FaultPlan, SpillJournal, pause
 from ..telemetry import TELEMETRY, write_trace
 from .spec import CampaignPoint, CampaignSpec
 from .store import ResultStore, instance_digest, payload_from_result
@@ -425,6 +426,35 @@ def _unique_spec_digests(
     return [firsts[j][0] for j in order], by_digest
 
 
+def _spill_chunk(
+    store: ResultStore,
+    spill_dir: str | Path,
+    payloads: Sequence[tuple[str, str]],
+    spilled: set[str],
+) -> None:
+    """Degrade gracefully: journal a chunk the store would not take.
+
+    The open transaction is rolled back (COMMIT already exhausted its
+    retry budget) and every payload goes to the write-ahead journal;
+    ``repro-workflow store heal`` replays it later.  Digests that made
+    it into the journal are added to ``spilled`` so the worker treats
+    them as done and keeps draining — per-worker progress instead of a
+    dead campaign.
+    """
+    store.rollback()
+    journal = SpillJournal(spill_dir)
+    for digest, text in payloads:
+        try:
+            journal.spill(digest, text)
+        except OSError:
+            # The journal write itself failed (e.g. injected ENOSPC):
+            # the digest simply stays pending for a later worker/run.
+            continue
+        spilled.add(digest)
+    if TELEMETRY.enabled:
+        TELEMETRY.count("fabric.spilled_chunks")
+
+
 def run_campaign_worker(
     spec: CampaignSpec,
     store: ResultStore,
@@ -433,7 +463,7 @@ def run_campaign_worker(
     claim_batch: int = DEFAULT_CLAIM_BATCH,
     commit_every: int = DEFAULT_COMMIT_EVERY,
     progress: Callable[[int, int], None] | None = None,
-    _fault: tuple[str, int] | None = None,
+    spill_dir: str | Path | None = None,
 ) -> int:
     """Drain one campaign as a lease-coordinated fabric worker.
 
@@ -452,18 +482,25 @@ def run_campaign_worker(
        :class:`~repro.engine.BatchEngine`, renewing held leases between
        chunks (the heartbeat), committing results and releasing their
        leases chunk by chunk;
-    4. when nothing is claimable but points remain, sleep briefly —
-       either another live worker finishes them or its leases expire
-       and step 2 takes them over.
+    4. when nothing is claimable but points remain, sweep leases whose
+       renewal deadline has passed (the hung-worker watchdog) and sleep
+       briefly — either another live worker finishes them or the next
+       claim takes the stale ones over.
 
     Returns the number of new points this worker stored.  Crash-safe at
     every boundary: a SIGKILL loses only the current uncommitted chunk,
     whose leases expire and free the points for everyone else.
 
-    ``_fault`` is the crash-injection hook used by the fabric test
-    layer: ``(kind, k)`` SIGKILLs this process at the ``k``-th event of
-    ``kind`` (``"after-claim"``, ``"pre-release"``, ``"after-release"``)
-    — real kills at controlled protocol barriers, not mocks.
+    The loop carries the fabric's resilience ladder.  A heartbeat that
+    comes back short (this worker stalled past its renewal deadline and
+    lost leases to a takeover) drops the lost digests instead of
+    double-committing blindly.  A commit that fails past the store's
+    retry budget spills the chunk's payloads to the ``spill_dir``
+    write-ahead journal (when given) and keeps draining; ``store heal``
+    replays the journal idempotently.  Chaos tests drive all of this
+    through the :mod:`repro.faults` plane — the ``worker.after-claim``,
+    ``worker.pre-release`` and ``worker.after-release`` sites mark the
+    protocol barriers where a plan may SIGKILL this process for real.
     """
     from .lease import DEFAULT_LEASE_TTL, LeaseManager
 
@@ -473,17 +510,6 @@ def run_campaign_worker(
         ttl=DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl,
     )
     engine = BatchEngine(max_rows=spec.max_paths + 1, warm_start=True)
-
-    fault_kind, fault_countdown = _fault if _fault is not None else (None, 0)
-
-    def fault_point(kind: str) -> None:
-        nonlocal fault_countdown
-        if fault_kind == kind:
-            fault_countdown -= 1
-            if fault_countdown <= 0:
-                import signal as _signal
-
-                _os.kill(_os.getpid(), _signal.SIGKILL)
 
     # Stable stagger: worker k starts claiming at offset k/N-ish of the
     # ordered list (keyed by the worker id's crc so independent hosts
@@ -495,39 +521,75 @@ def run_campaign_worker(
     rotated = ordered[offset:] + ordered[:offset]
 
     done_new = 0
+    spilled: set[str] = set()
     while True:
         with TELEMETRY.span("claim"):
             stored = set(store.digests())
-            remaining = [d for d in rotated if d not in stored]
+            remaining = [
+                d for d in rotated if d not in stored and d not in spilled
+            ]
             if remaining:
                 claimed = lease.claim(remaining, limit=claim_batch)
         if not remaining:
             break
-        fault_point("after-claim")
+        if FAULTS.enabled:
+            FAULTS.hit("worker.after-claim")
         if not claimed:
             # Everything left is leased by some other live worker (or
             # just landed in the store); wait for completion or expiry.
+            # The watchdog half: sweep leases whose renewal deadline
+            # has passed, so a hung worker's digests go back on the
+            # market after one TTL instead of lingering.
             with TELEMETRY.span("wait"):
-                time.sleep(_FABRIC_POLL_SLEEP)
+                swept = lease.reclaim_stale()
+                if swept and TELEMETRY.enabled:
+                    TELEMETRY.count("fabric.stale_reclaimed", swept)
+                pause(_FABRIC_POLL_SLEEP)
             continue
         for start in range(0, len(claimed), commit_every):
             chunk = claimed[start: start + commit_every]
-            lease.renew(claimed[start:])  # heartbeat for the unevaluated tail
+            tail = claimed[start:]
+            renewed = lease.renew(tail)  # heartbeat for the unevaluated tail
+            if renewed < len(tail):
+                # This worker stalled past its renewal deadline and the
+                # watchdog handed (some of) its leases to someone else.
+                # Evaluating them anyway would be harmless (content
+                # addressing absorbs duplicates) but wasteful — keep
+                # only what is still ours.
+                held = set(lease.held())
+                lost = [d for d in chunk if d not in held]
+                if lost:
+                    chunk = [d for d in chunk if d in held]
+                    if TELEMETRY.enabled:
+                        TELEMETRY.count("fabric.lost_leases", len(lost))
+                if not chunk:
+                    continue
             with TELEMETRY.span("evaluate", points=len(chunk)):
                 results = engine.evaluate_many(
                     [by_digest[d][0] for d in chunk],
                     [by_digest[d][1] for d in chunk],
                 )
+            payloads = [
+                (digest,
+                 canonical_json(
+                     payload_from_result(by_digest[digest][0], result)))
+                for digest, result in zip(chunk, results)
+            ]
             with TELEMETRY.span("commit", points=len(chunk)):
-                for digest, result in zip(chunk, results):
-                    store.put(
-                        digest,
-                        payload_from_result(by_digest[digest][0], result),
-                        commit=False)
-                store.commit()
-                fault_point("pre-release")
+                try:
+                    for digest, text in payloads:
+                        store.put_text(digest, text, commit=False)
+                    store.commit()
+                except (sqlite3.OperationalError, OSError):
+                    if spill_dir is None:
+                        raise
+                    _spill_chunk(store, spill_dir, payloads, spilled)
+                    continue
+                if FAULTS.enabled:
+                    FAULTS.hit("worker.pre-release")
                 lease.release(chunk)
-            fault_point("after-release")
+            if FAULTS.enabled:
+                FAULTS.hit("worker.after-release")
             done_new += len(chunk)
             if progress is not None:
                 progress(done_new, len(ordered))
@@ -541,23 +603,31 @@ def _fabric_worker_main(
     lease_ttl: float | None,
     claim_batch: int,
     commit_every: int,
-    fault: tuple[str, int] | None,
+    fault_plan: FaultPlan | None,
+    spill_dir: str | None,
     trace_dir: str | None,
 ) -> None:
     """Subprocess entry point of :func:`run_campaign_workers`.
 
-    Telemetry state is set unconditionally: forked workers inherit the
-    parent's collector (spans, counters, enabled flag) and must start
-    from a clean slate — enabled on a fresh per-worker collector when
-    tracing, disabled otherwise.  Each tracing worker writes its own
-    ``trace-worker-<i>.jsonl``; :func:`repro.telemetry.merge_traces`
-    recombines them with the parent's ``trace-main.jsonl``.
+    Telemetry and fault-plane state are set unconditionally: forked
+    workers inherit the parent's collector and plane (spans, counters,
+    hit counts, enabled flags) and must start from a clean slate —
+    telemetry enabled on a fresh per-worker collector when tracing, the
+    plane armed with this worker's own :class:`~repro.faults.FaultPlan`
+    when one is scheduled, both disabled otherwise.  Each tracing
+    worker writes its own ``trace-worker-<i>.jsonl``;
+    :func:`repro.telemetry.merge_traces` recombines them with the
+    parent's ``trace-main.jsonl``.
     """
     spec = CampaignSpec.from_dict(spec_data)
     if trace_dir is not None:
         TELEMETRY.enable(f"worker-{worker_index}")
     else:
         TELEMETRY.disable()
+    if fault_plan is not None:
+        FAULTS.arm(fault_plan)
+    else:
+        FAULTS.disarm()
     with ResultStore(store_path) as store:
         with TELEMETRY.span("worker-run", worker=worker_index):
             run_campaign_worker(
@@ -566,7 +636,7 @@ def _fabric_worker_main(
                 lease_ttl=lease_ttl,
                 claim_batch=claim_batch,
                 commit_every=commit_every,
-                _fault=fault,
+                spill_dir=spill_dir,
             )
     if trace_dir is not None:
         write_trace(
@@ -581,7 +651,8 @@ def run_campaign_workers(
     lease_ttl: float | None = None,
     claim_batch: int = DEFAULT_CLAIM_BATCH,
     commit_every: int = DEFAULT_COMMIT_EVERY,
-    _faults: dict[int, tuple[str, int]] | None = None,
+    fault_plans: Mapping[int, FaultPlan] | None = None,
+    spill_dir: str | Path | None = None,
     trace_dir: str | Path | None = None,
 ) -> FabricReport:
     """Drain one campaign with ``workers`` independent processes.
@@ -600,8 +671,12 @@ def run_campaign_workers(
     ``tests/test_store_concurrency.py`` and the ``campaign-fabric`` CI
     job.
 
-    ``_faults`` maps worker index to a crash-injection fault (see
-    :func:`run_campaign_worker`); test-layer only.
+    ``fault_plans`` maps worker index to a :class:`~repro.faults.FaultPlan`
+    armed inside that worker's process — the chaos-soak entry point:
+    per-worker seeded schedules of SIGKILLs, store errors, stalls and
+    clock jumps, replayable byte-for-byte.  ``spill_dir`` names the
+    write-ahead journal workers spill to when the store stays
+    unreachable past its retry budget (see :func:`run_campaign_worker`).
 
     ``trace_dir`` enables telemetry fabric-wide: the parent records the
     root ``campaign`` span (with ``prepare`` and per-worker ``worker``
@@ -626,13 +701,14 @@ def run_campaign_workers(
                 hits = sum(1 for d in ordered if d in parent_store)
 
             ctx = mp.get_context()
+            spill_arg = None if spill_dir is None else str(spill_dir)
             procs = [
                 ctx.Process(
                     target=_fabric_worker_main,
                     args=(spec.to_dict(), store_path, i, lease_ttl,
                           claim_batch, commit_every,
-                          None if _faults is None else _faults.get(i),
-                          trace_arg),
+                          None if fault_plans is None else fault_plans.get(i),
+                          spill_arg, trace_arg),
                 )
                 for i in range(workers)
             ]

@@ -50,22 +50,24 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..faults import FAULTS, RetryPolicy
 from ..telemetry import TELEMETRY
 from .store import ResultStore
 
-__all__ = ["Lease", "LeaseManager", "DEFAULT_LEASE_TTL"]
+__all__ = ["Lease", "LeaseManager", "DEFAULT_LEASE_TTL", "DEFAULT_TXN_RETRY"]
 
 #: Default lease lifetime (seconds).  Generous relative to one claim
 #: batch's evaluation time; small enough that a crashed worker's points
 #: are reclaimed promptly.
 DEFAULT_LEASE_TTL = 30.0
 
-#: Attempts for a lease transaction that keeps hitting a locked
-#: database even after sqlite's own busy timeout.
-_TXN_ATTEMPTS = 5
-
-#: Sleep between those attempts (seconds).
-_TXN_RETRY_SLEEP = 0.05
+#: Backoff for a lease transaction that keeps hitting a locked database
+#: even after sqlite's own busy timeout: five tries over ~0.5 s of
+#: deterministic jittered backoff (the successor of the old fixed
+#: 0.05 s * attempt ladder).
+DEFAULT_TXN_RETRY = RetryPolicy(
+    attempts=5, base_delay=0.05, max_delay=0.3, budget=1.0
+)
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,13 @@ class LeaseManager:
     clock:
         Time source returning seconds (tests inject fakes; defaults to
         wall clock, which cross-process expiry comparison requires).
+        The fault plane's ``lease.clock`` site adds its injected skew on
+        top of whatever source is used, so chaos schedules can step the
+        clock without touching the source.
+    retry:
+        :class:`~repro.faults.RetryPolicy` for the ``BEGIN IMMEDIATE``
+        transactions (claim/renew/release); defaults to
+        :data:`DEFAULT_TXN_RETRY`.
 
     Examples
     --------
@@ -116,6 +125,7 @@ class LeaseManager:
         worker: str,
         ttl: float = DEFAULT_LEASE_TTL,
         clock: Callable[[], float] | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"lease ttl must be positive, got {ttl}")
@@ -123,22 +133,36 @@ class LeaseManager:
         self._conn = store.connection
         self.worker = worker
         self.ttl = float(ttl)
+        self._retry = DEFAULT_TXN_RETRY if retry is None else retry
         self._clock: Callable[[], float] = clock if clock is not None \
             else time.time  # detlint: disable=DET105 - lease expiry is cross-process wall-clock by design; tests inject `clock`
+
+    def _now(self) -> float:
+        """The protocol's notion of now: the clock source plus any
+        injected skew (the ``lease.clock`` fault site — chaos schedules
+        step this worker's view of time to force premature expiry or
+        stale-takeover races without touching the source)."""
+        now = self._clock()
+        if FAULTS.enabled:
+            now += FAULTS.skew("lease.clock")
+        return now
 
     # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------
     def _immediate(self) -> None:
         """``BEGIN IMMEDIATE`` with bounded retry on a locked database."""
-        for attempt in range(_TXN_ATTEMPTS):
-            try:
-                self._conn.execute("BEGIN IMMEDIATE")
-                return
-            except sqlite3.OperationalError:
-                if attempt == _TXN_ATTEMPTS - 1:
-                    raise
-                time.sleep(_TXN_RETRY_SLEEP * (attempt + 1))
+
+        def begin() -> None:
+            if FAULTS.enabled:
+                FAULTS.hit("lease.begin")
+            self._conn.execute("BEGIN IMMEDIATE")
+
+        self._retry.run(
+            f"lease.begin:{self.worker}",
+            begin,
+            retryable=(sqlite3.OperationalError,),
+        )
 
     # ------------------------------------------------------------------
     # protocol
@@ -158,7 +182,7 @@ class LeaseManager:
         Returns the claimed digests in candidate order (deterministic
         for a fixed store state).
         """
-        now = self._clock()
+        now = self._now()
         expires = now + self.ttl
         claimed: list[str] = []
         budget = len(digests) if limit is None else limit
@@ -214,7 +238,12 @@ class LeaseManager:
         means some leases were lost to expiry + reclamation, and the
         caller should treat those digests as no longer its own.
         """
-        now = self._clock()
+        if FAULTS.enabled:
+            # A stall here models a hung worker: its heartbeat arrives
+            # late (or never), the leases expire, and the watchdog path
+            # in the executor hands the digests to a live worker.
+            FAULTS.hit("lease.renew")
+        now = self._now()
         if digests is None:
             cur = self._conn.execute(
                 "UPDATE leases SET expires = ? WHERE worker = ?"
@@ -270,7 +299,7 @@ class LeaseManager:
     # ------------------------------------------------------------------
     def held(self) -> list[str]:
         """Digests this worker currently holds live leases on (sorted)."""
-        now = self._clock()
+        now = self._now()
         return [
             str(row[0]) for row in self._conn.execute(
                 "SELECT digest FROM leases WHERE worker = ? AND expires > ?"
@@ -281,7 +310,7 @@ class LeaseManager:
 
     def active(self) -> list[Lease]:
         """Every live lease in the store, digest-sorted (all workers)."""
-        now = self._clock()
+        now = self._now()
         return [
             Lease(str(d), str(w), float(e), float(a))
             for d, w, e, a in self._conn.execute(
@@ -298,7 +327,7 @@ class LeaseManager:
         but dropping them keeps the table small and makes `active()`
         reflect reality after a crashy campaign.
         """
-        now = self._clock()
+        now = self._now()
         cur = self._conn.execute(
             "DELETE FROM leases WHERE expires <= ?", (now,)
         )

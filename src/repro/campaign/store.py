@@ -55,7 +55,8 @@ from typing import Any, Callable, Iterator
 from ..core.instance import Instance
 from ..core.models import CommModel
 from ..core.throughput import PeriodResult
-from ..errors import StoreCorruptionError, StoreLeaseError
+from ..errors import StoreCorruptionError, StoreLeaseError, StoreUnavailableError
+from ..faults import DEFAULT_RETRY, FAULTS, RetryPolicy
 from ..telemetry import TELEMETRY
 from ..utils import canonical_json
 from ..experiments.runner import ExperimentRecord
@@ -217,6 +218,14 @@ class ResultStore:
         sqlite gives up.  File stores open in WAL journal mode, so
         readers never block and writers queue behind each other for
         the duration of their (short) commit bursts.
+    retry:
+        :class:`~repro.faults.RetryPolicy` for connect and commit.
+        Environmental failures (a locked WAL sidecar, a read-only or
+        full filesystem) surface as
+        :class:`~repro.errors.StoreUnavailableError` carrying path +
+        cause and are retried under the policy's deterministic backoff
+        before propagating; corruption is *never* retried.  Defaults to
+        :data:`repro.faults.DEFAULT_RETRY`.
 
     Notes
     -----
@@ -247,10 +256,16 @@ class ResultStore:
         path: str | Path,
         check: bool = True,
         busy_timeout: float = DEFAULT_BUSY_TIMEOUT,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.path = str(path)
         self.stats = StoreStats()
-        self._conn = sqlite3.connect(self.path, timeout=busy_timeout)
+        self._retry = DEFAULT_RETRY if retry is None else retry
+        self._conn = self._retry.run(
+            f"store.connect:{self.path}",
+            lambda: self._connect(busy_timeout),
+            retryable=(StoreUnavailableError,),
+        )
         # Autocommit with explicit BEGIN/COMMIT: multi-statement writes
         # (claim transactions, chunk commits) control their own
         # boundaries instead of relying on implicit-transaction rules.
@@ -291,6 +306,13 @@ class ResultStore:
                 " reason TEXT NOT NULL,"
                 " PRIMARY KEY (digest, origin))"
             )
+        except sqlite3.OperationalError as exc:
+            # Environmental, not structural: a read-only filesystem or
+            # a lock held past the busy timeout.  The file is (as far
+            # as we know) intact, so signal "come back later", not
+            # "recover".
+            self._conn.close()
+            raise StoreUnavailableError(self.path, exc) from exc
         except sqlite3.DatabaseError as exc:
             # Release the handle: recover() renames the file, which an
             # open connection would block on some platforms.
@@ -303,6 +325,15 @@ class ResultStore:
         except StoreCorruptionError:
             self._conn.close()
             raise
+
+    def _connect(self, busy_timeout: float) -> sqlite3.Connection:
+        """One connection attempt, with typed failure + injection site."""
+        try:
+            if FAULTS.enabled:
+                FAULTS.hit("store.connect")
+            return sqlite3.connect(self.path, timeout=busy_timeout)
+        except sqlite3.OperationalError as exc:
+            raise StoreUnavailableError(self.path, exc) from exc
 
     # ------------------------------------------------------------------
     # digests (re-exported for callers holding only a store)
@@ -356,6 +387,8 @@ class ResultStore:
         self, digest: str, payload_text: str, commit: bool = True
     ) -> bool:
         """Store an already-serialized payload (byte-preserving sync path)."""
+        if FAULTS.enabled:
+            FAULTS.hit("store.put")
         if commit is False and not self._conn.in_transaction:
             self._conn.execute("BEGIN")
         cur = self._conn.execute(
@@ -372,9 +405,37 @@ class ResultStore:
         return inserted
 
     def commit(self) -> None:
-        """Flush pending ``put(..., commit=False)`` writes to disk."""
+        """Flush pending ``put(..., commit=False)`` writes to disk.
+
+        Retried under the store's :class:`~repro.faults.RetryPolicy`:
+        ``COMMIT`` leaves the transaction open when it fails on a
+        locked or full database, so re-issuing it is safe.  Past the
+        retry budget the last error propagates — the fabric's cue to
+        spill the chunk to a journal.
+        """
+        if self._conn.in_transaction:
+            self._retry.run(
+                f"store.commit:{self.path}",
+                self._commit_once,
+                retryable=(sqlite3.OperationalError, OSError),
+            )
+
+    def _commit_once(self) -> None:
+        if FAULTS.enabled:
+            FAULTS.hit("store.commit")
         if self._conn.in_transaction:
             self._conn.execute("COMMIT")
+
+    def rollback(self) -> None:
+        """Abandon the open ``put(..., commit=False)`` transaction.
+
+        The graceful-degradation path: when :meth:`commit` exhausts its
+        retries, the fabric rolls the chunk back and spills its payloads
+        to a :class:`~repro.faults.SpillJournal` instead.  A no-op
+        outside a transaction.
+        """
+        if self._conn.in_transaction:
+            self._conn.execute("ROLLBACK")
 
     def __contains__(self, digest: str) -> bool:
         row = self._conn.execute(

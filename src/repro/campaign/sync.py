@@ -38,11 +38,13 @@ contract, not a filesystem accident.
 from __future__ import annotations
 
 import json
+import sqlite3
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
 from ..errors import SyncConflictError, ValidationError
+from ..faults import DEFAULT_RETRY, FAULTS, RetryPolicy
 from ..telemetry import TELEMETRY
 from ..utils import canonical_json
 from .store import ResultStore, payload_error
@@ -154,6 +156,11 @@ class DirectoryRemote:
         return path.read_text() if path.exists() else None
 
     def put_text(self, digest: str, text: str) -> bool:
+        if FAULTS.enabled:
+            # Chaos hook: a full disk raises here; a torn write hands
+            # back a truncated payload that lands under the final name
+            # — exactly the wreckage quarantine exists to catch.
+            text = FAULTS.mangle("sync.object-write", text)
         path = self._object_path(digest)
         if path.exists():
             return False
@@ -229,6 +236,8 @@ def _merge(
     report = SyncReport(source=src.label, dest=dst.label)
     origin = src.label
     for digest, text in src.items_text():
+        if FAULTS.enabled:
+            FAULTS.hit("sync.merge-row")
         report.examined += 1
         reason = payload_error(text)
         if reason is not None:
@@ -294,8 +303,32 @@ def _replace_text(
 # ----------------------------------------------------------------------
 # public verbs
 # ----------------------------------------------------------------------
+def _merge_with_retry(
+    src: _StoreEndpoint | DirectoryRemote,
+    dst: _StoreEndpoint | DirectoryRemote,
+    strict: bool,
+    retry: RetryPolicy | None,
+    key: str,
+) -> SyncReport:
+    """Run one merge direction under a retry policy.
+
+    Safe because the merge is idempotent: a direction that died on a
+    transient lock or a full disk simply re-examines everything and
+    skips the rows the first pass already landed.
+    """
+    policy = DEFAULT_RETRY if retry is None else retry
+    return policy.run(
+        key,
+        lambda: _merge(src, dst, strict=strict),
+        retryable=(sqlite3.OperationalError, OSError),
+    )
+
+
 def push(
-    store: ResultStore, remote: str | Path, strict: bool = False
+    store: ResultStore,
+    remote: str | Path,
+    strict: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> SyncReport:
     """Merge this store's rows into ``remote`` (file or directory).
 
@@ -311,18 +344,33 @@ def push(
     >>> push(a, os.path.join(tmp, "remote") + os.sep).merged
     1
     """
-    return _merge(_StoreEndpoint(store), open_remote(remote), strict=strict)
+    return _merge_with_retry(
+        _StoreEndpoint(store), open_remote(remote), strict, retry,
+        key=f"sync.push:{remote}",
+    )
 
 
 def pull(
-    store: ResultStore, remote: str | Path, strict: bool = False
+    store: ResultStore,
+    remote: str | Path,
+    strict: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> SyncReport:
     """Merge ``remote``'s rows into this store."""
-    return _merge(open_remote(remote), _StoreEndpoint(store), strict=strict)
+    return _merge_with_retry(
+        open_remote(remote), _StoreEndpoint(store), strict, retry,
+        key=f"sync.pull:{remote}",
+    )
 
 
 def merge_stores(
-    dst: ResultStore, src: ResultStore, strict: bool = False
+    dst: ResultStore,
+    src: ResultStore,
+    strict: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> SyncReport:
     """Merge ``src``'s rows into ``dst`` (both already open)."""
-    return _merge(_StoreEndpoint(src), _StoreEndpoint(dst), strict=strict)
+    return _merge_with_retry(
+        _StoreEndpoint(src), _StoreEndpoint(dst), strict, retry,
+        key=f"sync.merge:{dst.path}",
+    )

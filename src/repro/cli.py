@@ -444,12 +444,17 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
 def _cmd_store(args: argparse.Namespace) -> int:
     from .campaign import ResultStore, merge_stores, pull, push
+    from .faults import heal
 
     with ResultStore(args.store) as store:
         if args.action == "push":
             report = push(store, args.target, strict=args.strict)
         elif args.action == "pull":
             report = pull(store, args.target, strict=args.strict)
+        elif args.action == "heal":
+            # Replay a worker's spill journal (idempotent: rerunning a
+            # finished or interrupted heal is always safe).
+            report = heal(store, args.target, strict=args.strict)
         else:  # merge: another store *file* into this one
             with ResultStore(args.target) as other:
                 report = merge_stores(store, other, strict=args.strict)
@@ -686,17 +691,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "store",
-        help="sync content-addressed stores (repro.campaign.sync)")
-    p.add_argument("action", choices=["push", "pull", "merge"],
+        help="sync content-addressed stores (repro.campaign.sync) and "
+             "heal spill journals (repro.faults)")
+    p.add_argument("action", choices=["push", "pull", "merge", "heal"],
                    help="push local rows to a remote, pull remote rows in, "
-                        "or merge another store file into this one")
+                        "merge another store file into this one, or heal "
+                        "(replay a fabric worker's spill journal)")
     p.add_argument("store",
-                   help="the local store file (push source / pull+merge "
-                        "destination)")
+                   help="the local store file (push source / pull+merge+"
+                        "heal destination)")
     p.add_argument("target",
-                   help="the other side: a store file, or a directory "
+                   help="the other side: a store file, a directory "
                         "remote (existing directory or a path ending in "
-                        "'/'; rsync/NFS-able object tree)")
+                        "'/'; rsync/NFS-able object tree), or for heal "
+                        "the spill-journal directory")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on payload conflicts instead of "
                         "quarantining and reporting them")

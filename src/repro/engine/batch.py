@@ -59,6 +59,7 @@ from ..core.instance import Instance
 from ..core.models import CommModel
 from ..core.throughput import PeriodResult, compute_period
 from ..errors import ValidationError
+from ..faults import FAULTS
 from ..maxplus.howard import HowardState
 from ..petri.builder import DEFAULT_MAX_ROWS
 from ..telemetry import TELEMETRY
@@ -223,6 +224,11 @@ class BatchEngine:
         if method == "auto":
             method = "polynomial" if model.overlap else "tpn"
 
+        if FAULTS.enabled:
+            # A stall here models a slow machine: the worker's lease
+            # heartbeats arrive late and the fabric's watchdog path
+            # (stale takeover) is exercised end-to-end.
+            FAULTS.hit("engine.evaluate")
         self.stats.evaluated += 1
         self.stats.scalar_solves += 1
         if TELEMETRY.enabled:
@@ -325,6 +331,8 @@ class BatchEngine:
         self, key: tuple[object, ...], instances: Sequence[Instance], model: CommModel
     ) -> list[PeriodResult]:
         """One lockstep slab: stamp, solve, classify, package."""
+        if FAULTS.enabled:
+            FAULTS.hit("engine.evaluate")
         B = len(instances)
         self.stats.evaluated += B
         self.stats.group_solves += 1

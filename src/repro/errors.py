@@ -17,6 +17,7 @@ __all__ = [
     "SimulationError",
     "StoreCorruptionError",
     "StoreLeaseError",
+    "StoreUnavailableError",
     "SyncConflictError",
 ]
 
@@ -92,6 +93,35 @@ class StoreCorruptionError(ReproError):
     :meth:`~repro.campaign.store.ResultStore.recover` salvages every
     readable row into a fresh store and sets the damaged file aside.
     """
+
+
+class StoreUnavailableError(ReproError):
+    """A campaign result store could not be reached (transient, retryable).
+
+    Raised by :class:`repro.campaign.store.ResultStore` when opening or
+    committing fails for *environmental* reasons — a locked WAL sidecar
+    held by a dying process, a read-only or full filesystem, a vanished
+    network mount — as opposed to a damaged file, which is
+    :class:`StoreCorruptionError` and never retried.  Carries the store
+    path and the original cause so the retry policy
+    (:class:`repro.faults.RetryPolicy`) and the operator both see *what*
+    was unreachable and *why*.  When the retry budget is exhausted, the
+    campaign fabric degrades gracefully: workers spill committed results
+    to a local journal (:class:`repro.faults.SpillJournal`) that
+    ``repro-workflow store heal`` later replays.
+    """
+
+    def __init__(self, path: str, cause: BaseException) -> None:
+        super().__init__(
+            f"store {path!r} is unavailable ({type(cause).__name__}: "
+            f"{cause}); the file may be locked, read-only or on a full "
+            f"disk — retry once the condition clears, or let the fabric "
+            f"spill to a journal and `store heal` later"
+        )
+        #: Path of the unreachable store file.
+        self.path = path
+        #: The underlying exception (e.g. ``sqlite3.OperationalError``).
+        self.cause = cause
 
 
 class StoreLeaseError(ReproError):

@@ -1,0 +1,374 @@
+"""The fault plane: seeded, replayable chaos at named injection sites.
+
+Production code registers **injection sites** — named points where the
+real system can fail (a store commit, a lease transaction, an object
+write) — and consults the module singleton :data:`FAULTS` behind an
+``if FAULTS.enabled`` guard, exactly like the telemetry collector's
+``if TELEMETRY.enabled`` pattern: one attribute read on the hot path
+when disarmed, nothing else.  When a test or a chaos-soak run **arms**
+the plane with a :class:`FaultPlan`, each site counts its hits and
+fires the plan's scheduled faults: typed exceptions
+(``sqlite3.OperationalError``, ``OSError``/``ENOSPC``), partial-write
+truncation, injected clock jumps, latency stalls, or a real process
+SIGKILL at protocol barriers.
+
+Everything is deterministic.  A plan is either written out explicitly
+(tuples of :class:`FaultEvent`) or expanded by :meth:`FaultPlan.expand`
+from a crc32-keyed seed; hit counts are plan-relative and advance only
+at armed sites; jitter, stalls and jumps carry their parameters in the
+plan.  Re-running the same plan against the same workload replays the
+same chaos schedule byte-for-byte, which is what lets the chaos-soak CI
+job assert byte-identical exports against an undisturbed reference.
+
+Every fault that fires is counted through :mod:`repro.telemetry` as
+diagnostic (schedule-dependent) counters ``faults.injected`` and
+``faults.injected.<kind>`` — never contract counters, because a chaos
+schedule is an input, not a property of the workload.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import signal
+import sqlite3
+import zlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..errors import ValidationError
+from ..telemetry import TELEMETRY
+from .retry import pause
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULTS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPlane",
+    "INJECTION_SITES",
+    "Site",
+]
+
+#: Every fault kind the plane can inject.  ``operational`` raises
+#: ``sqlite3.OperationalError`` (a locked database), ``enospc`` raises
+#: ``OSError(ENOSPC)`` (disk full), ``truncate`` cuts a payload text in
+#: half mid-write (a torn write), ``clock-jump`` shifts an injected
+#: clock by ``param`` seconds (NTP step / VM resume), ``stall`` sleeps
+#: ``param`` seconds (a hung syscall or GC pause), and ``sigkill``
+#: kills the current process outright.
+FAULT_KINDS: tuple[str, ...] = (
+    "operational",
+    "enospc",
+    "truncate",
+    "clock-jump",
+    "stall",
+    "sigkill",
+)
+
+#: Kinds that raise an exception when they fire (the retryable ones).
+_RAISING_KINDS = frozenset({"operational", "enospc"})
+
+
+@dataclass(frozen=True)
+class Site:
+    """One registered injection site.
+
+    ``name`` is the stable identifier production code passes to
+    :meth:`FaultPlane.hit` / :meth:`FaultPlane.mangle` /
+    :meth:`FaultPlane.skew`; ``module`` is the repo-relative source file
+    (under ``src/repro/``) that consults it — ``tools/check_docs.py``
+    verifies both that the ARCHITECTURE §9 table matches this registry
+    and that each site literal really appears in its module; ``kinds``
+    are the fault kinds that make sense at the site (plan validation
+    rejects the rest).
+    """
+
+    name: str
+    module: str
+    kinds: tuple[str, ...]
+
+
+_SITE_DEFS: tuple[Site, ...] = (
+    Site("store.connect", "campaign/store.py", ("operational", "stall")),
+    Site("store.commit", "campaign/store.py", ("operational", "enospc", "stall")),
+    Site("store.put", "campaign/store.py", ("operational",)),
+    Site("lease.begin", "campaign/lease.py", ("operational", "stall")),
+    Site("lease.renew", "campaign/lease.py", ("stall",)),
+    Site("lease.clock", "campaign/lease.py", ("clock-jump",)),
+    Site("sync.object-write", "campaign/sync.py", ("enospc", "truncate")),
+    Site("sync.merge-row", "campaign/sync.py", ("operational",)),
+    Site("engine.evaluate", "engine/batch.py", ("stall",)),
+    Site("worker.after-claim", "campaign/executor.py", ("sigkill",)),
+    Site("worker.pre-release", "campaign/executor.py", ("sigkill",)),
+    Site("worker.after-release", "campaign/executor.py", ("sigkill",)),
+    Site("journal.spill-write", "faults/journal.py", ("enospc", "truncate")),
+)
+
+#: The machine-readable injection-site registry (name → :class:`Site`).
+#: ARCHITECTURE §9's site table is validated against this dict, so
+#: adding a site here without documenting it fails the docs CI job.
+INJECTION_SITES: dict[str, Site] = {site.name: site for site in _SITE_DEFS}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: *kind* fires at hits ``at .. at+repeat-1``.
+
+    ``at`` is the 1-based hit count of ``site`` at which the fault first
+    fires; ``repeat`` keeps it firing for that many consecutive hits
+    (e.g. long enough to exhaust a retry budget and force a spill).
+    ``param`` carries the kind-specific magnitude: stall duration or
+    clock-jump offset in seconds, ignored elsewhere.
+    """
+
+    site: str
+    kind: str
+    at: int = 1
+    param: float = 0.0
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        site = INJECTION_SITES.get(self.site)
+        if site is None:
+            raise ValidationError(
+                f"unknown injection site {self.site!r}; registered sites: "
+                f"{', '.join(sorted(INJECTION_SITES))}"
+            )
+        if self.kind not in site.kinds:
+            raise ValidationError(
+                f"fault kind {self.kind!r} is not valid at site "
+                f"{self.site!r} (supported: {', '.join(site.kinds)})"
+            )
+        if self.at < 1:
+            raise ValidationError(f"fault `at` must be >= 1, got {self.at}")
+        if self.repeat < 1:
+            raise ValidationError(f"fault `repeat` must be >= 1, got {self.repeat}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "at": self.at,
+            "param": self.param,
+            "repeat": self.repeat,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        return cls(
+            site=str(data["site"]),
+            kind=str(data["kind"]),
+            at=int(data.get("at", 1)),
+            param=float(data.get("param", 0.0)),
+            repeat=int(data.get("repeat", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable chaos schedule: an ordered tuple of fault events.
+
+    Plans are plain frozen data — picklable across the fabric's worker
+    process boundary and JSON-serializable via :meth:`to_dict`, so the
+    exact schedule that broke a campaign can be attached to a bug
+    report and replayed.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    @classmethod
+    def single(
+        cls,
+        site: str,
+        kind: str,
+        at: int = 1,
+        param: float = 0.0,
+        repeat: int = 1,
+    ) -> "FaultPlan":
+        """A one-event plan (the common unit in targeted tests)."""
+        return cls(
+            (FaultEvent(site=site, kind=kind, at=at, param=param, repeat=repeat),)
+        )
+
+    @classmethod
+    def expand(
+        cls,
+        key: str | int,
+        n_events: int = 3,
+        include: Sequence[str] = FAULT_KINDS,
+        sites: Sequence[str] | None = None,
+        max_at: int = 4,
+        max_repeat: int = 3,
+        stall: float = 0.1,
+        jump: float = 30.0,
+    ) -> "FaultPlan":
+        """Expand a chaos schedule deterministically from a seed key.
+
+        The RNG is seeded with ``crc32(key)`` — the repo's standard
+        stable hash — so the same key always yields the same plan, on
+        any platform and any Python version.  ``include`` restricts the
+        fault kinds drawn, ``sites`` the candidate sites; ``stall`` and
+        ``jump`` scale the magnitude of stall and clock-jump events.
+        """
+        rng = random.Random(zlib.crc32(str(key).encode("utf-8")))
+        wanted = frozenset(include)
+        names = sorted(sites) if sites is not None else sorted(INJECTION_SITES)
+        pool = [
+            (name, kind)
+            for name in names
+            for kind in INJECTION_SITES[name].kinds
+            if kind in wanted
+        ]
+        if not pool:
+            return cls(())
+        events: list[FaultEvent] = []
+        for _ in range(n_events):
+            site, kind = pool[rng.randrange(len(pool))]
+            at = rng.randint(1, max_at)
+            param = 0.0
+            repeat = 1
+            if kind == "stall":
+                param = stall * rng.uniform(0.25, 1.0)
+            elif kind == "clock-jump":
+                param = jump * rng.uniform(0.25, 1.0)
+            elif kind in _RAISING_KINDS or kind == "truncate":
+                repeat = rng.randint(1, max_repeat)
+            events.append(
+                FaultEvent(site=site, kind=kind, at=at, param=param, repeat=repeat)
+            )
+        return cls(tuple(events))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (``schema`` guards future layout changes)."""
+        return {"schema": 1, "events": [ev.to_dict() for ev in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        if int(data.get("schema", 1)) != 1:
+            raise ValidationError(
+                f"unsupported fault plan schema {data.get('schema')!r}"
+            )
+        raw = data.get("events", [])
+        return cls(tuple(FaultEvent.from_dict(entry) for entry in raw))
+
+
+class FaultPlane:
+    """The process-wide injection plane (use the :data:`FAULTS` singleton).
+
+    Disarmed (the default) it is a single false attribute read at every
+    site; :meth:`arm` installs a plan and resets all hit counts so every
+    armed run starts from the same state.  Worker processes of the
+    campaign fabric arm their own per-worker plans (or explicitly
+    disarm, since forked children inherit the parent's plane).
+    """
+
+    __slots__ = ("enabled", "_events", "_counts")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._events: dict[str, tuple[FaultEvent, ...]] = {}
+        self._counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def arm(self, plan: FaultPlan) -> None:
+        """Install ``plan`` and reset every site's hit count."""
+        grouped: dict[str, list[FaultEvent]] = {}
+        for event in plan.events:
+            grouped.setdefault(event.site, []).append(event)
+        self._events = {site: tuple(evs) for site, evs in grouped.items()}
+        self._counts = {}
+        self.enabled = True
+
+    def disarm(self) -> None:
+        """Drop the plan; every site reverts to a no-op."""
+        self.enabled = False
+        self._events = {}
+        self._counts = {}
+
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been struck since :meth:`arm`."""
+        return self._counts.get(site, 0)
+
+    # ------------------------------------------------------------------
+    # the three site hooks
+    # ------------------------------------------------------------------
+    def hit(self, site: str) -> None:
+        """Strike ``site``: raise / stall / kill if the plan says so."""
+        self._strike(site, None)
+
+    def mangle(self, site: str, text: str) -> str:
+        """Strike a *write* site: like :meth:`hit`, plus truncation.
+
+        Returns the (possibly truncated) text the caller should write —
+        a torn write under the plan's control.
+        """
+        mangled = self._strike(site, text)
+        return text if mangled is None else mangled
+
+    def skew(self, site: str) -> float:
+        """Strike a *clock* site: the injected offset now in effect.
+
+        Clock jumps are persistent — once an event's trigger hit has
+        passed, its ``param`` stays in the returned offset, like a step
+        of the machine's real clock.
+        """
+        events = self._events.get(site)
+        if not events:
+            return 0.0
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        offset = 0.0
+        for event in events:
+            if event.kind != "clock-jump" or event.at > count:
+                continue
+            if event.at == count:
+                self._record(event)
+            offset += event.param
+        return offset
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _strike(self, site: str, text: str | None) -> str | None:
+        events = self._events.get(site)
+        if not events:
+            return text
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        for event in events:
+            if event.kind == "clock-jump":
+                continue
+            if not (event.at <= count < event.at + event.repeat):
+                continue
+            kind = event.kind
+            if kind == "truncate":
+                if text is not None:
+                    self._record(event)
+                    text = text[: len(text) // 2]
+                continue
+            self._record(event)
+            if kind == "stall":
+                pause(event.param)
+            elif kind == "operational":
+                raise sqlite3.OperationalError(f"injected({site}): database is locked")
+            elif kind == "enospc":
+                raise OSError(
+                    errno.ENOSPC, f"injected({site}): no space left on device"
+                )
+            elif kind == "sigkill":
+                os.kill(os.getpid(), signal.SIGKILL)
+        return text
+
+    @staticmethod
+    def _record(event: FaultEvent) -> None:
+        if TELEMETRY.enabled:
+            TELEMETRY.count("faults.injected")
+            TELEMETRY.count(f"faults.injected.{event.kind}")
+
+
+#: The module singleton every injection site consults.
+FAULTS = FaultPlane()

@@ -1,0 +1,115 @@
+"""Write-ahead spill journal + idempotent heal: the degradation ladder.
+
+When a fabric worker has results committed in memory but the store is
+unreachable past its retry budget, losing the work or crashing the
+campaign are both wrong — evaluation is the expensive part.  Instead
+the worker **spills** each payload to a local, append-only journal
+directory with the exact layout of a sync directory remote
+(``objects/<digest[:2]>/<digest>.json``, write-then-rename, exact
+canonical bytes) and keeps draining: the campaign degrades to
+per-worker progress instead of dying.
+
+``repro-workflow store heal <store> <journal>`` later replays the
+journal through :func:`repro.campaign.sync.pull` — the same merge
+algebra as any sync, so healing inherits its pinned properties:
+idempotent (healing twice changes nothing), commutative with
+concurrent direct commits (content addressing leaves nothing
+order-dependent), convergent after interruption (a heal killed mid-way
+replays the remainder on retry), and never silently merging — a spill
+entry torn by the very fault that forced the spill is quarantined, and
+the digest is simply recomputed by the next campaign run.
+
+Spills and heals are counted as diagnostic telemetry
+(``journal.spills``, ``journal.heal_replayed``, ``journal.heal_skipped``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ..telemetry import TELEMETRY
+from .core import FAULTS
+
+if TYPE_CHECKING:
+    from ..campaign.store import ResultStore
+    from ..campaign.sync import SyncReport
+
+__all__ = ["SpillJournal", "heal"]
+
+
+class SpillJournal:
+    """A local write-ahead journal of payloads the store never received.
+
+    Layout-compatible with :class:`repro.campaign.sync.DirectoryRemote`
+    (that *is* the reuse: heal opens the journal as a directory remote),
+    but writes tolerate concurrent spillers — the temp name carries the
+    pid — and are themselves an injection site, so chaos schedules can
+    tear a spill mid-write and prove heal quarantines the wreckage.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _object_path(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / f"{digest}.json"
+
+    def spill(self, digest: str, payload_text: str) -> bool:
+        """Journal one payload; ``False`` if the digest is already spilled.
+
+        Append-only and content-addressed like the store itself: equal
+        digests carry equal bytes, so the first spill wins and repeats
+        are no-ops — a worker retrying a failed chunk cannot duplicate.
+        """
+        text = payload_text
+        if FAULTS.enabled:
+            text = FAULTS.mangle("journal.spill-write", text)
+        path = self._object_path(digest)
+        if path.exists():
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{digest}.{os.getpid()}.tmp"
+        tmp.write_text(text, newline="")
+        tmp.replace(path)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("journal.spills")
+        return True
+
+    def digests(self) -> list[str]:
+        """All spilled digests, sorted (stable)."""
+        return [digest for digest, _ in self.items_text()]
+
+    def items_text(self) -> Iterator[tuple[str, str]]:
+        """All ``(digest, payload_text)`` pairs, digest-ordered."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.json")):
+            yield path.stem, path.read_text()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items_text())
+
+
+def heal(store: ResultStore, journal: str | Path, strict: bool = False) -> SyncReport:
+    """Replay a spill journal into ``store`` idempotently.
+
+    A thin, counted wrapper over :func:`repro.campaign.sync.pull`: valid
+    entries merge (or skip, when a retry or another worker already
+    landed them), torn entries quarantine with a reason, and the journal
+    itself is never mutated — re-running heal is always safe, which is
+    what makes an interrupted heal converge on retry.  A missing or
+    empty journal heals to a clean no-op report.
+    """
+    from ..campaign.sync import SyncReport as _SyncReport
+    from ..campaign.sync import pull
+
+    root = Path(journal)
+    if not root.is_dir():
+        return _SyncReport(source=str(journal), dest=store.path)
+    report = pull(store, f"{root}{os.sep}", strict=strict)
+    if TELEMETRY.enabled:
+        TELEMETRY.count("journal.heal_replayed", report.merged)
+        TELEMETRY.count("journal.heal_skipped", report.skipped + report.repaired)
+    return report

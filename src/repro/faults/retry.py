@@ -1,0 +1,157 @@
+"""Bounded, deterministic retry/backoff — the production half of the plane.
+
+:class:`RetryPolicy` wraps an operation in bounded exponential backoff
+with **deterministic seeded jitter**: the delay schedule for a given
+operation key is a pure function of ``(key, policy)``, derived through
+``crc32`` like every other seed in this repo, so two runs of the same
+campaign retry at the exact same simulated offsets and a chaos schedule
+replays byte-for-byte.  The *budget* field caps the total planned sleep
+per operation — a per-operation timeout that needs no wall-clock read
+(detlint DET105 stays clean): when the planned delays are spent, the
+last error propagates to the caller, which is the campaign fabric's cue
+to degrade gracefully (spill to a :class:`~repro.faults.SpillJournal`).
+
+This module is also the repo's one sanctioned home for ``time.sleep``:
+detlint DET109 flags bare sleeps and unbounded retry loops everywhere
+else under ``src/``, so ad-hoc polling can't silently reappear —
+production code routes through :func:`pause` or a policy instead.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..errors import ValidationError
+from ..telemetry import TELEMETRY
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY", "pause"]
+
+_T = TypeVar("_T")
+
+
+def pause(seconds: float) -> None:
+    """Sleep ``seconds`` (no-op for zero/negative durations).
+
+    The single sanctioned sleep primitive: fabric polling, retry
+    backoff and injected stalls all funnel through here, so every
+    deliberate delay in the system is greppable and lintable.
+    """
+    if seconds > 0.0:
+        time.sleep(seconds)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    Attributes
+    ----------
+    attempts:
+        Maximum tries (first call included); ``attempts=1`` disables
+        retrying entirely.
+    base_delay:
+        Delay before the first retry (seconds); retry ``i`` waits
+        ``base_delay * factor**i``, capped at ``max_delay``.
+    factor:
+        Exponential growth factor (>= 1).
+    max_delay:
+        Ceiling for one delay (seconds).
+    budget:
+        Cap on the *total* planned sleep per operation (seconds) — the
+        per-operation timeout.  Delays are truncated so their sum never
+        exceeds it; a zero remainder means no further retries.
+    jitter_seed:
+        Mixed (XOR) into each operation key's crc32 before drawing
+        jitter, so independent policies decorrelate without losing
+        replayability.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(attempts=3, base_delay=0.1, jitter_seed=7)
+    >>> policy.delays("op") == policy.delays("op")   # deterministic
+    True
+    >>> len(policy.delays("op"))
+    2
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 1.0
+    budget: float = 5.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValidationError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.budget < 0:
+            raise ValidationError("retry delays and budget must be >= 0")
+        if self.factor < 1.0:
+            raise ValidationError(f"factor must be >= 1, got {self.factor}")
+
+    def delays(self, key: str) -> list[float]:
+        """The full backoff schedule for one operation key.
+
+        ``attempts - 1`` entries (one per retry), each jittered into
+        ``[0.5, 1.0] * nominal`` by an RNG seeded from
+        ``crc32(key) ^ jitter_seed``, truncated to fit :attr:`budget`.
+        Pure: calling this never sleeps and never mutates the policy.
+        """
+        rng = random.Random(zlib.crc32(key.encode("utf-8")) ^ self.jitter_seed)
+        out: list[float] = []
+        total = 0.0
+        for i in range(self.attempts - 1):
+            nominal = min(self.max_delay, self.base_delay * self.factor**i)
+            delay = nominal * (0.5 + 0.5 * rng.random())
+            if total + delay > self.budget:
+                delay = self.budget - total
+            if delay <= 0.0:
+                break
+            out.append(delay)
+            total += delay
+        return out
+
+    def run(
+        self,
+        key: str,
+        fn: Callable[[], _T],
+        retryable: tuple[type[BaseException], ...],
+    ) -> _T:
+        """Call ``fn`` under this policy; return its first success.
+
+        Only exceptions of the ``retryable`` types are retried; anything
+        else propagates immediately.  When the schedule (or budget) is
+        exhausted the last retryable error propagates unchanged, so
+        callers keep the original typed exception — e.g.
+        :class:`~repro.errors.StoreUnavailableError` with its path and
+        cause — for their own degradation decisions.  Retries and
+        give-ups are counted as diagnostic telemetry (``retry.attempts``
+        / ``retry.exhausted``); the zero-failure fast path adds nothing.
+        """
+        schedule: list[float] | None = None
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except retryable:
+                attempt += 1
+                if schedule is None:
+                    schedule = self.delays(key)
+                if attempt > len(schedule):
+                    if TELEMETRY.enabled:
+                        TELEMETRY.count("retry.exhausted")
+                    raise
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("retry.attempts")
+                pause(schedule[attempt - 1])
+
+
+#: Shared default policy for store/lease/sync adoption sites.  Four
+#: tries over ~0.5 s of backoff: enough to ride out WAL-lock bursts and
+#: short stalls, short enough that a genuinely dead store fails fast
+#: and the fabric moves on to spilling.
+DEFAULT_RETRY = RetryPolicy(attempts=4, base_delay=0.05, max_delay=0.4, budget=2.0)

@@ -1,12 +1,15 @@
 """Crash-injection tests: SIGKILL fabric workers at protocol barriers.
 
 Workers are *actually* killed (``os.kill(SIGKILL)`` from inside the
-worker, via the executor's ``_fault`` hook) at the protocol's three
+worker, fired by the :mod:`repro.faults` plane) at the protocol's three
 barriers — right after a claim transaction, after the result commit but
-before the lease release, and after the release.  The contract under
-test: stale leases are reclaimed, the campaign completes on resume, and
-the final result set is byte-identical to an uninterrupted run — zero
-lost and zero duplicated results across 20 randomized kill schedules.
+before the lease release, and after the release — the
+``worker.after-claim`` / ``worker.pre-release`` / ``worker.after-release``
+injection sites.  The contract under test: stale leases are reclaimed,
+the campaign completes on resume, and the final result set is
+byte-identical to an uninterrupted run — zero lost and zero duplicated
+results across 20 randomized kill schedules, every schedule expressed
+as a replayable per-worker :class:`~repro.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.campaign import (
     run_campaign,
     run_campaign_workers,
 )
+from repro.faults import FaultPlan
 
 SPEC_DICT = {
     "name": "crash-test",
@@ -46,7 +50,16 @@ SPEC_DICT = {
 #: within one test's patience.
 _TTL = 0.3
 
-_FAULT_KINDS = ("after-claim", "pre-release", "after-release")
+_KILL_SITES = (
+    "worker.after-claim",
+    "worker.pre-release",
+    "worker.after-release",
+)
+
+
+def _kill_plan(site: str, at: int) -> FaultPlan:
+    """A plan that SIGKILLs the worker at its ``at``-th pass of ``site``."""
+    return FaultPlan.single(site, "sigkill", at=at)
 
 
 @pytest.fixture(scope="module")
@@ -80,29 +93,32 @@ class TestKillSchedules:
     @pytest.mark.parametrize("schedule", range(20))
     def test_randomized_kill_schedule(self, schedule, spec, reference,
                                       tmp_path):
-        """20 seeded schedules over (worker count, fault kind, fault
-        countdown, claim batch): always completes, never loses or
+        """20 seeded schedules over (worker count, kill site, trigger
+        count, claim batch): always completes, never loses or
         duplicates a result."""
         rng = random.Random(20090302 + schedule)
         workers = rng.choice([1, 2, 3])
-        faults = {
-            w: (rng.choice(_FAULT_KINDS), rng.randint(1, 3))
+        plans = {
+            w: _kill_plan(rng.choice(_KILL_SITES), rng.randint(1, 3))
             for w in range(workers) if rng.random() < 0.8
         }
-        if not faults:  # every schedule kills at least one worker
-            faults[rng.randrange(workers)] = (rng.choice(_FAULT_KINDS), 1)
+        if not plans:  # every schedule kills at least one worker
+            plans[rng.randrange(workers)] = _kill_plan(
+                rng.choice(_KILL_SITES), 1
+            )
 
         path = tmp_path / "crash.sqlite"
         first = run_campaign_workers(
             spec, path, workers=workers, lease_ttl=_TTL,
             claim_batch=rng.choice([2, 4, 16]),
             commit_every=rng.choice([2, 32]),
-            _faults=faults,
+            fault_plans=plans,
         )
-        # Only faulted workers can crash; a fault whose countdown exceeds
-        # the worker's event count simply never fires (still a valid
-        # schedule — the worker drained its share and exited cleanly).
-        assert set(first.crashed) <= set(faults)
+        # Only faulted workers can crash; a plan whose trigger count
+        # exceeds the worker's site passes simply never fires (still a
+        # valid schedule — the worker drained its share and exited
+        # cleanly).
+        assert set(first.crashed) <= set(plans)
         report = _drain_with_resume(spec, path, first)
         assert report.complete
 
@@ -124,7 +140,7 @@ class TestStaleLeaseReclamation:
         path = tmp_path / "stranded.sqlite"
         first = run_campaign_workers(
             spec, path, workers=1, lease_ttl=_TTL,
-            _faults={0: ("after-claim", 1)},
+            fault_plans={0: _kill_plan("worker.after-claim", 1)},
         )
         assert first.crashed == (0,)
         assert not first.complete  # died before storing anything
@@ -143,7 +159,8 @@ class TestStaleLeaseReclamation:
         path = tmp_path / "prerelease.sqlite"
         first = run_campaign_workers(
             spec, path, workers=1, lease_ttl=_TTL, claim_batch=4,
-            commit_every=4, _faults={0: ("pre-release", 1)},
+            commit_every=4,
+            fault_plans={0: _kill_plan("worker.pre-release", 1)},
         )
         assert first.crashed == (0,)
         assert first.evaluated > 0  # the chunk was committed before death

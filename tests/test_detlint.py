@@ -150,6 +150,77 @@ class TestRuleFixtures:
         )
         assert not findings_for(good)
 
+    def test_det109_bare_sleep(self):
+        bad = "import time\ntime.sleep(0.1)\n"
+        good = "from repro.faults import pause\npause(0.1)\n"
+        (f,) = fired(bad, "DET109")
+        assert f.severity == "error"
+        assert "time.sleep" in f.message
+        assert not fired(good, "DET109")
+        # The fault plane is the sanctioned home for sleeping; tests
+        # and benchmarks pace themselves freely (rule scope is src).
+        assert not fired(bad, "DET109", path="src/repro/faults/retry.py")
+        assert not fired(bad, "DET109", path="tests/test_x.py")
+        assert not fired(bad, "DET109", path="benchmarks/bench_x.py")
+
+    def test_det109_unbounded_retry_loop(self):
+        bad = """\
+        while True:
+            try:
+                commit()
+                break
+            except OSError:
+                attempts += 1
+                continue
+        """
+        good = """\
+        policy = RetryPolicy(attempts=4, budget=2.0)
+        policy.run("commit", commit, retryable=(OSError,))
+        """
+        (f,) = fired(bad, "DET109")
+        assert "no attempt bound" in f.message
+        assert not findings_for(textwrap.dedent(good))
+        assert not fired(bad, "DET109", path="src/repro/faults/retry.py")
+
+    def test_det109_swallowing_handler_also_retries(self):
+        # Falling off the end of the handler re-enters the loop just
+        # like an explicit continue does.
+        bad = """\
+        while True:
+            try:
+                return commit()
+            except OSError:
+                pass
+        """
+        assert fired(bad, "DET109")
+
+    def test_det109_bounded_handlers_and_inner_loops_are_fine(self):
+        # A handler that can give up (raise / break / return) is
+        # bounded; an except-continue in a *nested* loop re-enters that
+        # loop, not the while True.
+        bounded = """\
+        while True:
+            try:
+                return commit()
+            except OSError:
+                attempts += 1
+                if attempts > 3:
+                    raise
+        """
+        nested = """\
+        while True:
+            if done():
+                break
+            for item in batch:
+                try:
+                    push(item)
+                except OSError:
+                    failures.append(item)
+                    continue
+        """
+        assert not fired(bounded, "DET109")
+        assert not fired(nested, "DET109")
+
     def test_det106_fs_order(self):
         bad = "import os\nnames = os.listdir(root)\n"
         good = "import os\nnames = sorted(os.listdir(root))\n"

@@ -1,0 +1,287 @@
+"""The fault plane itself: plans, sites, retry policies, degradation types.
+
+Covers the contracts ISSUE.md pins for `repro.faults`: deterministic
+crc32-keyed plan expansion and JSON round-trips, the zero-cost-when-
+disabled guarantee (a disarmed plane is a no-op that records nothing),
+typed faults firing exactly inside their scheduled hit windows,
+persistent injected clock skew, deterministic bounded retry schedules
+with a total-sleep budget, and `StoreUnavailableError` carrying the
+path and cause through the store's connect retry loop.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.campaign import LeaseManager, ResultStore
+from repro.errors import StoreUnavailableError, ValidationError
+from repro.faults import (
+    FAULT_KINDS,
+    FAULTS,
+    INJECTION_SITES,
+    FaultEvent,
+    FaultPlan,
+    FaultPlane,
+    RetryPolicy,
+)
+from repro.telemetry import TELEMETRY
+
+#: A fast policy for tests: real backoff shape, negligible wall clock.
+_FAST = RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.002,
+                    budget=0.01)
+
+
+@pytest.fixture(autouse=True)
+def _clean_planes():
+    """Every test starts and ends with faults and telemetry off."""
+    FAULTS.disarm()
+    TELEMETRY.disable()
+    yield
+    FAULTS.disarm()
+    TELEMETRY.disable()
+
+
+class TestPlans:
+    def test_expand_is_deterministic_and_roundtrips(self):
+        a = FaultPlan.expand("chaos-7", n_events=5)
+        b = FaultPlan.expand("chaos-7", n_events=5)
+        assert a == b
+        assert a.events  # a full-kind pool always yields events
+        assert FaultPlan.from_dict(a.to_dict()) == a
+        # Different keys give different schedules (the point of seeding).
+        assert FaultPlan.expand("chaos-8", n_events=5) != a
+
+    def test_expand_respects_site_and_kind_filters(self):
+        plan = FaultPlan.expand(
+            3, n_events=8, include=("sigkill",),
+            sites=["worker.after-claim", "worker.pre-release"],
+        )
+        assert plan.events
+        for event in plan.events:
+            assert event.kind == "sigkill"
+            assert event.site in ("worker.after-claim",
+                                  "worker.pre-release")
+        # An impossible filter expands to the empty plan, not an error.
+        empty = FaultPlan.expand(3, include=("sigkill",),
+                                 sites=["store.commit"])
+        assert empty == FaultPlan()
+
+    def test_event_validation(self):
+        with pytest.raises(ValidationError, match="unknown injection site"):
+            FaultEvent(site="no.such.site", kind="stall")
+        with pytest.raises(ValidationError, match="not valid at site"):
+            FaultEvent(site="store.commit", kind="sigkill")
+        with pytest.raises(ValidationError, match="`at` must be >= 1"):
+            FaultEvent(site="store.commit", kind="stall", at=0)
+        with pytest.raises(ValidationError, match="`repeat` must be >= 1"):
+            FaultEvent(site="store.commit", kind="stall", repeat=0)
+        with pytest.raises(ValidationError, match="schema"):
+            FaultPlan.from_dict({"schema": 2, "events": []})
+
+    def test_registry_is_consistent(self):
+        for name, site in INJECTION_SITES.items():
+            assert site.name == name
+            assert site.kinds
+            assert set(site.kinds) <= set(FAULT_KINDS)
+            assert site.module.endswith(".py")
+
+
+class TestPlane:
+    def test_disarmed_plane_is_a_noop_and_records_nothing(self):
+        TELEMETRY.enable("t")
+        assert not FAULTS.enabled
+        FAULTS.hit("store.commit")
+        assert FAULTS.mangle("sync.object-write", "payload") == "payload"
+        assert FAULTS.skew("lease.clock") == 0.0
+        assert FAULTS.hits("store.commit") == 0
+        snapshot = TELEMETRY.counter_snapshot()
+        assert not any(k.startswith("faults.") for k in snapshot)
+
+    def test_faults_fire_only_inside_their_hit_window(self):
+        plane = FaultPlane()
+        plane.arm(FaultPlan.single("store.commit", "operational", at=2,
+                                   repeat=2))
+        plane.hit("store.commit")  # hit 1: before the window
+        for _ in range(2):  # hits 2 and 3: inside
+            with pytest.raises(sqlite3.OperationalError, match="injected"):
+                plane.hit("store.commit")
+        plane.hit("store.commit")  # hit 4: past the window
+        assert plane.hits("store.commit") == 4
+        # Unplanned sites never advance their counters.
+        plane.hit("lease.begin")
+        assert plane.hits("lease.begin") == 0
+
+    def test_enospc_raises_oserror_with_errno(self):
+        import errno
+
+        plane = FaultPlane()
+        plane.arm(FaultPlan.single("sync.object-write", "enospc"))
+        with pytest.raises(OSError) as excinfo:
+            plane.mangle("sync.object-write", "text")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_truncate_halves_the_payload_once(self):
+        plane = FaultPlane()
+        plane.arm(FaultPlan.single("sync.object-write", "truncate", at=2))
+        assert plane.mangle("sync.object-write", "abcdefgh") == "abcdefgh"
+        assert plane.mangle("sync.object-write", "abcdefgh") == "abcd"
+        assert plane.mangle("sync.object-write", "abcdefgh") == "abcdefgh"
+
+    def test_clock_jumps_are_persistent_and_cumulative(self):
+        plane = FaultPlane()
+        plane.arm(FaultPlan(events=(
+            FaultEvent("lease.clock", "clock-jump", at=2, param=30.0),
+            FaultEvent("lease.clock", "clock-jump", at=3, param=10.0),
+        )))
+        assert plane.skew("lease.clock") == 0.0
+        assert plane.skew("lease.clock") == 30.0
+        assert plane.skew("lease.clock") == 40.0
+        assert plane.skew("lease.clock") == 40.0  # a step, not a pulse
+
+    def test_arm_resets_counts_and_disarm_clears(self):
+        plane = FaultPlane()
+        plan = FaultPlan.single("store.commit", "operational", at=1)
+        plane.arm(plan)
+        with pytest.raises(sqlite3.OperationalError):
+            plane.hit("store.commit")
+        plane.arm(plan)  # re-arm: the schedule replays from hit zero
+        assert plane.hits("store.commit") == 0
+        with pytest.raises(sqlite3.OperationalError):
+            plane.hit("store.commit")
+        plane.disarm()
+        assert not plane.enabled
+        plane.hit("store.commit")  # no-op again
+
+    def test_fired_faults_are_counted_as_diagnostic_telemetry(self):
+        TELEMETRY.enable("t")
+        plane = FaultPlane()
+        plane.arm(FaultPlan.single("store.commit", "operational",
+                                   repeat=2))
+        for _ in range(2):
+            with pytest.raises(sqlite3.OperationalError):
+                plane.hit("store.commit")
+        counters = TELEMETRY.counter_snapshot()
+        assert counters["faults.injected"] == 2
+        assert counters["faults.injected.operational"] == 2
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_bounded_and_budgeted(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.1, max_delay=0.4,
+                             budget=0.5, jitter_seed=7)
+        delays = policy.delays("store.commit:/tmp/x.sqlite")
+        assert delays == policy.delays("store.commit:/tmp/x.sqlite")
+        assert delays != policy.delays("some-other-op")
+        assert len(delays) <= policy.attempts - 1
+        assert all(d <= policy.max_delay for d in delays)
+        assert sum(delays) <= policy.budget + 1e-12
+
+    def test_jitter_stays_in_the_half_to_full_band(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, factor=1.0,
+                             budget=100.0)
+        for delay in policy.delays("op"):
+            assert 0.05 <= delay <= 0.1
+
+    def test_run_retries_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert _FAST.run("op", flaky,
+                         retryable=(sqlite3.OperationalError,)) == "ok"
+        assert len(calls) == 3
+
+    def test_run_exhaustion_reraises_the_original_error(self):
+        def always():
+            raise sqlite3.OperationalError("still locked")
+
+        TELEMETRY.enable("t")
+        with pytest.raises(sqlite3.OperationalError, match="still locked"):
+            _FAST.run("op", always, retryable=(sqlite3.OperationalError,))
+        counters = TELEMETRY.counter_snapshot()
+        assert counters["retry.exhausted"] == 1
+        assert counters["retry.attempts"] == len(_FAST.delays("op"))
+
+    def test_run_passes_non_retryable_errors_through_untouched(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            _FAST.run("op", boom, retryable=(sqlite3.OperationalError,))
+        assert len(calls) == 1
+
+    def test_attempts_one_disables_retrying(self):
+        policy = RetryPolicy(attempts=1)
+        assert policy.delays("op") == []
+        with pytest.raises(ValidationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(budget=-1.0)
+
+
+class TestStoreDegradation:
+    def test_connect_failure_wraps_into_store_unavailable(self, tmp_path):
+        target = tmp_path / "not-a-file"
+        target.mkdir()  # sqlite cannot open a directory as a database
+        with pytest.raises(StoreUnavailableError) as excinfo:
+            ResultStore(target, retry=RetryPolicy(attempts=1))
+        err = excinfo.value
+        assert err.path == str(target)
+        assert isinstance(err.cause, sqlite3.OperationalError)
+        assert str(target) in str(err)
+
+    def test_injected_connect_fault_is_retried_to_success(self, tmp_path):
+        FAULTS.arm(FaultPlan.single("store.connect", "operational", at=1))
+        with ResultStore(tmp_path / "flaky.sqlite", retry=_FAST) as store:
+            assert len(store) == 0
+        assert FAULTS.hits("store.connect") == 2  # failed once, then won
+
+    def test_injected_commit_fault_exhausts_and_propagates(self, tmp_path):
+        with ResultStore(tmp_path / "c.sqlite", retry=_FAST) as store:
+            FAULTS.arm(FaultPlan.single("store.commit", "operational",
+                                        repeat=10))
+            store.put_text("d1", '{"schema": 1}', commit=False)
+            with pytest.raises(sqlite3.OperationalError, match="injected"):
+                store.commit()
+            FAULTS.disarm()
+            store.rollback()
+            assert len(store) == 0  # the failed transaction left nothing
+
+
+class TestLeaseSkew:
+    def test_injected_clock_jump_expires_leases(self, tmp_path):
+        """The watchdog story end-to-end: a clock step past the TTL makes
+        a live worker's leases stale, `held()` drops them, and
+        `reclaim_stale()` sweeps the rows for other workers."""
+        with ResultStore(tmp_path / "skew.sqlite") as store:
+            mgr = LeaseManager(store, "w", ttl=10.0, clock=lambda: 0.0)
+            # Jump on the 2nd clock read: claim sees t=0, held sees
+            # t=1000 — far past the TTL.
+            FAULTS.arm(FaultPlan.single("lease.clock", "clock-jump",
+                                        at=2, param=1000.0))
+            assert mgr.claim(["a", "b"]) == ["a", "b"]
+            assert mgr.held() == []
+            assert mgr.reclaim_stale() == 2
+            assert mgr.active() == []
+
+    def test_stall_on_renew_models_a_hung_heartbeat(self, tmp_path):
+        with ResultStore(tmp_path / "hang.sqlite") as store:
+            t = 0.0
+            mgr = LeaseManager(store, "w", ttl=10.0, clock=lambda: t)
+            mgr.claim(["a"])
+            FAULTS.arm(FaultPlan.single("lease.renew", "stall",
+                                        param=0.0))
+            assert mgr.renew() == 1  # stall returns; the lease survives
+            t = 20.0
+            assert mgr.renew() == 0  # but a missed beat loses it

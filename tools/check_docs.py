@@ -15,7 +15,12 @@ on both:
   ``bash`` instead;
 * the rule table in docs/ARCHITECTURE.md must agree with the registered
   ``repro.analysis`` rule pack — every rule documented with its current
-  name and severity, no ghost rows, none missing.
+  name and severity, no ghost rows, none missing;
+* the injection-site table in docs/ARCHITECTURE.md §9 must agree with
+  the registered ``repro.faults.INJECTION_SITES`` — every site
+  documented with its module and fault kinds, no ghost rows, none
+  missing, and every site literal actually present in the module that
+  claims it.
 
 Run:  python tools/check_docs.py          (from the repo root or anywhere)
 """
@@ -42,6 +47,9 @@ EXECUTABLE_BLOCKS = ["README.md"]
 
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 _RULE_ROW_RE = re.compile(r"^\|\s*((?:DET|NUM)\d+)\s*\|([^|]*)\|([^|]*)\|", re.MULTILINE)
+_SITE_ROW_RE = re.compile(
+    r"^\|\s*`([a-z][a-z.-]*)`\s*\|\s*`([^`]+\.py)`\s*\|([^|]*)\|", re.MULTILINE
+)
 _FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
@@ -135,25 +143,74 @@ def check_rule_table() -> list[str]:
     return errors
 
 
+def check_fault_table() -> list[str]:
+    """docs/ARCHITECTURE.md §9 site table vs ``INJECTION_SITES``."""
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.faults import INJECTION_SITES
+    finally:
+        sys.path.pop(0)
+    md = REPO / "docs" / "ARCHITECTURE.md"
+    rows = {
+        m.group(1): (m.group(2).strip(), m.group(3).strip())
+        for m in _SITE_ROW_RE.finditer(md.read_text())
+    }
+    errors: list[str] = []
+    for name in sorted(set(rows) - set(INJECTION_SITES)):
+        errors.append(
+            f"docs/ARCHITECTURE.md: site table documents {name!r}, which "
+            f"is not registered in repro.faults.INJECTION_SITES"
+        )
+    for name in sorted(set(INJECTION_SITES) - set(rows)):
+        errors.append(
+            f"docs/ARCHITECTURE.md: registered injection site {name!r} is "
+            f"missing from the site table"
+        )
+    for name in sorted(set(rows) & set(INJECTION_SITES)):
+        module, kinds = rows[name]
+        site = INJECTION_SITES[name]
+        if module != site.module or kinds != ", ".join(site.kinds):
+            errors.append(
+                f"docs/ARCHITECTURE.md: site {name!r} documented as "
+                f"({module!r}, {kinds!r}) but registered as "
+                f"({site.module!r}, {', '.join(site.kinds)!r})"
+            )
+        source_file = SRC / "repro" / site.module
+        if not source_file.exists():
+            errors.append(
+                f"repro.faults: site {name!r} claims module "
+                f"{site.module!r}, which does not exist under src/repro/"
+            )
+        elif f'"{name}"' not in source_file.read_text():
+            errors.append(
+                f"src/repro/{site.module}: registered injection site "
+                f"{name!r} never appears in its claimed module"
+            )
+    return errors
+
+
 def main() -> int:
     link_errors = check_links()
     code_errors = check_code_blocks()
     rule_errors = check_rule_table()
-    for err in link_errors + code_errors + rule_errors:
+    fault_errors = check_fault_table()
+    for err in link_errors + code_errors + rule_errors + fault_errors:
         print(f"ERROR {err}", file=sys.stderr)
     n_md = len(iter_markdown_files())
     n_blocks = sum(
         len(_FENCE_RE.findall((REPO / name).read_text()))
         for name in EXECUTABLE_BLOCKS
     )
-    if link_errors or code_errors or rule_errors:
+    if link_errors or code_errors or rule_errors or fault_errors:
         print(f"\ndocs check FAILED "
               f"({len(link_errors)} broken links, "
               f"{len(code_errors)} broken code blocks, "
-              f"{len(rule_errors)} rule-table mismatches)", file=sys.stderr)
+              f"{len(rule_errors)} rule-table mismatches, "
+              f"{len(fault_errors)} site-table mismatches)", file=sys.stderr)
         return 1
     print(f"docs check OK: {n_md} markdown files linked consistently, "
-          f"{n_blocks} README python blocks executed, rule table in sync")
+          f"{n_blocks} README python blocks executed, rule and "
+          f"injection-site tables in sync")
     return 0
 
 
