@@ -31,7 +31,7 @@ import numpy as np
 
 from repro import Application, Instance, Mapping, Platform
 from repro.core.throughput import compute_period
-from repro.engine import BatchEngine, evaluate_batch
+from repro.engine import BatchEngine, evaluate
 
 try:  # pytest package context vs standalone `python benchmarks/...`
     from .conftest import report
@@ -77,7 +77,7 @@ def run_comparison(n_instances: int = N_INSTANCES) -> dict:
     t0 = time.perf_counter()
     scalar = [compute_period(i, "strict", method="tpn") for i in instances]
     t1 = time.perf_counter()
-    batched = evaluate_batch(instances, "strict", method="tpn", engine=engine)
+    batched = evaluate(instances, "strict", method="tpn", engine=engine)
     t2 = time.perf_counter()
 
     identical = all(
@@ -107,7 +107,7 @@ def bench_engine_batch_speedup(benchmark):
     scalar = [compute_period(i, "strict", method="tpn") for i in instances]
 
     def batched():
-        return evaluate_batch(instances, "strict", method="tpn")
+        return evaluate(instances, "strict", method="tpn")
 
     results = benchmark(batched)
     assert all(s.period == b.period for s, b in zip(scalar, results))
@@ -123,10 +123,10 @@ def bench_engine_batch_speedup(benchmark):
 
 def bench_engine_multiworker_determinism(benchmark):
     instances = make_sweep(60)
-    serial = evaluate_batch(instances, "strict", method="tpn")
+    serial = evaluate(instances, "strict", method="tpn")
 
     def sharded():
-        return evaluate_batch(instances, "strict", method="tpn", n_jobs=2)
+        return evaluate(instances, "strict", method="tpn", n_jobs=2)
 
     results = benchmark.pedantic(sharded, rounds=1, iterations=1)
     assert all(s.period == r.period for s, r in zip(serial, results))
@@ -141,7 +141,7 @@ def main() -> int:
           f"replication {REPLICATION} (m = 30)")
     print(f"per-call loop : {stats['per_call_s']:.3f} s "
           f"({1000 * stats['per_call_s'] / stats['n']:.2f} ms/instance)")
-    print(f"evaluate_batch: {stats['batch_s']:.3f} s "
+    print(f"evaluate(): {stats['batch_s']:.3f} s "
           f"({1000 * stats['batch_s'] / stats['n']:.2f} ms/instance)")
     print(f"speedup       : {stats['speedup']:.2f}x "
           f"(wall-clock: reported, never gated; cache: "

@@ -36,7 +36,7 @@ from pathlib import Path
 SCHEMA = 2
 
 #: The PR this harness currently reports for.
-PR = 9
+PR = 10
 
 #: Cross-report deterministic contracts: ``--compare`` fails when the
 #: current value is worse than the previous report's.  Direction
@@ -75,6 +75,9 @@ CONTRACTS = [
     ("faults_chaos", "zero_lost", ">="),
     ("faults_chaos", "zero_duplicated", ">="),
     ("faults_chaos", "chaos_identical", ">="),
+    ("pareto_portfolio", "identical", ">="),
+    ("pareto_portfolio", "fronts_valid", ">="),
+    ("pareto_portfolio", "strategies_diverse", ">="),
 ]
 
 
@@ -123,6 +126,7 @@ def collect() -> dict:
     import bench_engine_batch
     import bench_faults
     import bench_howard_many
+    import bench_pareto
     import bench_portfolio
     import bench_telemetry
 
@@ -199,6 +203,12 @@ def collect() -> dict:
             "faults_chaos",
             bench_faults.run_comparison,
             bench_faults._check,
+            True,
+        ),
+        (
+            "pareto_portfolio",
+            bench_pareto.run_comparison,
+            bench_pareto._check,
             True,
         ),
         (

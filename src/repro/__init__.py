@@ -45,13 +45,25 @@ Sub-packages
 ``repro.search``
     Mapping-space optimization: the multi-start portfolio
     (``portfolio_search``) with diversified restarts, a shared
-    evaluation budget and deterministic seeding.
+    evaluation budget and deterministic seeding, plus the
+    multi-criteria Pareto portfolio (``pareto_portfolio_search``).
+``repro.objectives``
+    The multi-criteria objective plane: period × latency × reliability
+    (``EvalResult``, ``parse_objectives``, ``ParetoArchive``,
+    replication policies, the reliability model).
 ``repro.campaign``
     Durable experiment campaigns: declarative JSON/TOML scenario specs,
     a content-addressed SQLite result store and a resumable streaming
     executor (``CampaignSpec`` / ``ResultStore`` / ``run_campaign``).
 ``repro.extensions``
     Beyond-paper extras: mapping heuristics and stochastic platforms.
+
+The names most users need are re-exported here: the core model types
+(``Application`` / ``Platform`` / ``Mapping`` / ``Instance``), the
+period and latency oracles (``compute_period`` / ``measure_latency``),
+the batch engine (``BatchEngine``), the portfolio searches
+(``portfolio_search`` / ``pareto_portfolio_search``) and the campaign
+subsystem's entry points (``CampaignSpec`` / ``run_campaign``).
 """
 
 from .core import (
@@ -76,6 +88,8 @@ from .core import (
     path_latency_bound,
     path_of_dataset,
 )
+from .campaign import CampaignSpec, run_campaign
+from .engine import BatchEngine
 from .errors import (
     DeadlockError,
     MappingError,
@@ -86,6 +100,8 @@ from .errors import (
     StoreCorruptionError,
     ValidationError,
 )
+from .objectives import EvalResult, ParetoArchive, parse_objectives
+from .search import pareto_portfolio_search, portfolio_search
 
 __version__ = "1.0.0"
 
@@ -114,6 +130,18 @@ __all__ = [
     "LatencyReport",
     "measure_latency",
     "path_latency_bound",
+    # batch evaluation
+    "BatchEngine",
+    # objective plane
+    "EvalResult",
+    "ParetoArchive",
+    "parse_objectives",
+    # mapping search
+    "portfolio_search",
+    "pareto_portfolio_search",
+    # campaigns
+    "CampaignSpec",
+    "run_campaign",
     # errors
     "ReproError",
     "ValidationError",

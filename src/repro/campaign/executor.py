@@ -22,7 +22,7 @@ through one shared :class:`~repro.engine.BatchEngine`:
    the *ordered* stream into one contiguous span per worker — never
    round-robin chunks, which would interleave sweep neighbors away
    from each other's engines.  Because the stream is signature-ordered,
-   both paths drain through ``BatchEngine.evaluate_many``: each
+   both paths drain through ``BatchEngine.evaluate(mode="many")``: each
    same-topology run is stamped into one ``(B, E)`` weight matrix and
    solved in lockstep (:func:`repro.maxplus.howard.solve_prepared_many`)
    instead of point by point.
@@ -175,12 +175,15 @@ def _split_spans(order: list[int], n_spans: int) -> list[list[int]]:
 
 
 def _evaluate_span(
-    args: tuple[list[tuple[str, Instance, str]], int, bool],
+    args: tuple[list[tuple[str, Instance, str]], int, bool, tuple[str, ...]],
 ) -> tuple[list[tuple[str, dict[str, Any]]], dict[str, int] | None]:
     """Worker: evaluate one contiguous span with a warm-started engine.
 
     The span is signature-ordered (see :func:`order_for_engine`), so
-    ``evaluate_many`` turns it into a handful of lockstep group solves.
+    ``mode="many"`` turns it into a handful of lockstep group solves.
+    Extra objective values (latency / reliability) are pure per-instance
+    functions, so computing them in the worker yields the same payload
+    bytes as any other execution path.
 
     When the parent collects telemetry, the worker tallies its own
     counters on a fresh collector and ships the snapshot back alongside
@@ -188,17 +191,18 @@ def _evaluate_span(
     collector is reset (or disabled) unconditionally: forked workers
     inherit the parent's collector state and must never double-count it.
     """
-    items, max_rows, telemetry_on = args
+    items, max_rows, telemetry_on, objectives = args
     if telemetry_on:
         TELEMETRY.enable("span")
     else:
         TELEMETRY.disable()
     engine = BatchEngine(max_rows=max_rows, warm_start=True)
-    results = engine.evaluate_many(
-        [inst for _, inst, _ in items], [model for _, _, model in items]
+    results = engine.evaluate(
+        [inst for _, inst, _ in items], [model for _, _, model in items],
+        mode="many",
     )
     out = [
-        (digest, payload_from_result(inst, result))
+        (digest, payload_from_result(inst, result, objectives=objectives))
         for (digest, inst, _), result in zip(items, results)
     ]
     counters = TELEMETRY.counter_snapshot() if telemetry_on else None
@@ -251,7 +255,8 @@ def run_campaign(
         with TELEMETRY.span("expand"):
             points = spec.expand()
             instances = [pt.instance() for pt in points]
-            digests = [instance_digest(inst, pt.model)
+            digests = [instance_digest(inst, pt.model,
+                                       objectives=spec.objectives)
                        for pt, inst in zip(points, instances)]
 
             seen: set[str] = set()
@@ -282,20 +287,23 @@ def run_campaign(
         if n_jobs is None or n_jobs == 1 or len(ordered) < 2:
             engine = BatchEngine(max_rows=max_rows, warm_start=True)
             # Drain in commit-sized slices: each slice is signature-ordered,
-            # so evaluate_many locksteps it as a few whole-group solves, and
+            # so mode="many" locksteps it as a few whole-group solves, and
             # a kill still loses at most ``commit_every`` points.
             done = 0
             for start in range(0, len(ordered), commit_every):
                 chunk = ordered[start: start + commit_every]
                 with TELEMETRY.span("evaluate", points=len(chunk)):
-                    results = engine.evaluate_many(
+                    results = engine.evaluate(
                         [instances[i] for i in chunk],
                         [points[i].model for i in chunk],
+                        mode="many",
                     )
                 with TELEMETRY.span("commit", points=len(chunk)):
                     for i, result in zip(chunk, results):
                         store.put(digests[i],
-                                  payload_from_result(instances[i], result),
+                                  payload_from_result(
+                                      instances[i], result,
+                                      objectives=spec.objectives),
                                   commit=False)
                     store.commit()
                 done += len(chunk)
@@ -307,7 +315,7 @@ def run_campaign(
             telemetry_on = TELEMETRY.enabled
             payloads = [
                 ([(digests[i], instances[i], points[i].model) for i in span],
-                 max_rows, telemetry_on)
+                 max_rows, telemetry_on, spec.objectives)
                 for span in spans
             ]
             done = 0
@@ -418,7 +426,7 @@ def _unique_spec_digests(
     firsts: list[tuple[str, Instance, str]] = []
     for pt in points:
         inst = pt.instance()
-        digest = instance_digest(inst, pt.model)
+        digest = instance_digest(inst, pt.model, objectives=spec.objectives)
         if digest not in by_digest:
             by_digest[digest] = (inst, pt.model)
             firsts.append((digest, inst, pt.model))
@@ -565,14 +573,16 @@ def run_campaign_worker(
                 if not chunk:
                     continue
             with TELEMETRY.span("evaluate", points=len(chunk)):
-                results = engine.evaluate_many(
+                results = engine.evaluate(
                     [by_digest[d][0] for d in chunk],
                     [by_digest[d][1] for d in chunk],
+                    mode="many",
                 )
             payloads = [
                 (digest,
                  canonical_json(
-                     payload_from_result(by_digest[digest][0], result)))
+                     payload_from_result(by_digest[digest][0], result,
+                                         objectives=spec.objectives)))
                 for digest, result in zip(chunk, results)
             ]
             with TELEMETRY.span("commit", points=len(chunk)):
@@ -760,7 +770,7 @@ def campaign_rows(
     missing: list[CampaignPoint] = []
     for pt in spec.expand():
         inst = pt.instance()
-        digest = instance_digest(inst, pt.model)
+        digest = instance_digest(inst, pt.model, objectives=spec.objectives)
         payload = store.get(digest)
         if payload is None:
             missing.append(pt)
@@ -793,7 +803,8 @@ def campaign_status(spec: CampaignSpec, store: ResultStore) -> dict[str, Any]:
     points = spec.expand()
     for pt in points:
         total_by_cell[pt.cell] = total_by_cell.get(pt.cell, 0) + 1
-        if instance_digest(pt.instance(), pt.model) in store:
+        if instance_digest(pt.instance(), pt.model,
+                           objectives=spec.objectives) in store:
             done += 1
             done_by_cell[pt.cell] = done_by_cell.get(pt.cell, 0) + 1
     return {
@@ -859,12 +870,18 @@ def export_campaign_csv(
     path: str | Path | None = None,
     allow_partial: bool = False,
 ) -> str:
-    """Byte-deterministic CSV artifact (``repr`` floats, ``\\n`` rows)."""
+    """Byte-deterministic CSV artifact (``repr`` floats, ``\\n`` rows).
+
+    Multi-objective specs append one column per extra objective
+    (``latency`` / ``reliability``) after the period columns; the
+    period-only header and bytes are unchanged.
+    """
     rows, missing = campaign_rows(spec, store)
     _require_complete(missing, allow_partial)
+    extra = [name for name in spec.objectives if name != "period"]
     buf = io.StringIO()
     writer = csv.writer(buf, lineterminator="\n")
-    writer.writerow(_CSV_COLUMNS)
+    writer.writerow(_CSV_COLUMNS + extra)
     for row in rows:
         writer.writerow([
             row["point"], row["application"], row["platform"],
@@ -873,7 +890,7 @@ def export_campaign_csv(
             " ".join(str(c) for c in row["replication_counts"]),
             row["m"], repr(row["period"]), repr(row["mct"]),
             int(row["critical"]), repr(row["gap"]),
-        ])
+        ] + [repr(float(row[name])) for name in extra])
     text = buf.getvalue()
     if path is not None:
         Path(path).write_text(text, newline="")

@@ -25,6 +25,8 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from ..objectives.base import OBJECTIVE_SENSES
+from ..objectives.pareto import dominates
 from ..utils import canonical_json
 from .executor import campaign_rows, _require_complete
 from .spec import CampaignSpec
@@ -77,6 +79,14 @@ def campaign_report_data(
     platform, replication) cell, every pair of models present: the
     delta and ratio of the cells' mean periods, and the gap between
     their critical-resource fractions.
+
+    A multi-objective spec adds an ``"objectives"`` section: its
+    objective names, per-axis pivots of each extra objective
+    (mean/min/max of latency and/or reliability per label), and the
+    ``"pareto"`` export — the non-dominated rows of the whole result
+    set in minimization space (reliability negated), sorted by vector.
+    The key is **absent** for period-only specs, so their report bytes
+    are unchanged.
 
     ``counters`` — a deterministic-counter mapping, typically the
     ``counters`` of a :func:`repro.telemetry.merge_traces` result —
@@ -138,9 +148,85 @@ def campaign_report_data(
         "pivots": pivots,
         "model_deltas": deltas,
     }
+    if spec.objectives != ("period",):
+        data["objectives"] = _objectives_section(rows, spec.objectives)
     if counters is not None:
         data["telemetry"] = _telemetry_section(counters)
     return data
+
+
+def _objective_pivots(
+    rows: Sequence[Mapping[str, Any]], extra: Sequence[str]
+) -> dict[str, list[dict[str, Any]]]:
+    """Per-axis mean/min/max of each non-period objective (labels sorted)."""
+    pivots: dict[str, list[dict[str, Any]]] = {}
+    for axis in _AXES:
+        groups: dict[str, list[Mapping[str, Any]]] = {}
+        for row in rows:
+            groups.setdefault(str(row[axis]), []).append(row)
+        entries: list[dict[str, Any]] = []
+        for label in sorted(groups):
+            entry: dict[str, Any] = {"label": label, "n": len(groups[label])}
+            for name in extra:
+                values = [float(r[name]) for r in groups[label]]
+                entry[f"{name}_mean"] = sum(values) / len(values)
+                entry[f"{name}_min"] = min(values)
+                entry[f"{name}_max"] = max(values)
+            entries.append(entry)
+        pivots[axis] = entries
+    return pivots
+
+
+def _pareto_rows(
+    rows: Sequence[Mapping[str, Any]], objectives: Sequence[str]
+) -> list[dict[str, Any]]:
+    """Non-dominated rows of the result set (deterministic front).
+
+    Vectors are minimization-space (reliability negated); exact-tie
+    duplicates keep the first row in spec order, and the front is
+    emitted sorted by ``(vector, point)`` so serial, ``n_jobs`` and
+    fabric stores export identical bytes.
+    """
+    vectors = [
+        tuple(
+            -float(row[name]) if OBJECTIVE_SENSES[name] == "max"
+            else float(row[name])
+            for name in objectives
+        )
+        for row in rows
+    ]
+    front: list[int] = []
+    for i, v in enumerate(vectors):
+        if any(dominates(vectors[j], v) or vectors[j] == v for j in front):
+            continue
+        front = [j for j in front if not dominates(v, vectors[j])]
+        front.append(i)
+    front.sort(key=lambda i: (vectors[i], int(rows[i]["point"])))
+    return [
+        {
+            "point": rows[i]["point"],
+            "application": rows[i]["application"],
+            "platform": rows[i]["platform"],
+            "replication": rows[i]["replication"],
+            "model": rows[i]["model"],
+            "draw": rows[i]["draw"],
+            **{name: float(rows[i][name]) for name in objectives},
+            "vector": list(vectors[i]),
+        }
+        for i in front
+    ]
+
+
+def _objectives_section(
+    rows: Sequence[Mapping[str, Any]], objectives: tuple[str, ...]
+) -> dict[str, Any]:
+    """The report's multi-objective block (absent for period-only specs)."""
+    extra = [name for name in objectives if name != "period"]
+    return {
+        "names": list(objectives),
+        "pivots": _objective_pivots(rows, extra),
+        "pareto": _pareto_rows(rows, objectives),
+    }
 
 
 def _telemetry_section(counters: Mapping[str, int]) -> dict[str, Any]:
@@ -230,6 +316,39 @@ def render_report_text(data: Mapping[str, Any]) -> str:
                 f"  {d['application']} | {d['platform']} | "
                 f"{d['replication']}: {d['model_b']} vs {d['model_a']} = "
                 f"{d['period_delta']:+.4g} ({ratio})"
+            )
+    if "objectives" in data:
+        section = data["objectives"]
+        extra = [n for n in section["names"] if n != "period"]
+        for name in extra:
+            entries = section["pivots"].get("model", [])
+            if not entries:
+                continue
+            obj_header = ("model", "n", f"{name} mean", "min", "max")
+            obj_table = [obj_header] + [
+                (e["label"], e["n"], f"{e[name + '_mean']:.4g}",
+                 f"{e[name + '_min']:.4g}", f"{e[name + '_max']:.4g}")
+                for e in entries
+            ]
+            obj_widths = [max(len(str(row[c])) for row in obj_table)
+                          for c in range(len(obj_header))]
+            lines.append("")
+            lines.append(f"{name} by model:")
+            lines.extend("  " + _format_row(row, obj_widths)
+                         for row in obj_table)
+        lines.append("")
+        lines.append(
+            f"pareto front ({', '.join(section['names'])}): "
+            f"{len(section['pareto'])} non-dominated point(s)"
+        )
+        for p in section["pareto"]:
+            values = ", ".join(
+                f"{name}={p[name]:.6g}" for name in section["names"]
+            )
+            lines.append(
+                f"  point {p['point']}: {p['application']} | "
+                f"{p['platform']} | {p['replication']} | {p['model']} "
+                f"({values})"
             )
     if "telemetry" in data:
         engine = data["telemetry"]["engine"]

@@ -37,6 +37,12 @@ Axes
   topology — the regime where the executor's skeleton cache and Howard
   warm starts shine.
 * **Models**: ``"overlap"`` / ``"strict"``.
+* **Objectives** (``objectives``): the campaign's criteria selection
+  (:func:`repro.objectives.parse_objectives` canonical order).  The
+  period-only default is digest- and byte-compatible with pre-plane
+  campaigns; adding ``"latency"`` / ``"reliability"`` stores their
+  values alongside every period payload and unlocks the report's
+  per-objective pivots and Pareto export.
 
 A point materializes to an :class:`~repro.core.instance.Instance` as a
 pure function of its seed: the mapping is drawn first, then the
@@ -60,6 +66,7 @@ from ..core.models import CommModel
 from ..core.platform import Platform
 from ..errors import ValidationError
 from ..experiments.generator import random_replication
+from ..objectives.base import parse_objectives
 from ..utils import lcm_all
 from ..workloads import get_workload, synthetic
 
@@ -513,8 +520,19 @@ class CampaignSpec:
     )
     root_seed: int = 20090302
     max_paths: int = DEFAULT_MAX_PATHS
+    #: Objective grid of the campaign (canonical order; the period-only
+    #: default keeps digests and artifacts byte-identical to pre-plane
+    #: campaigns).  Extra objectives ride along on every stored payload
+    #: (``latency`` / ``reliability`` next to the period values) and
+    #: unlock the report's per-objective pivots and Pareto export.
+    objectives: tuple[str, ...] = ("period",)
 
     def __post_init__(self) -> None:
+        # Canonicalize through the objective plane's parser ("latency,
+        # period" and ("period", "latency") are the same grid — equal
+        # specs must digest equally).
+        object.__setattr__(self, "objectives",
+                           parse_objectives(self.objectives))
         if not self.name:
             raise ValidationError("a campaign needs a non-empty name")
         if self.draws < 1:
@@ -585,7 +603,7 @@ class CampaignSpec:
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "name": self.name,
             "draws": self.draws,
             "models": list(self.models),
@@ -595,6 +613,11 @@ class CampaignSpec:
             "root_seed": self.root_seed,
             "max_paths": self.max_paths,
         }
+        # Emitted only off-default so period-only spec artifacts keep
+        # their historical bytes.
+        if self.objectives != ("period",):
+            out["objectives"] = list(self.objectives)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CampaignSpec":
@@ -619,6 +642,7 @@ class CampaignSpec:
             replications=repls,
             root_seed=int(data.get("root_seed", 20090302)),
             max_paths=int(data.get("max_paths", DEFAULT_MAX_PATHS)),
+            objectives=parse_objectives(data.get("objectives")),
         )
 
     @classmethod

@@ -50,7 +50,7 @@ import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
 from ..core.instance import Instance
 from ..core.models import CommModel
@@ -92,12 +92,16 @@ def instance_digest(
     inst: Instance,
     model: CommModel | str,
     schema: int = RESULT_SCHEMA_VERSION,
+    objectives: Sequence[str] = ("period",),
 ) -> str:
     """Stable content digest of one ``(instance, model)`` evaluation.
 
     SHA-256 over canonical JSON (sorted keys, ``repr`` floats), so the
     digest is identical across interpreters and platforms for equal
-    values.
+    values.  ``objectives`` joins the digest payload only when it names
+    more than the period — every pre-existing period-only digest is
+    unchanged, while multi-objective evaluations (whose stored payloads
+    carry extra values) address separate rows.
 
     Examples
     --------
@@ -107,18 +111,38 @@ def instance_digest(
     True
     >>> d1 == instance_digest(example_a(), "strict")
     False
+    >>> d1 == instance_digest(example_a(), "overlap",
+    ...                       objectives=("period", "latency"))
+    False
     """
     payload = {
         "instance": inst.to_dict(),
         "model": CommModel.parse(model).value,
         "schema": schema,
     }
+    names = tuple(objectives)
+    if names != ("period",):
+        payload["objectives"] = list(names)
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
-def payload_from_result(inst: Instance, result: PeriodResult) -> dict[str, Any]:
-    """Value-only payload of one evaluation (JSON-plain, digestable)."""
-    return {
+def payload_from_result(
+    inst: Instance,
+    result: PeriodResult,
+    objectives: Sequence[str] = ("period",),
+) -> dict[str, Any]:
+    """Value-only payload of one evaluation (JSON-plain, digestable).
+
+    With a multi-objective selection the payload additionally carries
+    the requested extra values (``latency`` + ``latency_mode`` and/or
+    ``reliability``) and the ``objectives`` list itself — all computed
+    by :func:`repro.objectives.attach_objectives` as pure functions of
+    the instance, so serial, ``n_jobs`` and fabric runs store identical
+    bytes.  Period-only payloads are unchanged (no extra keys), and the
+    extra keys are tolerated by :func:`payload_error`, which checks
+    required keys only.
+    """
+    payload: dict[str, Any] = {
         "schema": RESULT_SCHEMA_VERSION,
         "model": result.model.value,
         "method": result.method,
@@ -131,6 +155,18 @@ def payload_from_result(inst: Instance, result: PeriodResult) -> dict[str, Any]:
         "n_procs": inst.platform.n_processors,
         "replication": list(inst.replication_counts),
     }
+    names = tuple(objectives)
+    if names != ("period",):
+        from ..objectives.evaluate import attach_objectives
+
+        ev = attach_objectives(inst, result, names)
+        payload["objectives"] = list(ev.objectives)
+        if ev.latency is not None:
+            payload["latency"] = float(ev.latency)
+            payload["latency_mode"] = ev.latency_mode
+        if ev.reliability is not None:
+            payload["reliability"] = float(ev.reliability)
+    return payload
 
 
 def payload_error(text: str) -> str | None:

@@ -23,6 +23,7 @@ schema; ``example --out`` produces ready-made ones.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -156,6 +157,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    if args.objectives:
+        return _optimize_objectives(args)
     from .search import portfolio_search
 
     inst = _load_instance(args.instance)
@@ -165,33 +168,76 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         max_iters=args.iters, max_paths=args.max_rows,
         n_jobs=args.jobs if args.jobs != 1 else None,
         warm_start=args.warm_start,
-        allocator=args.allocator,
+        allocator=args.allocator or "fair-share",
     )
-    print(f"portfolio      : {args.restarts} restarts, "
-          f"budget {args.budget} evaluations "
-          f"({result.evaluations} spent, {result.allocator} allocator)")
-    print(f"{'restart':>7} {'kind':>16} {'evals':>6} {'rungs':>6} "
-          f"{'period':>12}")
-    for r in result.restarts:
-        print(f"{r.index:>7} {r.kind:>16} {r.evaluations:>6} "
-              f"{len(r.rungs):>6} {format_time(r.period):>12}")
-    print(f"best mapping   : {[list(s) for s in result.mapping.assignments]}")
-    best = result.best_restart
-    provenance = f" (restart {best.index}, {best.kind})" if best else \
-        " (budget exhausted before any restart)"
-    print(f"best period    : {format_time(result.period)}{provenance}")
-    original = compute_period(inst, args.model, max_rows=args.max_rows)
-    print(f"input mapping  : {format_time(original.period)} (for comparison)")
+    if not _machine_stdout(args, result.to_dict()):
+        print(f"portfolio      : {args.restarts} restarts, "
+              f"budget {args.budget} evaluations "
+              f"({result.evaluations} spent, {result.allocator} allocator)")
+        print(f"{'restart':>7} {'kind':>16} {'evals':>6} {'rungs':>6} "
+              f"{'period':>12}")
+        for r in result.restarts:
+            print(f"{r.index:>7} {r.kind:>16} {r.evaluations:>6} "
+                  f"{len(r.rungs):>6} {format_time(r.period):>12}")
+        print(f"best mapping   : "
+              f"{[list(s) for s in result.mapping.assignments]}")
+        best = result.best_restart
+        provenance = f" (restart {best.index}, {best.kind})" if best else \
+            " (budget exhausted before any restart)"
+        print(f"best period    : {format_time(result.period)}{provenance}")
+        original = compute_period(inst, args.model, max_rows=args.max_rows)
+        print(f"input mapping  : {format_time(original.period)} "
+              f"(for comparison)")
     if args.json_out:
         from .experiments.io import portfolio_to_json
 
         portfolio_to_json(result, args.json_out)
-        print(f"wrote {args.json_out}")
+        _notice(args, f"wrote {args.json_out}")
     if args.csv:
         from .experiments.io import restarts_to_csv
 
         restarts_to_csv(result, args.csv)
-        print(f"wrote {args.csv}")
+        _notice(args, f"wrote {args.csv}")
+    return 0
+
+
+def _optimize_objectives(args: argparse.Namespace) -> int:
+    """The multi-criteria ``optimize --objectives`` path (Pareto portfolio)."""
+    from .search import pareto_portfolio_search
+
+    inst = _load_instance(args.instance)
+    result = pareto_portfolio_search(
+        inst.application, inst.platform, args.model,
+        objectives=args.objectives,
+        n_restarts=args.restarts, budget=args.budget, root_seed=args.seed,
+        max_iters=args.iters, max_paths=args.max_rows,
+        n_jobs=args.jobs if args.jobs != 1 else None,
+        warm_start=args.warm_start,
+        allocator=args.allocator or "epsilon-constraint",
+    )
+    if not _machine_stdout(args, result.to_dict()):
+        print(f"objectives     : {', '.join(result.objectives)}")
+        print(f"portfolio      : {len(result.directions)} directions, "
+              f"budget {args.budget} evaluations "
+              f"({result.evaluations} spent, {result.allocator} allocator)")
+        print(f"{'dir':>4} {'kind':>9} {'evals':>6} {'acc':>4}  label")
+        for rec in result.records:
+            print(f"{rec.index:>4} {rec.kind:>9} {rec.evaluations:>6} "
+                  f"{rec.accepted:>4}  {rec.label}")
+        front = result.front()
+        print(f"pareto front   : {len(front)} non-dominated mapping(s)")
+        for entry in front:
+            values = ", ".join(
+                f"{name}={entry.result.value(name):.6g}"
+                for name in result.objectives
+            )
+            print(f"  {values}  "
+                  f"{[list(s) for s in entry.assignments]}")
+    if args.json_out:
+        from .experiments.io import write_canonical_json
+
+        write_canonical_json(result.to_dict(), args.json_out)
+        _notice(args, f"wrote {args.json_out}")
     return 0
 
 
@@ -281,17 +327,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             n_jobs=args.jobs, engine=args.engine, store=store,
         )
     no_crit = [r for r in records if not r.critical]
-    print(f"family         : {config.name}")
-    print(f"model / engine : {args.model} / {args.engine}")
-    print(f"experiments    : {len(records)}")
-    print(f"no critical    : {len(no_crit)}")
-    if no_crit:
-        print(f"max gap        : {100 * max(r.gap for r in no_crit):.2f}%")
+    payload = {
+        "family": config.name,
+        "model": args.model,
+        "engine": args.engine,
+        "experiments": len(records),
+        "no_critical": len(no_crit),
+        "max_gap": max((r.gap for r in no_crit), default=0.0),
+        "records": [dataclasses.asdict(r) for r in records],
+    }
+    if not _machine_stdout(args, payload):
+        print(f"family         : {config.name}")
+        print(f"model / engine : {args.model} / {args.engine}")
+        print(f"experiments    : {len(records)}")
+        print(f"no critical    : {len(no_crit)}")
+        if no_crit:
+            print(f"max gap        : "
+                  f"{100 * max(r.gap for r in no_crit):.2f}%")
     if args.csv:
         from .experiments.io import records_to_csv
 
         records_to_csv(records, args.csv)
-        print(f"wrote {args.csv}")
+        _notice(args, f"wrote {args.csv}")
     return 0
 
 
@@ -304,6 +361,31 @@ def _write_machine_json(path: str, payload: dict) -> None:
     else:
         write_canonical_json(payload, path)
         print(f"wrote {path}")
+
+
+def _machine_stdout(args: argparse.Namespace, payload: object) -> bool:
+    """Honor the unified ``--format`` flag; ``True`` when JSON was emitted.
+
+    Subcommands call this before their human rendering: under
+    ``--format json`` the payload goes to stdout as canonical JSON
+    (:func:`repro.experiments.io.format_payload`, the shared writer)
+    and the caller skips its text output.  The historical ``--json`` /
+    ``--summary-json`` *file* flags keep working as aliases alongside.
+    """
+    if getattr(args, "format", "text") != "json":
+        return False
+    from .experiments.io import format_payload
+
+    sys.stdout.write(format_payload(payload, "json"))
+    return True
+
+
+def _notice(args: argparse.Namespace, message: str) -> None:
+    """An informational line ("wrote PATH") that must never corrupt
+    machine output: stderr under ``--format json``, stdout otherwise."""
+    stream = (sys.stderr if getattr(args, "format", "text") == "json"
+              else sys.stdout)
+    print(message, file=stream)
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -327,13 +409,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # committed state through a fresh connection.
         fabric = run_campaign_workers(spec, args.store, workers=args.workers,
                                       trace_dir=args.trace)
-        print(f"campaign       : {fabric.spec_name}")
-        print(f"points         : {fabric.total}")
-        print(f"store hits     : {fabric.hits} (resumed, not recomputed)")
-        print(f"evaluated      : {fabric.evaluated} "
-              f"({fabric.workers} fabric workers)")
-        print(f"remaining      : {fabric.remaining}"
-              + ("" if fabric.complete else "  (rerun to continue)"))
+        if not _machine_stdout(args, fabric.to_dict()):
+            print(f"campaign       : {fabric.spec_name}")
+            print(f"points         : {fabric.total}")
+            print(f"store hits     : {fabric.hits} (resumed, not recomputed)")
+            print(f"evaluated      : {fabric.evaluated} "
+                  f"({fabric.workers} fabric workers)")
+            print(f"remaining      : {fabric.remaining}"
+                  + ("" if fabric.complete else "  (rerun to continue)"))
         if args.summary_json:
             _write_machine_json(args.summary_json, fabric.to_dict())
     with ResultStore(args.store) as store:
@@ -349,13 +432,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 progress=show if args.verbose else None,
                 trace_dir=args.trace,
             )
-            print(f"campaign       : {report.spec_name}")
-            print(f"points         : {report.total}")
-            print(f"store hits     : {report.hits} (resumed, not recomputed)")
-            print(f"evaluated      : {report.evaluated} "
-                  f"({report.groups} topology groups)")
-            print(f"remaining      : {report.remaining}"
-                  + ("" if report.complete else "  (rerun to continue)"))
+            if not _machine_stdout(args, report.to_dict()):
+                print(f"campaign       : {report.spec_name}")
+                print(f"points         : {report.total}")
+                print(f"store hits     : {report.hits} "
+                      f"(resumed, not recomputed)")
+                print(f"evaluated      : {report.evaluated} "
+                      f"({report.groups} topology groups)")
+                print(f"remaining      : {report.remaining}"
+                      + ("" if report.complete else "  (rerun to continue)"))
             if args.summary_json:
                 # Machine-readable twin of the summary above: CI asserts
                 # on parsed fields, immune to human-format reflowing.
@@ -378,13 +463,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 counters=counters)
             if args.json_out:
                 _write_machine_json(args.json_out, data)
-            else:
+            elif not _machine_stdout(args, data):
                 print(render_report_text(data))
         elif args.action == "status":
             status = campaign_status(spec, store)
             if args.json_out:
                 _write_machine_json(args.json_out, status)
-            else:
+            elif not _machine_stdout(args, status):
                 print(f"campaign       : {status['campaign']}")
                 print(f"done           : {status['done']} / {status['total']}")
                 for cell in status["cells"]:
@@ -400,11 +485,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             if args.json_out:
                 export_campaign_json(spec, store, args.json_out,
                                      allow_partial=partial)
-                print(f"wrote {args.json_out}")
+                _notice(args, f"wrote {args.json_out}")
             if args.csv:
                 export_campaign_csv(spec, store, args.csv,
                                     allow_partial=partial)
-                print(f"wrote {args.csv}")
+                _notice(args, f"wrote {args.csv}")
             if args.action == "export" and not (args.json_out or args.csv):
                 print("error: export needs --json and/or --csv",
                       file=sys.stderr)
@@ -438,7 +523,9 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         _write_machine_json(
             args.json_out, {**merged, "attribution": attribution(merged)})
     if not (args.chrome or args.json_out):
-        print(render_summary(merged))
+        payload = {**merged, "attribution": attribution(merged)}
+        if not _machine_stdout(args, payload):
+            print(render_summary(merged))
     return 0
 
 
@@ -458,16 +545,19 @@ def _cmd_store(args: argparse.Namespace) -> int:
         else:  # merge: another store *file* into this one
             with ResultStore(args.target) as other:
                 report = merge_stores(store, other, strict=args.strict)
-    print(f"sync           : {report.source} -> {report.dest}")
-    print(f"examined       : {report.examined}")
-    print(f"merged         : {report.merged}"
-          + (f"  (+{report.repaired} repaired)" if report.repaired else ""))
-    print(f"skipped        : {report.skipped} (already present, equal bytes)")
-    if not report.clean:
-        print(f"conflicts      : {len(report.conflicts)} (destination rows "
-              f"kept; incoming copies quarantined)")
-        print(f"quarantined    : {len(report.quarantined)} payload(s) "
-              f"refused — inspect the destination's quarantine area")
+    if not _machine_stdout(args, report.to_dict()):
+        print(f"sync           : {report.source} -> {report.dest}")
+        print(f"examined       : {report.examined}")
+        print(f"merged         : {report.merged}"
+              + (f"  (+{report.repaired} repaired)" if report.repaired
+                 else ""))
+        print(f"skipped        : {report.skipped} "
+              f"(already present, equal bytes)")
+        if not report.clean:
+            print(f"conflicts      : {len(report.conflicts)} (destination "
+                  f"rows kept; incoming copies quarantined)")
+            print(f"quarantined    : {len(report.quarantined)} payload(s) "
+                  f"refused — inspect the destination's quarantine area")
     if args.json_out:
         _write_machine_json(args.json_out, report.to_dict())
     return 0 if report.clean else 1
@@ -503,6 +593,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="communication model (default overlap)")
         p.add_argument("--max-rows", type=int, default=20_000,
                        help="budget on lcm(m_i) for full-TPN methods")
+
+    def add_format(p: argparse.ArgumentParser) -> None:
+        # The one machine-output convention: every subcommand that can
+        # speak to machines takes --format {text,json}; the historical
+        # --json PATH / --summary-json PATH flags stay as file-writing
+        # compatibility aliases.
+        p.add_argument("--format", choices=["text", "json"], default="text",
+                       help="stdout format: human text (default) or "
+                            "canonical JSON (byte-deterministic, shared "
+                            "across all subcommands)")
 
     p = sub.add_parser("period", help="compute the exact period")
     add_instance(p)
@@ -567,15 +667,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed Howard's policy iteration from the previous "
                         "instance of each topology group (period values "
                         "unchanged; extracted cycles may differ)")
-    p.add_argument("--allocator", default="fair-share",
-                   choices=["fair-share", "racing"],
+    p.add_argument("--objectives", default=None,
+                   help="comma-separated criteria out of period, latency, "
+                        "reliability — switches to the Pareto-archive "
+                        "portfolio (repro.search.pareto) and reports the "
+                        "non-dominated front")
+    p.add_argument("--allocator", default=None,
+                   choices=["fair-share", "racing", "epsilon-constraint",
+                            "weighted-sum"],
                    help="budget allocation across restarts: even splits "
-                        "(fair-share) or successive halving over resumable "
-                        "climbs (racing)")
+                        "(fair-share, the period-only default) or "
+                        "successive halving over resumable climbs (racing); "
+                        "with --objectives, the scalarization strategy "
+                        "(epsilon-constraint, the multi-criteria default, "
+                        "or weighted-sum)")
+    add_format(p)
     p.add_argument("--json", dest="json_out", default=None,
-                   help="write the full result (restart traces) as JSON")
+                   help="write the full result (restart traces, or the "
+                        "Pareto archive with --objectives) as JSON")
     p.add_argument("--csv", default=None,
-                   help="write the per-restart summary as CSV")
+                   help="write the per-restart summary as CSV "
+                        "(period-only portfolios)")
     p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser("gantt", help="ASCII Gantt chart (Figures 7/12)")
@@ -643,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default=None,
                    help="content-addressed result store (SQLite path); "
                         "already-stored points are reused, new ones saved")
+    add_format(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -669,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(deterministic interruption; rerun to resume)")
     p.add_argument("--verbose", action="store_true",
                    help="print progress while running")
+    add_format(p)
     p.add_argument("--json", dest="json_out", default=None,
                    help="run/export: write the joined results as "
                         "deterministic JSON; report: write the aggregated "
@@ -708,6 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on payload conflicts instead of "
                         "quarantining and reporting them")
+    add_format(p)
     p.add_argument("--json", dest="json_out", default=None,
                    help="write the sync report as canonical JSON "
                         "('-' for stdout)")
@@ -722,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("traces", nargs="+",
                    help="trace-*.jsonl files and/or directories containing "
                         "them (e.g. the campaign run's --trace directory)")
+    add_format(p)
     p.add_argument("--json", dest="json_out", default=None,
                    help="write the merged trace plus its span attribution "
                         "as canonical JSON ('-' for stdout)")

@@ -77,7 +77,14 @@ class LatencyReport:
 
         Meaningful in the paced regime with ``T >= P`` where latency
         converges; in the saturated regime it keeps growing (backlog).
+        ``tail_fraction`` must lie in ``(0, 1]``; the window always
+        contains at least one data set, so single-dataset reports are
+        well-defined for every legal fraction.
         """
+        if not 0.0 < tail_fraction <= 1.0:
+            raise SimulationError(
+                f"tail_fraction must be in (0, 1], got {tail_fraction!r}"
+            )
         k = max(1, int(self.n_datasets * tail_fraction))
         return float(self.latencies[-k:].mean(dtype=np.float64))
 

@@ -40,6 +40,13 @@ class Platform:
         because it executes at most one stage.
     name:
         Optional label used in reports.
+    failure_rates:
+        Optional per-processor failure probabilities in ``[0, 1)``: the
+        probability that ``P_u`` fails while handling one data set
+        (Benoit, Rehn-Sonigo & Robert's multi-criteria model).  ``None``
+        (the default) means the platform carries no failure model and
+        every mapping has reliability 1 — the paper's original,
+        reliability-free setting.
 
     Examples
     --------
@@ -50,13 +57,14 @@ class Platform:
     2.0
     """
 
-    __slots__ = ("speeds", "bandwidths", "name")
+    __slots__ = ("speeds", "bandwidths", "name", "failure_rates")
 
     def __init__(
         self,
         speeds: Sequence[float],
         bandwidths: Sequence[Sequence[float]] | npt.NDArray[np.float64],
         name: str = "platform",
+        failure_rates: Sequence[float] | None = None,
     ) -> None:
         speeds_arr = np.asarray(speeds, dtype=float)
         if speeds_arr.ndim != 1 or speeds_arr.size < 1:
@@ -86,6 +94,22 @@ class Platform:
         self.bandwidths.setflags(write=False)
         #: Label used in reports.
         self.name = str(name)
+        #: Optional per-processor failure probabilities, shape ``(p,)``.
+        if failure_rates is None:
+            self.failure_rates: npt.NDArray[np.float64] | None = None
+        else:
+            fr = np.asarray(failure_rates, dtype=float)
+            if fr.shape != (p,):
+                raise ValidationError(
+                    f"failure_rates must have one entry per processor "
+                    f"({p}), got shape {fr.shape}"
+                )
+            if not np.all(np.isfinite(fr)) or np.any(fr < 0) or np.any(fr >= 1):
+                raise ValidationError(
+                    "every failure rate must be a probability in [0, 1)"
+                )
+            self.failure_rates = fr
+            self.failure_rates.setflags(write=False)
 
     # ------------------------------------------------------------------
     # accessors
@@ -108,6 +132,12 @@ class Platform:
                 f"stage so it never ships a file to itself"
             )
         return float(self.bandwidths[u, v])
+
+    def failure_rate(self, u: int) -> float:
+        """Failure probability of ``P_u`` per data set (0 when unmodelled)."""
+        if self.failure_rates is None:
+            return 0.0
+        return float(self.failure_rates[self._check(u)])
 
     def comp_time(self, work: float, proc: int) -> float:
         """Time to execute ``work`` FLOP on processor ``proc``."""
@@ -204,20 +234,45 @@ class Platform:
         np.fill_diagonal(bw, 0.0)
         return cls(1.0 / ct, bw, name=name)
 
+    def with_failure_rates(
+        self, failure_rates: Sequence[float] | float
+    ) -> "Platform":
+        """Copy of this platform with the given per-processor failure rates.
+
+        A scalar is broadcast to every processor — the homogeneous
+        failure model of the multi-criteria papers.
+        """
+        if isinstance(failure_rates, (int, float)):
+            rates: Sequence[float] = [float(failure_rates)] * self.n_processors
+        else:
+            rates = [float(r) for r in failure_rates]
+        return Platform(
+            self.speeds, self.bandwidths, name=self.name, failure_rates=rates
+        )
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """Plain-data representation (``inf`` encoded as the string "inf")."""
+        """Plain-data representation (``inf`` encoded as the string "inf").
+
+        ``failure_rates`` is emitted only when a failure model is set, so
+        failure-free platforms serialize to exactly the same bytes as
+        before the reliability objective existed — the campaign store's
+        content digests rely on this.
+        """
 
         def enc(x: float) -> float | str:
             return "inf" if math.isinf(x) else float(x)
 
-        return {
+        data: dict[str, Any] = {
             "name": self.name,
             "speeds": [float(s) for s in self.speeds],
             "bandwidths": [[enc(b) for b in row] for row in self.bandwidths],
         }
+        if self.failure_rates is not None:
+            data["failure_rates"] = [float(f) for f in self.failure_rates]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Platform":
@@ -227,7 +282,12 @@ class Platform:
             return math.inf if x == "inf" else float(x)
 
         bw = [[dec(b) for b in row] for row in data["bandwidths"]]
-        return cls(data["speeds"], bw, name=data.get("name", "platform"))
+        return cls(
+            data["speeds"],
+            bw,
+            name=data.get("name", "platform"),
+            failure_rates=data.get("failure_rates"),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Platform(name={self.name!r}, n_processors={self.n_processors})"
@@ -235,10 +295,16 @@ class Platform:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Platform):
             return NotImplemented
+        if (self.failure_rates is None) != (other.failure_rates is None):
+            return False
+        if self.failure_rates is not None and other.failure_rates is not None:
+            if not np.array_equal(self.failure_rates, other.failure_rates):
+                return False
         return bool(
             np.array_equal(self.speeds, other.speeds)
             and np.array_equal(self.bandwidths, other.bandwidths)
         )
 
     def __hash__(self) -> int:
-        return hash((self.speeds.tobytes(), self.bandwidths.tobytes()))
+        fr = None if self.failure_rates is None else self.failure_rates.tobytes()
+        return hash((self.speeds.tobytes(), self.bandwidths.tobytes(), fr))

@@ -17,7 +17,7 @@ Method selection:
 Sweeps: evaluating thousands of ``(instance, model)`` pairs one
 ``compute_period`` call at a time rebuilds the TPN and the solver's
 structural phases from scratch each call.  Use
-:func:`repro.engine.evaluate_batch` (bit-identical results) to amortize
+:func:`repro.engine.evaluate` (bit-identical results) to amortize
 that work across instances sharing a mapping topology and to shard the
 batch over worker processes.
 """

@@ -19,22 +19,26 @@ This package amortizes that hot path:
 * :class:`~repro.engine.batch.BatchEngine` — skeleton cache plus a
   drop-in ``evaluate`` returning the same
   :class:`~repro.core.throughput.PeriodResult` values as the scalar
-  path, bit-identical; its ``evaluate_many`` locksteps consecutive
+  path, bit-identical; its ``mode="many"`` path locksteps consecutive
   same-topology runs through
   :func:`repro.maxplus.howard.solve_prepared_many` — one ``(B, E)``
   weight matrix, one policy iteration for the whole group;
-* :func:`~repro.engine.batch.evaluate_batch` /
-  :func:`~repro.engine.batch.evaluate_stream` — batch entry points with
-  deterministic chunk sharding across a ``ProcessPoolExecutor`` (a
-  bounded in-flight submission window keeps streaming memory flat) and
-  streaming, submission-ordered results.
+* :func:`~repro.engine.batch.evaluate` — the module-level batch entry
+  point with deterministic chunk sharding across a
+  ``ProcessPoolExecutor`` (a bounded in-flight submission window keeps
+  streaming memory flat) and streaming, submission-ordered results
+  (``mode="stream"``); the old ``evaluate_batch`` / ``evaluate_stream``
+  names remain as deprecated aliases.
 
 Quick start::
 
-    from repro.engine import evaluate_batch
+    from repro.engine import evaluate
 
-    results = evaluate_batch(instances, "strict")       # list[PeriodResult]
-    results = evaluate_batch(instances, models, n_jobs=0)  # all cores
+    results = evaluate(instances, "strict")         # list[PeriodResult]
+    results = evaluate(instances, models, n_jobs=0)    # all cores
+    stream = evaluate(instances, "strict", mode="stream")  # lazy
+    multi = evaluate(instances, "strict",
+                     objectives="period,latency")   # list[EvalResult]
 
 Guarantees
 ----------
@@ -63,6 +67,7 @@ from .batch import (
     MIN_GROUP_ROWS,
     BatchEngine,
     EngineStats,
+    evaluate,
     evaluate_batch,
     evaluate_stream,
 )
@@ -73,6 +78,7 @@ from .skeleton import TpnSkeleton, build_skeleton
 __all__ = [
     "BatchEngine",
     "EngineStats",
+    "evaluate",
     "evaluate_batch",
     "evaluate_stream",
     "MIN_GROUP_ROWS",

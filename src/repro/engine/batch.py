@@ -3,15 +3,26 @@
 :class:`BatchEngine` is the per-process cache of
 :class:`~repro.engine.skeleton.TpnSkeleton` objects keyed by
 :func:`~repro.engine.signature.topology_signature`;
-:func:`evaluate_batch` / :func:`evaluate_stream` are the module-level
-entry points that shard large batches across worker processes.
+:func:`evaluate` is the module-level entry point that shards large
+batches across worker processes (``mode="batch"`` collects a list,
+``mode="stream"`` yields lazily; :func:`evaluate_batch` /
+:func:`evaluate_stream` remain as deprecated aliases).
+
+:meth:`BatchEngine.evaluate` is the engine's single documented entry
+point: a single instance takes the scalar cache path, a sequence is
+evaluated in order with keyword-only ``mode=`` narrowing the dispatch
+(``"many"`` run detection, ``"group"`` explicit lockstep), and
+``objectives=`` lifts results into the multi-criteria
+(period, latency, reliability) plane of :mod:`repro.objectives`.
+``BatchEngine.evaluate_group`` / ``BatchEngine.evaluate_many`` are
+deprecated aliases onto the same implementations.
 
 **Group evaluation** is the hot path: consecutive TPN-method pairs that
 share a topology signature are stamped into one ``(B, E)`` weight
 matrix and solved in lockstep by
 :func:`repro.maxplus.howard.solve_prepared_many`
-(:meth:`BatchEngine.evaluate_many` does the run detection;
-:meth:`BatchEngine.evaluate_group` is the explicit entry point).  It
+(``mode="many"`` does the run detection;
+``mode="group"`` is the explicit entry point).  It
 kicks in for runs of at least :data:`MIN_GROUP_ROWS` same-signature
 pairs and slabs huge groups at :data:`MAX_GROUP_ROWS` rows to bound the
 weight-matrix footprint.  Cold group results are bit-identical to
@@ -46,10 +57,11 @@ see :class:`BatchEngine`.
 from __future__ import annotations
 
 import os
+import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence, overload
 
 import numpy as np
 
@@ -67,15 +79,54 @@ from .classify import CycleTimePlan, build_cycle_time_plan
 from .signature import topology_signature
 from .skeleton import TpnSkeleton, build_skeleton
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..objectives.base import EvalResult
+
 __all__ = [
     "BatchEngine",
     "EngineStats",
+    "evaluate",
     "evaluate_batch",
     "evaluate_stream",
     "MIN_GROUP_ROWS",
     "MAX_GROUP_ROWS",
     "MIN_PARALLEL_BATCH",
 ]
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """One deprecated-alias warning, attributed to the caller's line."""
+    warnings.warn(
+        f"{old} is deprecated and will be removed in a future release; "
+        f"use {new} (see CONTRIBUTING.md, 'Deprecated evaluate entry "
+        f"points')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _attach_objectives(
+    pairs: Sequence[tuple[Instance, CommModel]],
+    results: Iterable[PeriodResult],
+    objectives: Sequence[str] | str,
+    latency_mode: str,
+) -> Iterator["EvalResult"]:
+    """Wrap engine results with the extra objective values, lazily.
+
+    The latency / reliability computations are pure per-instance
+    functions evaluated in the caller's process, so objective-aware
+    results stay bit-identical whatever ``n_jobs`` did to the period
+    computation.  Imported lazily to keep ``repro.engine`` importable
+    without the objectives package (and cycle-free).
+    """
+    from ..objectives.base import parse_objectives
+    from ..objectives.evaluate import attach_objectives
+
+    names = parse_objectives(objectives)
+    for (inst, _model), result in zip(pairs, results):
+        yield attach_objectives(
+            inst, result, names, latency_mode=latency_mode
+        )
 
 #: Below this many pairs a process pool costs more than it saves; the
 #: stream falls back to the serial path.  Public so callers that must
@@ -207,19 +258,161 @@ class BatchEngine:
             self._ct_plans[key] = plan
         return plan
 
+    # -- unified entry point -------------------------------------------
+    @overload
     def evaluate(
+        self,
+        instances: Instance,
+        models: CommModel | str,
+        method: str = ...,
+        n_firings: int | None = ...,
+        *,
+        mode: str = ...,
+        objectives: None = ...,
+        latency_mode: str = ...,
+    ) -> PeriodResult: ...
+
+    @overload
+    def evaluate(
+        self,
+        instances: Instance,
+        models: CommModel | str,
+        method: str = ...,
+        n_firings: int | None = ...,
+        *,
+        mode: str = ...,
+        objectives: Sequence[str] | str,
+        latency_mode: str = ...,
+    ) -> "EvalResult": ...
+
+    @overload
+    def evaluate(
+        self,
+        instances: Sequence[Instance] | Iterable[Instance],
+        models: CommModel | str | Sequence[CommModel | str],
+        method: str = ...,
+        n_firings: int | None = ...,
+        *,
+        mode: str = ...,
+        objectives: None = ...,
+        latency_mode: str = ...,
+    ) -> list[PeriodResult]: ...
+
+    @overload
+    def evaluate(
+        self,
+        instances: Sequence[Instance] | Iterable[Instance],
+        models: CommModel | str | Sequence[CommModel | str],
+        method: str = ...,
+        n_firings: int | None = ...,
+        *,
+        mode: str = ...,
+        objectives: Sequence[str] | str,
+        latency_mode: str = ...,
+    ) -> list["EvalResult"]: ...
+
+    def evaluate(
+        self,
+        instances: Instance | Sequence[Instance] | Iterable[Instance],
+        models: CommModel | str | Sequence[CommModel | str],
+        method: str = "auto",
+        n_firings: int | None = None,
+        *,
+        mode: str = "auto",
+        objectives: Sequence[str] | str | None = None,
+        latency_mode: str = "bound",
+    ) -> Any:
+        """The engine's single documented entry point.
+
+        One :class:`~repro.core.instance.Instance` evaluates through the
+        scalar cache path and returns one result; a sequence of
+        instances evaluates in order and returns a list aligned with the
+        input.  The keyword-only ``mode=`` narrows the dispatch:
+
+        ``"auto"``
+            Scalar for a single instance, ``"many"`` for a sequence
+            (the default — callers rarely need anything else).
+        ``"scalar"``
+            Require a single instance (the PR-1 ``evaluate`` path).
+        ``"many"``
+            A sequence of pairs; consecutive same-topology TPN runs are
+            lockstep-solved (the old ``evaluate_many``).
+        ``"group"``
+            A sequence that *must* share one topology signature, solved
+            as explicit lockstep slabs (the old ``evaluate_group``);
+            a mixed batch raises :class:`~repro.errors.ValidationError`.
+
+        ``objectives=`` selects the multi-criteria plane: pass a
+        comma-separated string or iterable of objective names
+        (``"period"``, ``"latency"``, ``"reliability"``) and the call
+        returns :class:`~repro.objectives.base.EvalResult` values
+        wrapping the same bit-identical period results; ``latency_mode``
+        chooses the deterministic worst-path ``"bound"`` (default) or
+        the exact ``"measured"`` simulation.  With ``objectives=None``
+        results are plain :class:`PeriodResult` — byte-for-byte the
+        pre-redesign behavior.
+
+        Method selection, validation errors and the
+        ``ReplicationExplosionError`` budget behave exactly like
+        :func:`repro.core.throughput.compute_period`.
+        """
+        single = isinstance(instances, Instance)
+        if mode not in ("auto", "scalar", "many", "group"):
+            raise ValidationError(
+                f"unknown mode {mode!r}; expected auto/scalar/many/group"
+            )
+        if mode == "scalar" and not single:
+            raise ValidationError(
+                "mode='scalar' expects a single Instance, not a sequence"
+            )
+        if single:
+            if mode in ("many", "group"):
+                raise ValidationError(
+                    f"mode={mode!r} expects a sequence of instances; got a "
+                    f"single Instance (use mode='scalar' or 'auto')"
+                )
+            if isinstance(models, (list, tuple)):
+                raise ValidationError(
+                    "a single instance takes a single model, not a sequence"
+                )
+            result = self._evaluate_point(
+                instances, models, method=method, n_firings=n_firings
+            )
+            if objectives is None:
+                return result
+            return next(iter(_attach_objectives(
+                [(instances, result.model)], [result], objectives,
+                latency_mode,
+            )))
+        pairs = _normalize_pairs(instances, models)
+        if mode == "group":
+            if pairs and any(m != pairs[0][1] for _, m in pairs):
+                raise ValidationError(
+                    "mode='group' expects a single shared model"
+                )
+            results = self._evaluate_uniform_group(
+                [inst for inst, _ in pairs],
+                pairs[0][1] if pairs else "overlap",
+                method=method,
+            )
+        else:
+            results = self._evaluate_sequence(
+                pairs, method=method, n_firings=n_firings
+            )
+        if objectives is None:
+            return results
+        return list(
+            _attach_objectives(pairs, results, objectives, latency_mode)
+        )
+
+    def _evaluate_point(
         self,
         inst: Instance,
         model: CommModel | str,
         method: str = "auto",
         n_firings: int | None = None,
     ) -> PeriodResult:
-        """Evaluate one pair through the cache (scalar-path semantics).
-
-        Method selection, validation errors and the
-        ``ReplicationExplosionError`` budget behave exactly like
-        :func:`repro.core.throughput.compute_period`.
-        """
+        """Evaluate one pair through the cache (scalar-path semantics)."""
         model = CommModel.parse(model)
         if method == "auto":
             method = "polynomial" if model.overlap else "tpn"
@@ -291,15 +484,27 @@ class BatchEngine:
         model: CommModel | str,
         method: str = "auto",
     ) -> list[PeriodResult]:
+        """Deprecated alias for :meth:`evaluate` with ``mode="group"``."""
+        _warn_deprecated(
+            "BatchEngine.evaluate_group", "BatchEngine.evaluate(mode='group')"
+        )
+        return self._evaluate_uniform_group(instances, model, method=method)
+
+    def _evaluate_uniform_group(
+        self,
+        instances: Sequence[Instance],
+        model: CommModel | str,
+        method: str = "auto",
+    ) -> list[PeriodResult]:
         """Evaluate one topology group through the lockstep solver.
 
         Every instance must share ``topology_signature(inst, model)``
         with the first (callers that may mix topologies should use
-        :meth:`evaluate_many`, which detects same-signature runs).  The
+        ``mode="many"``, which detects same-signature runs).  The
         TPN method stamps the whole group into one ``(B, E)`` weight
         matrix and runs
         :func:`~repro.maxplus.howard.solve_prepared_many`; other methods
-        fall back to per-pair :meth:`evaluate`.  Cold results are
+        fall back to the per-pair scalar path.  Cold results are
         bit-identical to per-pair evaluation; with ``warm_start=True``
         all rows seed from the group's carried policy (values unchanged,
         see :class:`~repro.maxplus.howard.HowardState`).
@@ -308,7 +513,10 @@ class BatchEngine:
         if method == "auto":
             method = "polynomial" if model.overlap else "tpn"
         if method != "tpn" or len(instances) < MIN_GROUP_ROWS:
-            return [self.evaluate(i, model, method=method) for i in instances]
+            return [
+                self._evaluate_point(i, model, method=method)
+                for i in instances
+            ]
         key = topology_signature(instances[0], model)
         for inst in instances[1:]:
             if topology_signature(inst, model) != key:
@@ -316,9 +524,9 @@ class BatchEngine:
                 # first instance's skeleton and return plausible but
                 # wrong numbers — fail loudly instead.
                 raise ValidationError(
-                    "evaluate_group requires every instance to share one "
+                    "mode='group' requires every instance to share one "
                     "topology signature (model + mapping assignments); "
-                    "use evaluate_many for mixed batches"
+                    "use mode='many' for mixed batches"
                 )
         out: list[PeriodResult] = []
         for i in range(0, len(instances), MAX_GROUP_ROWS):
@@ -380,22 +588,36 @@ class BatchEngine:
         method: str = "auto",
         n_firings: int | None = None,
     ) -> list[PeriodResult]:
+        """Deprecated alias for :meth:`evaluate` with ``mode="many"``."""
+        _warn_deprecated(
+            "BatchEngine.evaluate_many", "BatchEngine.evaluate(mode='many')"
+        )
+        return self._evaluate_sequence(
+            _normalize_pairs(instances, models),
+            method=method, n_firings=n_firings,
+        )
+
+    def _evaluate_sequence(
+        self,
+        pairs: list[tuple[Instance, CommModel]],
+        method: str = "auto",
+        n_firings: int | None = None,
+    ) -> list[PeriodResult]:
         """Evaluate pairs in order, locksteping same-topology runs.
 
-        The drop-in batched counterpart of calling :meth:`evaluate` in a
+        The drop-in batched counterpart of calling the scalar path in a
         loop: consecutive pairs whose ``(model, signature)`` match form
-        a group and go through :meth:`evaluate_group`; everything else
+        a group and go through the lockstep slabs; everything else
         (singleton runs, polynomial/simulation methods) takes the scalar
         path.  Results align with the input and are bit-identical to the
         per-pair loop on a cold engine.
         """
-        pairs = _normalize_pairs(instances, models)
         out: list[PeriodResult] = []
         for i, j, model, key in _signature_runs(pairs, method):
             if key is None or j - i < MIN_GROUP_ROWS:
                 out.extend(
-                    self.evaluate(inst, model, method=method,
-                                  n_firings=n_firings)
+                    self._evaluate_point(inst, model, method=method,
+                                         n_firings=n_firings)
                     for inst, _ in pairs[i:j]
                 )
             else:
@@ -487,16 +709,13 @@ def _evaluate_chunk(
     ):
         _WORKER_ENGINE = BatchEngine(max_rows=max_rows, warm_start=warm_start)
     engine = _WORKER_ENGINE
-    results = engine.evaluate_many(
-        [inst for inst, _ in chunk], [model for _, model in chunk], method=method
-    )
+    results = engine._evaluate_sequence(list(chunk), method=method)
     counters = TELEMETRY.counter_snapshot() if telemetry_on else None
     return results, counters
 
 
-def evaluate_stream(
-    instances: Sequence[Instance] | Iterable[Instance],
-    models: CommModel | str | Sequence[CommModel | str],
+def _stream_pairs(
+    pairs: list[tuple[Instance, CommModel]],
     method: str = "auto",
     max_rows: int | None = DEFAULT_MAX_ROWS,
     n_jobs: int | None = None,
@@ -506,39 +725,10 @@ def evaluate_stream(
 ) -> Iterator[PeriodResult]:
     """Lazily yield one :class:`PeriodResult` per pair, in input order.
 
-    Parameters
-    ----------
-    instances:
-        The instances to evaluate.
-    models:
-        A single model applied to every instance, or one model per
-        instance.
-    method:
-        ``"auto"`` / ``"polynomial"`` / ``"tpn"`` / ``"simulation"``,
-        with :func:`compute_period`'s semantics.
-    max_rows:
-        TPN row budget (per evaluation, like the scalar path).
-    n_jobs:
-        ``None``/``1`` evaluates serially in-process (results stream
-        per same-topology run, lockstep-solved); ``0`` uses all cores;
-        ``k > 1`` uses ``k`` worker processes (results stream per
-        chunk, still in order).
-    chunk_size:
-        Pairs per worker task; default balances ~4 chunks per worker.
-        Chunks are contiguous, so keep topology groups adjacent in the
-        input for best cache locality *and* full-chunk lockstep groups.
-    engine:
-        Serial path only: reuse a caller-owned :class:`BatchEngine`
-        (e.g. to share its cache across successive sweeps).  When given,
-        the engine's own ``warm_start`` flag governs, not this call's.
-        Combining ``engine=`` with a parallel ``n_jobs`` raises
-        :class:`~repro.errors.ValidationError` — worker processes
-        cannot share the caller's cache, and silently ignoring the
-        engine (the old behavior) hid the mistake.
-    warm_start:
-        Opt-in Howard warm starting inside each evaluating engine (see
-        :class:`BatchEngine`).  Period values are identical to cold
-        start; extracted critical cycles may depend on chunk boundaries.
+    The engine room of the module-level :func:`evaluate`: serial path
+    through one (caller-owned or fresh) :class:`BatchEngine`, parallel
+    path through the bounded in-flight chunk window.  See
+    :func:`evaluate` for parameter semantics.
     """
     if engine is not None and n_jobs not in (None, 1):
         raise ValidationError(
@@ -546,7 +736,6 @@ def evaluate_stream(
             f"worker processes, which cannot share the caller's engine "
             f"cache; drop engine= or run with n_jobs=1"
         )
-    pairs = _normalize_pairs(instances, models)
     if n_jobs is None or n_jobs == 1 or len(pairs) < MIN_PARALLEL_BATCH:
         eng = engine if engine is not None else BatchEngine(
             max_rows=max_rows, warm_start=warm_start)
@@ -556,7 +745,7 @@ def evaluate_stream(
         for i, j, model, key in _signature_runs(pairs, method):
             if key is None or j - i < MIN_GROUP_ROWS:
                 for inst, _ in pairs[i:j]:
-                    yield eng.evaluate(inst, model, method=method)
+                    yield eng._evaluate_point(inst, model, method=method)
             else:
                 group = [p[0] for p in pairs[i:j]]
                 for k in range(0, len(group), MAX_GROUP_ROWS):
@@ -594,6 +783,151 @@ def evaluate_stream(
             yield from results
 
 
+@overload
+def evaluate(
+    instances: Sequence[Instance] | Iterable[Instance],
+    models: CommModel | str | Sequence[CommModel | str],
+    method: str = ...,
+    *,
+    mode: str = ...,
+    max_rows: int | None = ...,
+    n_jobs: int | None = ...,
+    chunk_size: int | None = ...,
+    engine: BatchEngine | None = ...,
+    warm_start: bool = ...,
+    objectives: None = ...,
+    latency_mode: str = ...,
+) -> list[PeriodResult]: ...
+
+
+@overload
+def evaluate(
+    instances: Sequence[Instance] | Iterable[Instance],
+    models: CommModel | str | Sequence[CommModel | str],
+    method: str = ...,
+    *,
+    mode: str = ...,
+    max_rows: int | None = ...,
+    n_jobs: int | None = ...,
+    chunk_size: int | None = ...,
+    engine: BatchEngine | None = ...,
+    warm_start: bool = ...,
+    objectives: Sequence[str] | str,
+    latency_mode: str = ...,
+) -> list["EvalResult"]: ...
+
+
+def evaluate(
+    instances: Sequence[Instance] | Iterable[Instance],
+    models: CommModel | str | Sequence[CommModel | str],
+    method: str = "auto",
+    *,
+    mode: str = "batch",
+    max_rows: int | None = DEFAULT_MAX_ROWS,
+    n_jobs: int | None = None,
+    chunk_size: int | None = None,
+    engine: BatchEngine | None = None,
+    warm_start: bool = False,
+    objectives: Sequence[str] | str | None = None,
+    latency_mode: str = "bound",
+) -> Any:
+    """The module-level entry point: evaluate pairs, sharded on request.
+
+    Drop-in replacement for ``[compute_period(i, m, method) for i, m in
+    pairs]`` — same values, same exceptions — with skeleton caching and
+    optional multi-process sharding.
+
+    Parameters
+    ----------
+    instances:
+        The instances to evaluate.
+    models:
+        A single model applied to every instance, or one model per
+        instance.
+    method:
+        ``"auto"`` / ``"polynomial"`` / ``"tpn"`` / ``"simulation"``,
+        with :func:`compute_period`'s semantics.
+    mode:
+        Keyword-only.  ``"batch"`` (default) returns the full result
+        list aligned with the input; ``"stream"`` returns a lazy
+        iterator that yields results in input order (per same-topology
+        run on the serial path, per chunk on the parallel path).
+    max_rows:
+        TPN row budget (per evaluation, like the scalar path).
+    n_jobs:
+        ``None``/``1`` evaluates serially in-process; ``0`` uses all
+        cores; ``k > 1`` uses ``k`` worker processes.  Results are
+        bit-identical whatever the worker count.
+    chunk_size:
+        Pairs per worker task; default balances ~4 chunks per worker.
+        Chunks are contiguous, so keep topology groups adjacent in the
+        input for best cache locality *and* full-chunk lockstep groups.
+    engine:
+        Serial path only: reuse a caller-owned :class:`BatchEngine`
+        (e.g. to share its cache across successive sweeps).  When given,
+        the engine's own ``warm_start`` flag governs, not this call's.
+        Combining ``engine=`` with a parallel ``n_jobs`` raises
+        :class:`~repro.errors.ValidationError` — worker processes
+        cannot share the caller's cache.
+    warm_start:
+        Opt-in Howard warm starting inside each evaluating engine (see
+        :class:`BatchEngine`).  Period values are identical to cold
+        start; extracted critical cycles may depend on chunk boundaries.
+    objectives:
+        ``None`` (default) returns plain :class:`PeriodResult` values —
+        byte-identical to the pre-redesign behavior.  A selection of
+        objective names returns
+        :class:`~repro.objectives.base.EvalResult` values; the extra
+        objectives are computed in the calling process, so they are
+        identical whatever ``n_jobs``.
+    latency_mode:
+        ``"bound"`` (deterministic worst-path bound, default) or
+        ``"measured"`` (exact simulation) for the latency objective.
+
+    Examples
+    --------
+    >>> from repro.experiments.examples_paper import example_a
+    >>> from repro.core.throughput import compute_period
+    >>> batch = evaluate([example_a()] * 3, "overlap")
+    >>> [r.period for r in batch]
+    [189.0, 189.0, 189.0]
+    >>> batch[0].period == compute_period(example_a(), "overlap").period
+    True
+    """
+    if mode not in ("batch", "stream"):
+        raise ValidationError(
+            f"unknown mode {mode!r}; expected batch/stream"
+        )
+    pairs = _normalize_pairs(instances, models)
+    stream: Iterator[PeriodResult] = _stream_pairs(
+        pairs, method=method, max_rows=max_rows, n_jobs=n_jobs,
+        chunk_size=chunk_size, engine=engine, warm_start=warm_start,
+    )
+    if objectives is None:
+        return stream if mode == "stream" else list(stream)
+    wrapped = _attach_objectives(pairs, stream, objectives, latency_mode)
+    return wrapped if mode == "stream" else list(wrapped)
+
+
+def evaluate_stream(
+    instances: Sequence[Instance] | Iterable[Instance],
+    models: CommModel | str | Sequence[CommModel | str],
+    method: str = "auto",
+    max_rows: int | None = DEFAULT_MAX_ROWS,
+    n_jobs: int | None = None,
+    chunk_size: int | None = None,
+    engine: BatchEngine | None = None,
+    warm_start: bool = False,
+) -> Iterator[PeriodResult]:
+    """Deprecated alias for :func:`evaluate` with ``mode="stream"``."""
+    _warn_deprecated("evaluate_stream", "evaluate(mode='stream')")
+    return _stream_pairs(
+        _normalize_pairs(instances, models), method=method,
+        max_rows=max_rows, n_jobs=n_jobs, chunk_size=chunk_size,
+        engine=engine, warm_start=warm_start,
+    )
+
+
 def evaluate_batch(
     instances: Sequence[Instance] | Iterable[Instance],
     models: CommModel | str | Sequence[CommModel | str],
@@ -604,27 +938,12 @@ def evaluate_batch(
     engine: BatchEngine | None = None,
     warm_start: bool = False,
 ) -> list[PeriodResult]:
-    """Evaluate all pairs and return results aligned with the input.
-
-    Drop-in replacement for ``[compute_period(i, m, method) for i, m in
-    pairs]`` — same values, same exceptions — with skeleton caching and
-    optional multi-process sharding.  See :func:`evaluate_stream` for
-    parameters.
-
-    Examples
-    --------
-    >>> from repro.experiments.examples_paper import example_a
-    >>> from repro.core.throughput import compute_period
-    >>> batch = evaluate_batch([example_a()] * 3, "overlap")
-    >>> [r.period for r in batch]
-    [189.0, 189.0, 189.0]
-    >>> batch[0].period == compute_period(example_a(), "overlap").period
-    True
-    """
+    """Deprecated alias for :func:`evaluate` with ``mode="batch"``."""
+    _warn_deprecated("evaluate_batch", "evaluate(mode='batch')")
     return list(
-        evaluate_stream(
-            instances, models, method=method, max_rows=max_rows,
-            n_jobs=n_jobs, chunk_size=chunk_size, engine=engine,
-            warm_start=warm_start,
+        _stream_pairs(
+            _normalize_pairs(instances, models), method=method,
+            max_rows=max_rows, n_jobs=n_jobs, chunk_size=chunk_size,
+            engine=engine, warm_start=warm_start,
         )
     )

@@ -19,6 +19,12 @@ mapping plus every restart's trace, round-trippable through
 (:func:`restarts_to_csv` — one row per restart, for quick spreadsheet
 triage of which seed strategy won).  Both back the
 ``repro-workflow optimize --json/--csv`` flags.
+
+:func:`format_payload` is the CLI's unified ``--format {text,json}``
+writer: every subcommand that can speak to machines routes its stdout
+payload through it, so ``--format json`` output is canonical JSON
+everywhere (the historical ``--json PATH`` / ``--summary-json PATH``
+file flags remain as compatibility aliases).
 """
 
 from __future__ import annotations
@@ -26,8 +32,9 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
+from ..errors import ValidationError
 from ..utils import canonical_json
 from .runner import ExperimentRecord
 
@@ -35,13 +42,48 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search -> engine)
     from ..search.portfolio import PortfolioResult
 
 __all__ = [
+    "OUTPUT_FORMATS",
     "canonical_json",
+    "format_payload",
     "write_canonical_json",
     "records_to_csv",
     "records_from_csv",
     "portfolio_to_json",
     "restarts_to_csv",
 ]
+
+#: The CLI's unified machine-output convention (``--format`` choices).
+OUTPUT_FORMATS = ("text", "json")
+
+
+def format_payload(
+    payload: object,
+    fmt: str = "text",
+    render: Callable[[object], str] | None = None,
+) -> str:
+    """One payload, rendered under the CLI's ``--format`` convention.
+
+    The shared writer behind every subcommand's ``--format {text,json}``
+    flag: ``"text"`` goes through the caller's human renderer (``str``
+    when none is given), ``"json"`` always goes through
+    :func:`canonical_json` — so machine output is byte-deterministic
+    regardless of which subcommand produced it.  The returned text ends
+    in exactly one newline in both modes.
+
+    >>> format_payload({"b": 2, "a": 1}, "json")
+    '{\\n  "a": 1,\\n  "b": 2\\n}\\n'
+    >>> format_payload("done", "text")
+    'done\\n'
+    """
+    if fmt not in OUTPUT_FORMATS:
+        raise ValidationError(
+            f"unknown output format {fmt!r} (expected one of: "
+            f"{', '.join(OUTPUT_FORMATS)})"
+        )
+    if fmt == "json":
+        return canonical_json(payload, indent=2) + "\n"
+    text = str(payload) if render is None else render(payload)
+    return text if text.endswith("\n") else text + "\n"
 
 
 def write_canonical_json(payload: object, path: str | Path) -> str:

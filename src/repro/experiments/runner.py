@@ -15,7 +15,7 @@ between interpreter runs.
 Two execution engines are available (``engine=`` parameter):
 
 * ``"batch"`` (default) — instances are generated up front and evaluated
-  through :func:`repro.engine.evaluate_batch`, which caches the TPN
+  through :func:`repro.engine.evaluate`, which caches the TPN
   skeleton and solver preparation per mapping topology and shards large
   sweeps across worker processes with deterministic chunking;
 * ``"percall"`` — the historical path: one
@@ -41,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - layering: campaign sits above
 from ..core.instance import Instance
 from ..core.models import CommModel
 from ..core.throughput import PeriodResult, compute_period
-from ..engine import evaluate_batch
+from ..engine import evaluate
 from ..errors import ValidationError
 from .generator import ExperimentConfig, instance_from_config
 
@@ -192,7 +192,7 @@ def run_family(
         Worker processes; ``None``/1 runs serially, 0 uses all cores.
     engine:
         ``"batch"`` routes evaluation through
-        :func:`repro.engine.evaluate_batch` (topology-cached, sharded);
+        :func:`repro.engine.evaluate` (topology-cached, sharded);
         ``"percall"`` keeps the historical one-call-per-seed path.
         Records are bit-identical either way.
     store:
@@ -217,7 +217,7 @@ def run_family(
     if engine == "batch":
         instances = [_draw_instance(config, s, max_paths) for s in seeds]
         if store is None:
-            results = evaluate_batch(
+            results = evaluate(
                 instances, model, max_rows=max_paths + 1, n_jobs=n_jobs
             )
             return [
@@ -253,7 +253,7 @@ def _run_family_stored(
     """Batch sweep through a content-addressed store.
 
     Stored digests are served from the store; only the missing
-    instances go through :func:`evaluate_batch`, and their payloads are
+    instances go through :func:`evaluate`, and their payloads are
     written back so the next overlapping sweep or campaign reuses them.
     """
     # Function-level import: experiments.io imports this module, and
@@ -271,7 +271,7 @@ def _run_family_stored(
             miss_idx.append(i)
         else:
             payloads[i] = payload
-    results = evaluate_batch(
+    results = evaluate(
         [instances[i] for i in miss_idx], model,
         max_rows=max_paths + 1, n_jobs=n_jobs,
     )

@@ -1,0 +1,154 @@
+"""Objective plane: named criteria and the multi-objective result type.
+
+The library's original evaluation surface is period-shaped — every
+oracle call returns a :class:`~repro.core.throughput.PeriodResult`.
+The multi-criteria papers the portfolio builds toward optimize three
+criteria at once, so this module names them and generalizes the result
+type:
+
+* ``"period"`` — steady-state period ``P`` (minimize); the paper's
+  original objective, computed exactly by the engine;
+* ``"latency"`` — time one data set spends in the pipeline (minimize);
+  by default the deterministic contention-free worst-path bound, or the
+  exact simulated latency on request;
+* ``"reliability"`` — success probability of the replicated pipeline
+  (maximize), from :mod:`repro.objectives.reliability`.
+
+:class:`EvalResult` wraps the engine's ``PeriodResult`` and carries the
+extra objective values; :meth:`EvalResult.vector` projects onto a
+*minimization-space* tuple (reliability contributes ``-R``) so Pareto
+dominance and scalarization read uniformly "smaller is better".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.throughput import PeriodResult
+from ..errors import ValidationError
+
+__all__ = [
+    "OBJECTIVE_NAMES",
+    "OBJECTIVE_SENSES",
+    "parse_objectives",
+    "EvalResult",
+]
+
+#: Canonical objective order: every objective tuple is a subsequence.
+OBJECTIVE_NAMES: tuple[str, ...] = ("period", "latency", "reliability")
+
+#: Optimization sense per objective (``min`` or ``max``).
+OBJECTIVE_SENSES: dict[str, str] = {
+    "period": "min",
+    "latency": "min",
+    "reliability": "max",
+}
+
+
+def parse_objectives(spec: str | Iterable[str] | None) -> tuple[str, ...]:
+    """Validate and canonicalize an objective selection.
+
+    Accepts a comma-separated string, an iterable of names, or ``None``
+    (the period-only default).  Names are deduplicated and returned in
+    the canonical :data:`OBJECTIVE_NAMES` order so equal selections
+    always produce equal tuples — digests and artifact bytes depend on
+    this.
+
+    >>> parse_objectives(None)
+    ('period',)
+    >>> parse_objectives("reliability,period")
+    ('period', 'reliability')
+    >>> parse_objectives(["latency"])
+    ('latency',)
+    """
+    if spec is None:
+        return ("period",)
+    names = spec.split(",") if isinstance(spec, str) else list(spec)
+    cleaned = [str(n).strip() for n in names if str(n).strip()]
+    if not cleaned:
+        raise ValidationError("objectives must name at least one criterion")
+    for name in cleaned:
+        if name not in OBJECTIVE_NAMES:
+            raise ValidationError(
+                f"unknown objective {name!r}; expected one of: "
+                f"{', '.join(OBJECTIVE_NAMES)}"
+            )
+    selected = set(cleaned)
+    return tuple(n for n in OBJECTIVE_NAMES if n in selected)
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Multi-objective outcome of evaluating one mapped instance.
+
+    Attributes
+    ----------
+    objectives:
+        The criteria this result was evaluated under (canonical order).
+    period_result:
+        The engine's exact :class:`PeriodResult` — always present, so
+        period-only consumers lose nothing.
+    latency:
+        Latency value (``None`` unless ``"latency"`` was requested).
+    reliability:
+        Pipeline success probability (``None`` unless requested).
+    latency_mode:
+        ``"bound"`` (contention-free worst-path bound) or
+        ``"measured"`` (exact simulation).
+    """
+
+    objectives: tuple[str, ...]
+    period_result: PeriodResult
+    latency: float | None = None
+    reliability: float | None = None
+    latency_mode: str = "bound"
+
+    @property
+    def period(self) -> float:
+        """Steady-state period ``P`` from the wrapped engine result."""
+        return float(self.period_result.period)
+
+    def value(self, objective: str) -> float:
+        """Raw value of one objective (its natural sense, not negated)."""
+        if objective == "period":
+            return self.period
+        if objective == "latency":
+            if self.latency is None:
+                raise ValidationError("latency was not evaluated")
+            return float(self.latency)
+        if objective == "reliability":
+            if self.reliability is None:
+                raise ValidationError("reliability was not evaluated")
+            return float(self.reliability)
+        raise ValidationError(
+            f"unknown objective {objective!r}; expected one of: "
+            f"{', '.join(OBJECTIVE_NAMES)}"
+        )
+
+    def vector(self) -> tuple[float, ...]:
+        """Minimization-space projection in objective order.
+
+        ``period`` and ``latency`` pass through; ``reliability`` (a
+        maximization criterion) contributes ``-R`` so that dominance and
+        scalarization uniformly minimize.
+        """
+        out: list[float] = []
+        for name in self.objectives:
+            v = self.value(name)
+            out.append(-v if OBJECTIVE_SENSES[name] == "max" else v)
+        return tuple(out)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data representation (objective values only)."""
+        data: dict[str, Any] = {
+            "objectives": list(self.objectives),
+            "period": self.period,
+        }
+        if self.latency is not None:
+            data["latency"] = float(self.latency)
+            data["latency_mode"] = self.latency_mode
+        if self.reliability is not None:
+            data["reliability"] = float(self.reliability)
+        return data

@@ -1,0 +1,113 @@
+"""Replication policies: spending spare processors on throughput vs
+reliability.
+
+Replication is the paper's throughput lever — ``m_i`` replicas of a
+stage round-robin the data sets and cut the computation column of the
+period by ``m_i`` — but under the independent-failure model of
+:mod:`repro.objectives.reliability` the *same* replicas are also the
+reliability lever: a stage survives when at least one replica does, so
+its failure probability is the product of its replicas' rates.  The two
+policies here make that trade-off explicit by spending the spare
+processors of a platform one at a time on opposite ends of it:
+
+* ``"throughput"`` — each grant goes to the stage whose computation
+  load per unit of assigned speed is currently worst (the period's
+  bottleneck column);
+* ``"reliability"`` — each grant goes to the stage whose failure
+  probability is currently worst (the reliability bottleneck factor).
+
+Both are deterministic constructive heuristics (stable sorts, ties to
+the lower stage index), cheap enough to seed the multi-criteria
+portfolio's probe phase with one mapping per end of the Pareto front.
+"""
+
+from __future__ import annotations
+
+from math import lcm
+
+from ..core.application import Application
+from ..core.mapping import Mapping
+from ..core.platform import Platform
+from ..errors import ValidationError
+
+__all__ = ["REPLICATION_POLICIES", "replication_policy_mapping"]
+
+#: Recognized ``policy=`` values of :func:`replication_policy_mapping`.
+REPLICATION_POLICIES = ("throughput", "reliability")
+
+
+def _throughput_pressure(app: Application, plat: Platform,
+                         assign: list[list[int]], stage: int) -> float:
+    """Computation load per unit of speed currently serving ``stage``."""
+    speed = sum(float(plat.speeds[u]) for u in assign[stage])
+    return float(app.works[stage]) / speed
+
+
+def _failure_pressure(plat: Platform, assign: list[list[int]],
+                      stage: int) -> float:
+    """Failure probability of ``stage`` under independent replica faults."""
+    prob = 1.0
+    for u in assign[stage]:
+        prob *= plat.failure_rate(u)
+    return prob
+
+
+def replication_policy_mapping(
+    app: Application,
+    plat: Platform,
+    policy: str = "throughput",
+    replicas: int | None = None,
+    max_paths: int = 3000,
+) -> Mapping:
+    """Deterministic replicated mapping under a named replication policy.
+
+    Stages are seeded with the fastest processors one-to-one (the same
+    seed as :func:`repro.extensions.mapping_opt.greedy_mapping`), then
+    the remaining processors — all of them, or at most ``replicas``
+    when given — are granted one at a time to the policy's current
+    bottleneck stage.  A grant that would push the mapping's round-robin
+    path count (``lcm`` of the replica counts) past ``max_paths`` falls
+    through to the next-worst stage; the loop stops when no stage can
+    take the processor.
+
+    >>> app = Application(works=[8.0, 2.0, 2.0], file_sizes=[1.0, 1.0],
+    ...                   name="demo")
+    >>> plat = Platform.homogeneous(6, speed=1.0).with_failure_rates(
+    ...     [0.1, 0.1, 0.1, 0.1, 0.3, 0.3])
+    >>> replication_policy_mapping(app, plat, "throughput").assignments
+    ((0, 3, 4, 5), (1,), (2,))
+    >>> replication_policy_mapping(app, plat, "reliability").assignments
+    ((0, 3), (1, 4), (2, 5))
+    """
+    if policy not in REPLICATION_POLICIES:
+        raise ValidationError(
+            f"unknown replication policy {policy!r} (expected one of: "
+            f"{', '.join(REPLICATION_POLICIES)})"
+        )
+    n, p = app.n_stages, plat.n_processors
+    if p < n:
+        raise ValidationError("need at least one processor per stage")
+    speed_order = sorted(range(p), key=lambda u: (-float(plat.speeds[u]), u))
+    assign: list[list[int]] = [[speed_order[i]] for i in range(n)]
+    free = speed_order[n:]
+    if replicas is not None:
+        free = free[: max(0, replicas)]
+
+    for u in free:
+        if policy == "throughput":
+            pressure = [
+                _throughput_pressure(app, plat, assign, i) for i in range(n)
+            ]
+        else:
+            pressure = [_failure_pressure(plat, assign, i) for i in range(n)]
+        # Worst pressure first, ties to the lower stage index.
+        for stage in sorted(range(n), key=lambda i: (-pressure[i], i)):
+            counts = [len(s) for s in assign]
+            counts[stage] += 1
+            if lcm(*counts) <= max_paths:
+                assign[stage].append(u)
+                break
+        else:
+            break  # no stage can take this processor within max_paths
+
+    return Mapping([tuple(s) for s in assign], n_processors=p)

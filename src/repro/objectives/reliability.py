@@ -1,0 +1,77 @@
+"""Replication-aware reliability model (Benoit/Rehn-Sonigo/Robert).
+
+The multi-criteria follow-on papers to the ICPP 2009 throughput study
+("Multi-criteria scheduling of pipeline workflows", 2007; "Optimizing
+Latency and Reliability of Pipeline Workflow Applications", 2008) attach
+a failure probability to each processor and ask what a *replicated*
+mapping buys in terms of success probability.
+
+The model here is the standard independent-failure one:
+
+* processor ``P_u`` fails while handling one data set with probability
+  ``f_u`` (``Platform.failure_rates``; 0 when the platform carries no
+  failure model);
+* a stage replicated on processors ``{u_1, ..., u_m}`` succeeds when at
+  least one replica survives: ``1 - prod_j f_{u_j}``;
+* the pipeline succeeds when every stage does (stages fail
+  independently): ``R = prod_stages (1 - prod_j f_{u_j})``.
+
+Two consequences the tests pin down:
+
+* **zero failure rates** (or an unmodelled platform) give reliability
+  exactly 1.0 for every mapping;
+* **adding a replica never hurts**: the inner product over replicas can
+  only shrink, so ``R`` is monotone non-decreasing in replication —
+  replicas can be spent on reliability instead of throughput.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.instance import Instance
+from ..core.mapping import Mapping
+from ..core.platform import Platform
+
+__all__ = ["stage_reliability", "mapping_reliability", "instance_reliability"]
+
+
+def stage_reliability(plat: Platform, replicas: Sequence[int]) -> float:
+    """Probability that at least one replica of a stage survives.
+
+    ``replicas`` are the processor indices the stage is replicated on.
+
+    >>> plat = Platform.homogeneous(3).with_failure_rates(0.1)
+    >>> stage_reliability(plat, [0])
+    0.9
+    >>> stage_reliability(plat, [0, 1])
+    0.99
+    """
+    if not replicas:
+        raise ValueError("a stage must be mapped on at least one processor")
+    all_fail = 1.0
+    for proc in replicas:
+        all_fail *= plat.failure_rate(int(proc))
+    return 1.0 - all_fail
+
+
+def mapping_reliability(plat: Platform, mapping: Mapping) -> float:
+    """Success probability of a whole mapped pipeline.
+
+    The product over stages of :func:`stage_reliability`; exactly 1.0
+    when the platform has no failure model (every ``f_u`` is 0).
+
+    >>> plat = Platform.homogeneous(4).with_failure_rates(0.5)
+    >>> mapping = Mapping([[0, 1], [2, 3]])
+    >>> mapping_reliability(plat, mapping)
+    0.5625
+    """
+    reliability = 1.0
+    for stage in range(mapping.n_stages):
+        reliability *= stage_reliability(plat, mapping.processors_of(stage))
+    return reliability
+
+
+def instance_reliability(inst: Instance) -> float:
+    """:func:`mapping_reliability` of an instance's platform + mapping."""
+    return mapping_reliability(inst.platform, inst.mapping)

@@ -11,28 +11,48 @@ the mapping (Benoit & Robert, JPDC 2008; Benoit, Rehn-Sonigo & Robert,
   oracle-call pool that makes heuristics comparable at equal cost;
 * :mod:`repro.search.allocator` — pluggable budget-allocation
   strategies over that pool: :class:`~repro.search.allocator.FairShareAllocator`
-  (even splits) and :class:`~repro.search.allocator.RacingAllocator`
-  (successive halving over checkpoint-resumable climbs);
+  (even splits), :class:`~repro.search.allocator.RacingAllocator`
+  (successive halving over checkpoint-resumable climbs) and the
+  multi-criteria pair
+  :class:`~repro.search.allocator.EpsilonConstraintAllocator` /
+  :class:`~repro.search.allocator.WeightedScalarizationAllocator`;
 * :func:`~repro.search.portfolio.portfolio_search` — diversified
   greedy / random / perturbed-elite restarts of
   :func:`~repro.extensions.mapping_opt.local_search_mapping` over one
   shared :class:`~repro.engine.batch.BatchEngine`, with deterministic
   ``crc32``-keyed seeding, per-restart (and per-rung) traces and
-  optional Howard warm starting.
+  optional Howard warm starting;
+* :func:`~repro.search.pareto.pareto_portfolio_search` — the
+  multi-criteria portfolio over the :mod:`repro.objectives` plane:
+  scalarized climbs (epsilon-constraint sweeps / simplex-grid weighted
+  sums) feeding one deterministic
+  :class:`~repro.objectives.ParetoArchive`.
 
-Exposed on the CLI as ``repro-workflow optimize [--allocator racing]``;
-see ``benchmarks/bench_portfolio.py`` for the equal-budget three-way
+Exposed on the CLI as ``repro-workflow optimize [--allocator racing]``
+(multi-criteria via ``--objectives``); see
+``benchmarks/bench_portfolio.py`` for the equal-budget three-way
 comparison against single-start local search.
 """
 
 from .allocator import (
     BudgetAllocator,
     Climb,
+    EpsilonConstraintAllocator,
     FairShareAllocator,
+    ParetoAllocator,
     RacingAllocator,
+    WeightedScalarizationAllocator,
     resolve_allocator,
 )
 from .budget import EvaluationBudget
+from .pareto import (
+    Direction,
+    DirectionRecord,
+    ParetoPortfolioResult,
+    pareto_portfolio_search,
+    pareto_seeds,
+    scalarization_directions,
+)
 from .portfolio import (
     PortfolioResult,
     RestartRecord,
@@ -43,12 +63,21 @@ from .portfolio import (
 __all__ = [
     "BudgetAllocator",
     "Climb",
+    "Direction",
+    "DirectionRecord",
+    "EpsilonConstraintAllocator",
     "EvaluationBudget",
     "FairShareAllocator",
+    "ParetoAllocator",
+    "ParetoPortfolioResult",
     "PortfolioResult",
     "RacingAllocator",
     "RestartRecord",
+    "WeightedScalarizationAllocator",
+    "pareto_portfolio_search",
+    "pareto_seeds",
     "portfolio_search",
     "portfolio_seeds",
     "resolve_allocator",
+    "scalarization_directions",
 ]

@@ -19,6 +19,11 @@ gets*:
   A lucky deep basin still gets most of the budget — but only after
   beating the field at every rung, which is exactly where fair-share
   loses to a single lucky deep climb on rugged platforms.
+* :class:`EpsilonConstraintAllocator` /
+  :class:`WeightedScalarizationAllocator` — the multi-criteria
+  strategies behind :func:`repro.search.pareto.pareto_portfolio_search`:
+  fair-share budget dealing across deterministic scalarization
+  directions (epsilon sweeps / simplex-grid weight vectors).
 
 Both allocators spend from the same
 :class:`~repro.search.budget.EvaluationBudget`, so portfolios under
@@ -50,6 +55,9 @@ __all__ = [
     "BudgetAllocator",
     "FairShareAllocator",
     "RacingAllocator",
+    "ParetoAllocator",
+    "EpsilonConstraintAllocator",
+    "WeightedScalarizationAllocator",
     "resolve_allocator",
 ]
 
@@ -244,11 +252,51 @@ class RacingAllocator(BudgetAllocator):
         return climbs
 
 
+class ParetoAllocator(FairShareAllocator):
+    """Base of the multi-criteria allocators (fair-share budget dealing).
+
+    A Pareto allocator deals the pool exactly like
+    :class:`FairShareAllocator` — an even split of the remaining pool
+    per scalarization direction, under-spent slices rolling forward —
+    and additionally names the **scalarization strategy** the Pareto
+    driver uses to turn restart indexes into search directions
+    (:mod:`repro.search.pareto` owns the direction math).  Passing one
+    to the period-only :func:`repro.search.portfolio_search` is
+    harmless: the strategy is simply unused and the portfolio behaves
+    as under fair-share.
+    """
+
+    #: Consumed by :func:`repro.search.pareto.scalarization_directions`.
+    strategy: ClassVar[str] = "?"
+
+
+class EpsilonConstraintAllocator(ParetoAllocator):
+    """Epsilon-constraint directions: optimize the primary objective
+    subject to per-direction bounds on each secondary objective, the
+    bounds swept deterministically across the probed objective ranges.
+    """
+
+    name: ClassVar[str] = "epsilon-constraint"
+    strategy: ClassVar[str] = "epsilon"
+
+
+class WeightedScalarizationAllocator(ParetoAllocator):
+    """Weighted-sum directions: minimize ``w · v`` over range-normalized
+    minimization-space vectors, with weight vectors on a deterministic
+    simplex grid.
+    """
+
+    name: ClassVar[str] = "weighted-sum"
+    strategy: ClassVar[str] = "weighted"
+
+
 #: Registry backing the ``allocator=`` string shorthand (and the CLI
 #: ``optimize --allocator`` choices).
 ALLOCATORS: dict[str, type[BudgetAllocator]] = {
     FairShareAllocator.name: FairShareAllocator,
     RacingAllocator.name: RacingAllocator,
+    EpsilonConstraintAllocator.name: EpsilonConstraintAllocator,
+    WeightedScalarizationAllocator.name: WeightedScalarizationAllocator,
 }
 
 
@@ -260,7 +308,7 @@ def resolve_allocator(spec: "str | BudgetAllocator") -> BudgetAllocator:
     >>> resolve_allocator("typo")
     Traceback (most recent call last):
         ...
-    repro.errors.ValidationError: unknown allocator 'typo' (expected one of: fair-share, racing)
+    repro.errors.ValidationError: unknown allocator 'typo' (expected one of: epsilon-constraint, fair-share, racing, weighted-sum)
     """
     if isinstance(spec, BudgetAllocator):
         return spec

@@ -149,3 +149,82 @@ class TestOtherCommands:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestUnifiedFormat:
+    """--format {text,json}: one machine-output convention (PR 10)."""
+
+    def test_optimize_json_stdout(self, capsys):
+        assert main(["optimize", "a", "--restarts", "2", "--budget", "60",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["evaluations"] <= 60
+        assert data["period"] > 0 and data["allocator"] == "fair-share"
+
+    def test_optimize_text_is_default(self, capsys):
+        assert main(["optimize", "a", "--restarts", "2",
+                     "--budget", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
+    def test_optimize_objectives_text(self, capsys):
+        assert main(["optimize", "a", "--objectives", "period,latency",
+                     "--restarts", "2", "--budget", "60",
+                     "--iters", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "objectives     : period, latency" in out
+        assert "pareto front" in out
+
+    def test_optimize_objectives_json(self, tmp_path, capsys):
+        out_file = tmp_path / "front.json"
+        assert main(["optimize", "a", "--objectives", "period,latency",
+                     "--restarts", "2", "--budget", "60", "--iters", "10",
+                     "--format", "json", "--json", str(out_file)]) == 0
+        stdout_data = json.loads(capsys.readouterr().out)
+        file_data = json.loads(out_file.read_text())
+        assert stdout_data == file_data
+        assert stdout_data["objectives"] == ["period", "latency"]
+        assert stdout_data["front"]
+        for entry in stdout_data["front"]:
+            assert entry["period"] > 0 and entry["latency"] > 0
+
+    def test_optimize_objectives_allocator_choice(self, capsys):
+        assert main(["optimize", "a", "--objectives", "period,latency",
+                     "--allocator", "weighted-sum", "--restarts", "2",
+                     "--budget", "60", "--iters", "10",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["allocator"] == "weighted-sum"
+
+    def test_campaign_run_and_report_json(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({
+            "name": "fmt-demo", "draws": 2, "models": ["overlap"],
+            "applications": [{"workload": "audio-pipeline"}],
+            "platforms": [{"n_procs": 6}],
+            "replications": [{"policy": "balls"}],
+            "max_paths": 200,
+            "objectives": ["period", "latency"],
+        }))
+        store = str(tmp_path / "s.sqlite")
+        assert main(["campaign", "run", str(spec_file), "--store", store,
+                     "--format", "json"]) == 0
+        run_data = json.loads(capsys.readouterr().out)
+        assert run_data["complete"]
+        assert main(["campaign", "report", str(spec_file),
+                     "--store", store, "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["objectives"]["names"] == ["period", "latency"]
+        assert main(["campaign", "status", str(spec_file),
+                     "--store", store, "--format", "json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["pending"] == 0
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "--family", "4", "--count", "3",
+                     "--jobs", "1", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiments"] == len(data["records"]) == 3
+        assert all(r["period"] > 0 for r in data["records"])

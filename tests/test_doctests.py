@@ -32,8 +32,15 @@ MODULES = [
     "repro.campaign.store",
     "repro.campaign.executor",
     "repro.extensions.mapping_opt",
+    "repro.experiments.io",
+    "repro.objectives.base",
+    "repro.objectives.evaluate",
+    "repro.objectives.pareto",
+    "repro.objectives.policy",
+    "repro.objectives.reliability",
     "repro.search.allocator",
     "repro.search.budget",
+    "repro.search.pareto",
     "repro.search.portfolio",
     "repro.utils",
 ]

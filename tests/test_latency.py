@@ -112,3 +112,66 @@ class TestValidation:
         assert rep.n_datasets == 10
         assert rep.mean <= rep.max
         assert rep.model.value == "overlap"
+
+
+class TestSteadyLatencyEdgeCases:
+    """Edge cases of the tail-window estimator (PR 10)."""
+
+    def _paced(self, inst, n):
+        return measure_latency(inst, "overlap", n_datasets=n,
+                               injection_period=100.0)
+
+    def test_tail_fraction_bounds(self, two_stage_chain):
+        from repro.errors import SimulationError
+
+        rep = self._paced(two_stage_chain, 8)
+        for bad in (0.0, -0.25, 1.0001, 2.0):
+            with pytest.raises(SimulationError):
+                rep.steady_latency(tail_fraction=bad)
+
+    def test_full_tail_is_the_mean(self, two_stage_chain):
+        rep = self._paced(two_stage_chain, 8)
+        assert rep.steady_latency(tail_fraction=1.0) == pytest.approx(
+            rep.mean)
+
+    def test_single_dataset_report(self, two_stage_chain):
+        """The window always holds >= 1 dataset, so any legal fraction
+        works on a single-dataset report."""
+        rep = self._paced(two_stage_chain, 1)
+        only = float(rep.latencies[0])
+        for frac in (0.01, 0.25, 1.0):
+            assert rep.steady_latency(tail_fraction=frac) == only
+
+    def test_tiny_fraction_is_last_dataset(self, two_stage_chain):
+        rep = self._paced(two_stage_chain, 10)
+        assert rep.steady_latency(tail_fraction=0.05) == float(
+            rep.latencies[-1])
+
+    def test_tail_window_excludes_transient(self, two_stage_chain):
+        """Saturated regime: the backlog grows, so a trailing window
+        averages above the full-series mean."""
+        rep = measure_latency(two_stage_chain, "overlap", n_datasets=20)
+        assert rep.steady_latency(tail_fraction=0.25) > rep.mean
+
+
+class TestBoundVsMeasured:
+    def test_bound_below_measured_everywhere(self, two_stage_chain):
+        """path_latency_bound lower-bounds the simulation in both
+        regimes and both models."""
+        for model in ("overlap", "strict"):
+            for T in (None, 4.0, 100.0):
+                rep = measure_latency(two_stage_chain, model,
+                                      n_datasets=12, injection_period=T)
+                for j in range(rep.n_datasets):
+                    assert rep.latencies[j] >= (
+                        path_latency_bound(two_stage_chain, j) - 1e-9)
+
+    def test_worst_path_bound_tight_under_slow_pacing(self):
+        """With pacing far above P there is no contention: every
+        dataset's latency equals its path bound exactly."""
+        inst = example_a()
+        rep = measure_latency(inst, "overlap", n_datasets=6,
+                              injection_period=10_000.0)
+        for j in range(6):
+            assert rep.latencies[j] == pytest.approx(
+                path_latency_bound(inst, j), abs=1e-9)
